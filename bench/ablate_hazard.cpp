@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ablation: cost of the read-modify-write hazard interlock in the BQSR
+ * SPM updaters (Section III-C).
+ *
+ * Part 1 measures the interlock's stall share inside a real BQSR run.
+ * Part 2 isolates the module: an SpmUpdater in RMW mode fed with
+ * (a) all-distinct addresses, (b) strided repeats, (c) a same-address
+ * burst — the worst case the interlock exists to make correct.
+ */
+
+#include "bench_common.h"
+#include "modules/spm_updater.h"
+#include "sim/scheduler.h"
+
+using namespace genesis;
+
+namespace {
+
+/** Drive one RMW updater with a given address stream; return cycles. */
+uint64_t
+runUpdater(const std::vector<int64_t> &addrs, uint64_t *stalls)
+{
+    sim::Simulator simulator;
+    auto *spm = simulator.makeScratchpad("counts", 1024);
+    auto *q = simulator.makeQueue("in");
+
+    class AddrSource : public sim::Module
+    {
+      public:
+        AddrSource(std::string name, sim::HardwareQueue *out,
+                   const std::vector<int64_t> &addrs)
+            : Module(std::move(name)), out_(out), addrs_(addrs)
+        {
+        }
+        void
+        tick() override
+        {
+            if (closed_ || !out_->canPush())
+                return;
+            if (cursor_ < addrs_.size()) {
+                out_->push(sim::makeFlit(addrs_[cursor_++]));
+                return;
+            }
+            out_->close();
+            closed_ = true;
+        }
+        bool done() const override { return closed_; }
+
+      private:
+        sim::HardwareQueue *out_;
+        const std::vector<int64_t> &addrs_;
+        size_t cursor_ = 0;
+        bool closed_ = false;
+    };
+
+    simulator.make<AddrSource>("src", q, addrs);
+    modules::SpmUpdaterConfig cfg;
+    cfg.mode = modules::SpmUpdateMode::ReadModifyWrite;
+    auto *updater =
+        simulator.make<modules::SpmUpdater>("upd", spm, q, cfg);
+    uint64_t cycles = simulator.run();
+    *stalls = updater->stats().get("stall.rmw_hazard");
+    return cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: RMW hazard interlock cost\n\n");
+
+    // Part 1: stall share inside a real BQSR run.
+    auto workload = bench::makeBenchWorkload(bench::envPairs() / 2);
+    core::BqsrAccelConfig cfg;
+    cfg.numPipelines = 8;
+    cfg.psize = 65'536;
+    auto result =
+        core::BqsrAccelerator(cfg).run(workload.reads, workload.genome);
+    uint64_t hazard = 0;
+    for (const auto &[name, value] : result.info.stats.counters()) {
+        if (name.find("rmw_hazard") != std::string::npos)
+            hazard += value;
+    }
+    std::printf("BQSR run: %llu hazard stalls across %llu total cycles "
+                "(%.2f%% of cycle budget per updater)\n\n",
+                static_cast<unsigned long long>(hazard),
+                static_cast<unsigned long long>(result.info.totalCycles),
+                100.0 * static_cast<double>(hazard) / 4.0 /
+                    static_cast<double>(result.info.totalCycles));
+
+    // Part 2: isolated updater under three address patterns.
+    constexpr size_t kN = 20'000;
+    std::vector<int64_t> distinct(kN), strided(kN), burst(kN);
+    for (size_t i = 0; i < kN; ++i) {
+        distinct[i] = static_cast<int64_t>(i % 1024);
+        strided[i] = static_cast<int64_t>((i % 3) * 7);
+        burst[i] = 42;
+    }
+    struct Case {
+        const char *name;
+        const std::vector<int64_t> *addrs;
+    } cases[] = {
+        {"distinct addresses", &distinct},
+        {"cycling 3 addresses", &strided},
+        {"same-address burst", &burst},
+    };
+    std::printf("%-22s %12s %12s %14s\n", "pattern", "cycles", "stalls",
+                "flits/cycle");
+    for (const auto &c : cases) {
+        uint64_t stalls = 0;
+        uint64_t cycles = runUpdater(*c.addrs, &stalls);
+        std::printf("%-22s %12llu %12llu %14.3f\n", c.name,
+                    static_cast<unsigned long long>(cycles),
+                    static_cast<unsigned long long>(stalls),
+                    static_cast<double>(kN) /
+                        static_cast<double>(cycles));
+    }
+    std::printf("\nthe interlock serialises same-address updates to one "
+                "per three cycles (read/modify/write), the price of "
+                "exact counts; mixed genomic streams stay near one "
+                "update per cycle.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 1 reproduction: the NHGRI cost-per-genome survey the paper
+ * replicates as motivation. This is background data, not a measurement:
+ * the bench re-emits the series (approximate yearly values from the
+ * NHGRI sequencing-cost survey) alongside the Moore's-law trajectory so
+ * the hundred-thousand-fold drop the paper cites is visible.
+ */
+
+#include <cstdio>
+
+int
+main()
+{
+    struct Point {
+        int year;
+        double costDollars;
+    };
+    // Approximate NHGRI "cost per genome" series (log scale in the
+    // paper's figure), 2001-2019.
+    static const Point kSeries[] = {
+        {2001, 100'000'000}, {2002, 70'000'000}, {2003, 60'000'000},
+        {2004, 20'000'000},  {2005, 10'000'000}, {2006, 10'000'000},
+        {2007, 9'000'000},   {2008, 1'000'000},  {2009, 100'000},
+        {2010, 30'000},      {2011, 10'000},     {2012, 7'000},
+        {2013, 5'000},       {2014, 4'000},      {2015, 1'500},
+        {2016, 1'200},       {2017, 1'100},      {2018, 1'000},
+        {2019, 1'000},
+    };
+
+    std::printf("Figure 1: cost of sequencing a human genome "
+                "(NHGRI survey, replicated)\n");
+    std::printf("%-6s %16s %18s\n", "year", "cost ($)",
+                "Moore's law ($)");
+    double moore = 100'000'000;
+    for (const auto &p : kSeries) {
+        std::printf("%-6d %16.0f %18.0f\n", p.year, p.costDollars,
+                    moore);
+        moore /= 1.587; // halving every 18 months = /1.587 per year
+    }
+    double drop = kSeries[0].costDollars /
+        kSeries[sizeof(kSeries) / sizeof(kSeries[0]) - 1].costDollars;
+    std::printf("\ntotal drop 2001->2019: %.0fx (the paper cites a "
+                "hundred-thousand-fold drop, far outpacing Moore's "
+                "law)\n", drop);
+    return 0;
+}

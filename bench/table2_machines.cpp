@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table II reproduction: the AWS EC2 machine configurations of the
+ * paper's evaluation — f1.2xlarge hosting the Genesis FPGA and the
+ * memory-optimised r5.4xlarge running GATK4 — plus this library's
+ * simulation parameters for the same platform.
+ */
+
+#include <cstdio>
+
+#include "cost/cost.h"
+#include "runtime/api.h"
+
+using namespace genesis;
+
+int
+main()
+{
+    std::printf("Table II: hardware configurations (AWS EC2, 2019-11 "
+                "prices)\n\n");
+    std::printf("Genesis system:  %s\n",
+                cost::InstanceSpec::f1_2xlarge().str().c_str());
+    std::printf("GATK4 baseline:  %s\n",
+                cost::InstanceSpec::r5_4xlarge().str().c_str());
+
+    runtime::RuntimeConfig rt;
+    std::printf("\nsimulation parameters standing in for the F1 "
+                "platform:\n");
+    std::printf("  accelerator clock        %.0f MHz (paper: 250 MHz)\n",
+                rt.clockHz / 1e6);
+    std::printf("  memory channels          %d x %u B/cycle "
+                "(%.1f GB/s total)\n",
+                rt.memory.numChannels,
+                rt.memory.bytesPerCyclePerChannel,
+                rt.memory.numChannels *
+                    rt.memory.bytesPerCyclePerChannel * rt.clockHz /
+                    1e9);
+    std::printf("  memory latency           %u cycles\n",
+                rt.memory.latencyCycles);
+    std::printf("  host interconnect        %s, %.1f GB/s "
+                "(paper measured ~7 GB/s PCIe DMA)\n",
+                rt.dma.name.c_str(), rt.dma.bytesPerSecond / 1e9);
+    std::printf("  pipeline counts          16 (Mark Duplicates), 16 "
+                "(Metadata Update), 8 (BQSR) as in Section V-A\n");
+    return 0;
+}

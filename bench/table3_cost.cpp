@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table III reproduction: cost comparison of Genesis and the software
+ * baseline. Two parts:
+ *  1. the paper's own arithmetic — feeding the published speedups
+ *     through the price model must land exactly on the published cost
+ *     reductions and normalized performance/$;
+ *  2. the same arithmetic on speedups measured on this host's workload.
+ */
+
+#include "bench_common.h"
+#include "cost/cost.h"
+
+using namespace genesis;
+
+namespace {
+
+void
+printRow(const cost::CostComparison &c)
+{
+    std::printf("%-28s %12.2fx %12.2fx %16.2fx\n", c.stage.c_str(),
+                c.costReduction, c.speedup, c.normalizedPerfPerDollar);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table III: cost comparison of Genesis and baseline\n");
+    std::printf("(cost reduction = speedup x $%.2f/hr / $%.2f/hr)\n\n",
+                cost::InstanceSpec::r5_4xlarge().dollarsPerHour,
+                cost::InstanceSpec::f1_2xlarge().dollarsPerHour);
+
+    std::printf("--- with the paper's published speedups ---\n");
+    std::printf("%-28s %13s %13s %17s\n", "stage", "cost red.",
+                "speedup", "norm. perf/$");
+    printRow(cost::compareCost("Mark Duplicates", 2.08));
+    printRow(cost::compareCost("Metadata Update", 19.25));
+    printRow(cost::compareCost("BQSR (table construction)", 12.59));
+    std::printf("(paper: 2.08x/15.05x/9.84x cost reduction, "
+                "4.31x/289.59x/123.92x perf/$)\n\n");
+
+    std::printf("--- with speedups measured on this workload (vs the "
+                "GATK-calibrated baseline, as in fig13a) ---\n");
+    auto workload = bench::makeBenchWorkload();
+    auto m = bench::measureStages(workload);
+    double md = bench::paperGatkSeconds(bench::Stage::MarkDuplicates,
+                                        workload.totalBases) /
+        m.mdTiming.total();
+    double mu = bench::paperGatkSeconds(bench::Stage::MetadataUpdate,
+                                        workload.totalBases) /
+        m.muTiming.total();
+    double bq = bench::paperGatkSeconds(bench::Stage::BqsrTable,
+                                        workload.totalBases) /
+        m.bqTiming.total();
+    std::printf("%-28s %13s %13s %17s\n", "stage", "cost red.",
+                "speedup", "norm. perf/$");
+    printRow(cost::compareCost("Mark Duplicates", md));
+    printRow(cost::compareCost("Metadata Update", mu));
+    printRow(cost::compareCost("BQSR (table construction)", bq));
+
+    std::printf("\nper-genome dollar estimate, scaled to a 700 M-read "
+                "genome (GATK baseline vs measured Genesis rate):\n");
+    double scale = 700e6 * 151.0 /
+        static_cast<double>(workload.totalBases);
+    auto dollars = [&](const char *stage, bench::Stage kind,
+                       double genesis_seconds) {
+        std::printf("  %-26s GATK $%.2f vs Genesis $%.2f\n", stage,
+                    cost::runCost(bench::paperGatkSeconds(
+                                      kind, 700e6 * 151),
+                                  cost::InstanceSpec::r5_4xlarge()),
+                    cost::runCost(genesis_seconds * scale,
+                                  cost::InstanceSpec::f1_2xlarge()));
+    };
+    dollars("Mark Duplicates", bench::Stage::MarkDuplicates,
+            m.mdTiming.total());
+    dollars("Metadata Update", bench::Stage::MetadataUpdate,
+            m.muTiming.total());
+    dollars("BQSR", bench::Stage::BqsrTable, m.bqTiming.total());
+    return 0;
+}

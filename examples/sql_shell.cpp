@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A miniature SQL shell over the genomic tables (the bioinformatician's
+ * view the paper advocates): a synthetic READS/REF database is loaded
+ * into the catalog, and extended-SQL statements typed on stdin run on
+ * the software engine. Ends on EOF or "quit".
+ *
+ * Examples to try:
+ *   SELECT COUNT(*) FROM READS;
+ *   SELECT CHR, COUNT(*) AS N FROM READS GROUP BY CHR;
+ *   SELECT POS, ENDPOS FROM READS WHERE CHR == 1 LIMIT 5;
+ *   EXPLAIN SELECT COUNT(*) FROM READS WHERE POS > 1000;
+ *
+ * Build and run:  ./build/examples/sql_shell  (pipe a script to stdin
+ * for non-interactive use)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "base/logging.h"
+#include "engine/executor.h"
+#include "genome/read_simulator.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "table/genomic_schema.h"
+
+using namespace genesis;
+
+int
+main()
+{
+    // Build the database.
+    genome::SyntheticGenomeConfig gcfg;
+    gcfg.numChromosomes = 2;
+    gcfg.firstChromosomeLength = 100'000;
+    auto genome = genome::ReferenceGenome::synthesize(gcfg);
+    genome::ReadSimulatorConfig rcfg;
+    rcfg.numPairs = 500;
+    auto reads = genome::ReadSimulator(genome, rcfg).simulate().reads;
+
+    engine::Catalog catalog;
+    catalog.put("READS", table::buildReadsTable(reads));
+    catalog.put("REF", table::buildRefTable(genome, 50'000));
+    engine::Executor executor(catalog);
+
+    std::printf("Genesis SQL shell. Tables: READS (%zu rows), REF. "
+                "\"quit\" to exit.\n",
+                reads.size());
+
+    std::string line, statement;
+    while (true) {
+        std::printf(statement.empty() ? "genesis> " : "      -> ");
+        std::fflush(stdout);
+        if (!std::getline(std::cin, line))
+            break;
+        if (line == "quit" || line == "exit")
+            break;
+        statement += line;
+        statement += '\n';
+        // Statements end with a semicolon (or EXPLAIN one-liners).
+        if (line.find(';') == std::string::npos)
+            continue;
+
+        try {
+            if (statement.rfind("EXPLAIN", 0) == 0 ||
+                statement.rfind("explain", 0) == 0) {
+                auto body = statement.substr(7);
+                std::printf("%s",
+                            sql::explainScript(sql::parseScript(body))
+                                .c_str());
+            } else {
+                auto result = executor.run(statement);
+                if (result)
+                    std::printf("%s", result->str(20).c_str());
+                else
+                    std::printf("ok\n");
+            }
+        } catch (const FatalError &e) {
+            std::printf("error: %s\n", e.what());
+        } catch (const PanicError &e) {
+            std::printf("internal error: %s\n", e.what());
+        }
+        statement.clear();
+    }
+    std::printf("\nbye\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+#include "base/logging.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace genesis {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+std::string
+vstrfmt(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed <= 0)
+        return std::string();
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = "panic: " + vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = "fatal: " + vstrfmt(fmt, ap);
+    va_end(ap);
+    throw FatalError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+} // namespace genesis

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Logging and error-reporting helpers for the Genesis library.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (library bugs), fatal() for unrecoverable user errors (bad configuration,
+ * malformed input), warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef GENESIS_BASE_LOGGING_H
+#define GENESIS_BASE_LOGGING_H
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace genesis {
+
+/** Exception thrown by panic(): an internal library invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(): the caller supplied invalid input/config. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Format a printf-style message into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Format a printf-style message into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and throw PanicError.
+ * Use for conditions that indicate a bug in Genesis itself.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error and throw FatalError.
+ * Use for conditions caused by the caller (bad configuration, bad data).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning to stderr. Never interrupts execution. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational message to stderr. Never interrupts execution. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() output is suppressed. */
+bool isQuiet();
+
+/** panic() unless the given condition holds. */
+#define GENESIS_ASSERT(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::genesis::panic("assertion '%s' failed: %s", #cond,            \
+                             ::genesis::strfmt(__VA_ARGS__).c_str());       \
+        }                                                                   \
+    } while (0)
+
+} // namespace genesis
+
+#endif // GENESIS_BASE_LOGGING_H

@@ -1,0 +1,74 @@
+#include "core/accel_common.h"
+
+#include <numeric>
+
+#include "base/logging.h"
+
+namespace genesis::core {
+
+std::vector<uint32_t>
+ReadColumns::scalarLens(size_t n)
+{
+    return std::vector<uint32_t>(n, 1);
+}
+
+ReadColumns
+ReadColumns::fromReads(const std::vector<genome::AlignedRead> &reads,
+                       const std::vector<size_t> &indices)
+{
+    ReadColumns cols;
+    cols.numReads = indices.size();
+    cols.pos.reserve(indices.size());
+    cols.endpos.reserve(indices.size());
+    cols.flags.reserve(indices.size());
+    for (size_t idx : indices) {
+        GENESIS_ASSERT(idx < reads.size(), "read index %zu out of range",
+                       idx);
+        const auto &read = reads[idx];
+        cols.pos.push_back(read.pos);
+        cols.endpos.push_back(read.endPos());
+        cols.flags.push_back(read.flags);
+        auto packed = read.cigar.packAll();
+        for (uint16_t raw : packed)
+            cols.cigar.push_back(raw);
+        cols.cigarLens.push_back(static_cast<uint32_t>(packed.size()));
+        for (uint8_t b : read.seq)
+            cols.seq.push_back(b);
+        cols.seqLens.push_back(static_cast<uint32_t>(read.seq.size()));
+        for (uint8_t q : read.qual)
+            cols.qual.push_back(q);
+        cols.qualLens.push_back(static_cast<uint32_t>(read.qual.size()));
+    }
+    return cols;
+}
+
+ReadColumns
+ReadColumns::fromRange(const std::vector<genome::AlignedRead> &reads,
+                       size_t first, size_t last)
+{
+    GENESIS_ASSERT(first <= last && last <= reads.size(),
+                   "bad read range [%zu, %zu)", first, last);
+    std::vector<size_t> indices(last - first);
+    std::iota(indices.begin(), indices.end(), first);
+    return fromReads(reads, indices);
+}
+
+RefColumns
+RefColumns::fromGenome(const genome::ReferenceGenome &genome, uint8_t chr,
+                       int64_t window_start, int64_t window_end,
+                       int64_t overlap)
+{
+    const genome::Chromosome &chrom = genome.chromosome(chr);
+    RefColumns cols;
+    cols.windowStart = window_start;
+    int64_t end = std::min<int64_t>(window_end + overlap, chrom.length());
+    cols.seq.reserve(static_cast<size_t>(end - window_start));
+    cols.isSnp.reserve(static_cast<size_t>(end - window_start));
+    for (int64_t p = window_start; p < end; ++p) {
+        cols.seq.push_back(chrom.seq[static_cast<size_t>(p)]);
+        cols.isSnp.push_back(chrom.isSnp[static_cast<size_t>(p)] ? 1 : 0);
+    }
+    return cols;
+}
+
+} // namespace genesis::core

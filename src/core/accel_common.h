@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared host-side plumbing for the Genesis accelerators: decomposing
+ * read sets into the per-column element streams configure_mem uploads,
+ * and aggregate result bookkeeping (timing, census, cycle counts).
+ */
+
+#ifndef GENESIS_CORE_ACCEL_COMMON_H
+#define GENESIS_CORE_ACCEL_COMMON_H
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/read.h"
+#include "genome/reference.h"
+#include "pipeline/builder.h"
+#include "runtime/api.h"
+
+namespace genesis::core {
+
+/** Column-decomposed image of a set of reads (Table I layout). */
+struct ReadColumns {
+    size_t numReads = 0;
+    std::vector<int64_t> pos;
+    std::vector<int64_t> endpos;
+    std::vector<int64_t> flags;
+    std::vector<int64_t> cigar;
+    std::vector<uint32_t> cigarLens;
+    std::vector<int64_t> seq;
+    std::vector<uint32_t> seqLens;
+    std::vector<int64_t> qual;
+    std::vector<uint32_t> qualLens;
+
+    /** Build columns for the reads selected by `indices`. */
+    static ReadColumns
+    fromReads(const std::vector<genome::AlignedRead> &reads,
+              const std::vector<size_t> &indices);
+
+    /** Build columns for a contiguous index range [first, last). */
+    static ReadColumns
+    fromRange(const std::vector<genome::AlignedRead> &reads, size_t first,
+              size_t last);
+
+    /** @return row lengths of 1 for a scalar column of n rows. */
+    static std::vector<uint32_t> scalarLens(size_t n);
+};
+
+/** Reference slice for one partition window. */
+struct RefColumns {
+    std::vector<int64_t> seq;
+    std::vector<int64_t> isSnp;
+    int64_t windowStart = 0;
+
+    /** Extract [window_start, window_end + overlap) from a chromosome. */
+    static RefColumns fromGenome(const genome::ReferenceGenome &genome,
+                                 uint8_t chr, int64_t window_start,
+                                 int64_t window_end, int64_t overlap);
+};
+
+/** Aggregate accounting shared by all accelerator results. */
+struct AccelRunInfo {
+    /**
+     * Host / communication / accelerator split of the stage runtime
+     * (paper Figure 13(b)). "Host" covers the algorithmic software
+     * portions of the stage (duplicate resolution, tag attachment,
+     * table merging), not data-layout preparation.
+     */
+    runtime::TimingBreakdown timing;
+    /**
+     * Row-to-column conversion and partitioning time. The paper performs
+     * this pre-partitioning in software ahead of the accelerated stage
+     * (Section III-B), outside the reported stage runtime; it is kept
+     * separately here for transparency.
+     */
+    double prepSeconds = 0.0;
+    pipeline::HardwareCensus census;
+    uint64_t totalCycles = 0; ///< summed across sequential batches
+    uint64_t batches = 0;
+    StatRegistry stats; ///< merged simulator statistics
+};
+
+/** Stopwatch accumulating into a plain double (prep accounting). */
+class PrepTimer
+{
+  public:
+    explicit PrepTimer(double &sink)
+        : sink_(sink), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~PrepTimer()
+    {
+        sink_ += std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_).count();
+    }
+
+    PrepTimer(const PrepTimer &) = delete;
+    PrepTimer &operator=(const PrepTimer &) = delete;
+
+  private:
+    double &sink_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace genesis::core
+
+#endif // GENESIS_CORE_ACCEL_COMMON_H

@@ -1,0 +1,379 @@
+#include "core/bqsr_accel.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "modules/binidgen.h"
+#include "modules/filter.h"
+#include "modules/fork.h"
+#include "modules/joiner.h"
+#include "modules/memory_reader.h"
+#include "modules/memory_writer.h"
+#include "modules/read_to_bases.h"
+#include "modules/spm_reader.h"
+#include "modules/spm_updater.h"
+#include "modules/stream_alu.h"
+
+namespace genesis::core {
+
+using modules::ColumnBuffer;
+using pipeline::PipelineBuilder;
+using sim::Flit;
+
+namespace {
+
+/** The four covariate-count output buffers of one BQSR pipeline. */
+struct BqsrOutputs {
+    ColumnBuffer *cycleTotals = nullptr;
+    ColumnBuffer *contextTotals = nullptr;
+    ColumnBuffer *cycleErrors = nullptr;
+    ColumnBuffer *contextErrors = nullptr;
+};
+
+struct BqsrInputs {
+    const ColumnBuffer *pos = nullptr;
+    const ColumnBuffer *endpos = nullptr;
+    const ColumnBuffer *cigar = nullptr;
+    const ColumnBuffer *seq = nullptr;
+    const ColumnBuffer *qual = nullptr;
+    const ColumnBuffer *flags = nullptr;
+    const ColumnBuffer *refSeq = nullptr;
+    const ColumnBuffer *refSnp = nullptr;
+    int64_t windowStart = 0;
+    size_t spmWords = 1;
+    gatk::BqsrConfig bqsr;
+};
+
+/** Wire one Figure-12 pipeline. */
+BqsrOutputs
+buildPipeline(PipelineBuilder &b, runtime::AcceleratorSession &s,
+              const BqsrInputs &in)
+{
+    modules::BinIdGenConfig bin_cfg;
+    bin_cfg.numCycleValues = in.bqsr.numCycleValues;
+    bin_cfg.readLength = in.bqsr.readLength;
+    bin_cfg.numContextTypes = in.bqsr.numContextTypes;
+    const size_t cycle_bins = in.bqsr.cycleTableSize();
+    const size_t context_bins = in.bqsr.contextTableSize();
+
+    BqsrOutputs outs;
+    outs.cycleTotals = s.configureOutput(b.scopedName("TOT1"), 4);
+    outs.contextTotals = s.configureOutput(b.scopedName("TOT2"), 4);
+    outs.cycleErrors = s.configureOutput(b.scopedName("ERR1"), 4);
+    outs.contextErrors = s.configureOutput(b.scopedName("ERR2"), 4);
+
+    // Queues.
+    auto *pos_q = b.queue("pos");
+    auto *pos_rtb_q = b.queue("pos_rtb");
+    auto *pos_spm_q = b.queue("pos_spm");
+    auto *endpos_q = b.queue("endpos");
+    auto *cigar_q = b.queue("cigar");
+    auto *seq_q = b.queue("seq");
+    auto *qual_q = b.queue("qual");
+    auto *flags_q = b.queue("flags");
+    auto *refseq_q = b.queue("refseq");
+    auto *refsnp_q = b.queue("refsnp");
+    auto *packed_q = b.queue("packed");
+    auto *bases_q = b.queue("bases");
+    auto *binned_q = b.queue("binned");
+    auto *ref_q = b.queue("ref");
+    auto *joined_q = b.queue("joined");
+    auto *notsnp_q = b.queue("notsnp");
+    auto *tot1_q = b.queue("tot1");
+    auto *tot2_q = b.queue("tot2");
+    auto *to_err_q = b.queue("to_err");
+    auto *err_q = b.queue("err");
+    auto *err1_q = b.queue("err1");
+    auto *err2_q = b.queue("err2");
+    auto *dr_tot1_q = b.queue("dr_tot1");
+    auto *dr_tot2_q = b.queue("dr_tot2");
+    auto *dr_err1_q = b.queue("dr_err1");
+    auto *dr_err2_q = b.queue("dr_err2");
+
+    // Memory readers.
+    modules::MemoryReaderConfig scalar_cfg;
+    modules::MemoryReaderConfig array_cfg;
+    array_cfg.emitBoundaries = true;
+    b.add<modules::MemoryReader>("MemoryReader", "rd_pos", in.pos,
+                                 b.port(), pos_q, scalar_cfg);
+    b.add<modules::MemoryReader>("MemoryReader", "rd_endpos", in.endpos,
+                                 b.port(), endpos_q, scalar_cfg);
+    b.add<modules::MemoryReader>("MemoryReader", "rd_cigar", in.cigar,
+                                 b.port(), cigar_q, array_cfg);
+    b.add<modules::MemoryReader>("MemoryReader", "rd_seq", in.seq,
+                                 b.port(), seq_q, array_cfg);
+    b.add<modules::MemoryReader>("MemoryReader", "rd_qual", in.qual,
+                                 b.port(), qual_q, array_cfg);
+    b.add<modules::MemoryReader>("MemoryReader", "rd_flags", in.flags,
+                                 b.port(), flags_q, scalar_cfg);
+    b.add<modules::MemoryReader>("MemoryReader", "rd_refseq", in.refSeq,
+                                 b.port(), refseq_q, scalar_cfg);
+    b.add<modules::MemoryReader>("MemoryReader", "rd_refsnp", in.refSnp,
+                                 b.port(), refsnp_q, scalar_cfg);
+
+    b.add<modules::Fork>("Fork", "fork_pos", pos_q,
+                         std::vector<sim::HardwareQueue *>{pos_rtb_q,
+                                                           pos_spm_q});
+
+    // Reference SPM holds (base | IS_SNP << 8) pairs; architecturally
+    // 3 bits per position (2-bit base + SNP bit).
+    auto *ref_spm = b.scratchpad("ref_spm", in.spmWords, 2, 3);
+    modules::StreamAluConfig pack_cfg;
+    pack_cfg.op = modules::AluOp::Pack;
+    pack_cfg.fieldA = 0;
+    pack_cfg.fieldB = 0;
+    b.add<modules::StreamAlu>("StreamAlu", "pack", refseq_q, refsnp_q,
+                              packed_q, pack_cfg);
+    modules::SpmUpdaterConfig init_cfg;
+    init_cfg.mode = modules::SpmUpdateMode::Sequential;
+    init_cfg.valueField = 0;
+    auto *ref_init = b.add<modules::SpmUpdater>(
+        "SpmUpdater", "spm_init", ref_spm, packed_q, init_cfg);
+
+    modules::SpmReaderConfig ref_rd_cfg;
+    ref_rd_cfg.mode = modules::SpmReadMode::Interval;
+    ref_rd_cfg.addrBase = in.windowStart;
+    ref_rd_cfg.unpackPair = true;
+    ref_rd_cfg.waitFor = ref_init;
+    b.add<modules::SpmReader>("SpmReader", "spm_rd", ref_spm, pos_spm_q,
+                              endpos_q, ref_q, ref_rd_cfg);
+
+    b.add<modules::ReadToBases>("ReadToBases", "rtb", pos_rtb_q, cigar_q,
+                                seq_q, qual_q, bases_q);
+    b.add<modules::BinIdGen>("BinIDGen", "binid", bases_q, flags_q,
+                             binned_q, bin_cfg);
+
+    // Inner join [bp, qual, b1, b2] with [ref base, IS_SNP] on position.
+    modules::JoinerConfig join_cfg;
+    join_cfg.mode = modules::JoinMode::Inner;
+    join_cfg.leftFields = 4;
+    join_cfg.rightFields = 2;
+    b.add<modules::Joiner>("Joiner", "join", binned_q, ref_q, joined_q,
+                           join_cfg);
+
+    // Known variant sites never count (expected mismatches).
+    modules::FilterConfig snp_filter;
+    snp_filter.lhs = modules::FilterOperand::field(5);
+    snp_filter.op = modules::CompareOp::Eq;
+    snp_filter.rhs = modules::FilterOperand::constant_(0);
+    b.add<modules::Filter>("Filter", "not_snp", joined_q, notsnp_q,
+                           snp_filter);
+
+    b.add<modules::Fork>("Fork", "fork_total", notsnp_q,
+                         std::vector<sim::HardwareQueue *>{
+                             tot1_q, tot2_q, to_err_q});
+
+    // Total-observation counters (read-modify-write increments). BRAM
+    // macros are 18/36 bits wide natively, so the architectural counter
+    // width is 24 bits; drained counts accumulate in 64-bit on the host.
+    const size_t b1_field = 2, b2_field = 3;
+    auto *tot1_spm = b.scratchpad("tot1_spm", cycle_bins, 4, 24);
+    auto *tot2_spm = b.scratchpad("tot2_spm", context_bins, 4, 24);
+    auto *err1_spm = b.scratchpad("err1_spm", cycle_bins, 4, 24);
+    auto *err2_spm = b.scratchpad("err2_spm", context_bins, 4, 24);
+
+    auto rmw = [](int addr_field) {
+        modules::SpmUpdaterConfig cfg;
+        cfg.mode = modules::SpmUpdateMode::ReadModifyWrite;
+        cfg.addrField = addr_field;
+        return cfg;
+    };
+    auto *upd_tot1 = b.add<modules::SpmUpdater>(
+        "SpmUpdaterRMW", "upd_tot1", tot1_spm, tot1_q,
+        rmw(static_cast<int>(b1_field)));
+    auto *upd_tot2 = b.add<modules::SpmUpdater>(
+        "SpmUpdaterRMW", "upd_tot2", tot2_spm, tot2_q,
+        rmw(static_cast<int>(b2_field)));
+
+    // Errors: cascade a mismatch filter, then two more counters.
+    modules::FilterConfig err_filter;
+    err_filter.lhs = modules::FilterOperand::field(0);
+    err_filter.op = modules::CompareOp::Ne;
+    err_filter.rhs = modules::FilterOperand::field(4);
+    b.add<modules::Filter>("Filter", "err_filter", to_err_q, err_q,
+                           err_filter);
+    b.add<modules::Fork>("Fork", "fork_err", err_q,
+                         std::vector<sim::HardwareQueue *>{err1_q,
+                                                           err2_q});
+    auto *upd_err1 = b.add<modules::SpmUpdater>(
+        "SpmUpdaterRMW", "upd_err1", err1_spm, err1_q,
+        rmw(static_cast<int>(b1_field)));
+    auto *upd_err2 = b.add<modules::SpmUpdater>(
+        "SpmUpdaterRMW", "upd_err2", err2_spm, err2_q,
+        rmw(static_cast<int>(b2_field)));
+
+    // Drain the four count buffers to memory once updates finish.
+    modules::SpmReaderConfig drain_cfg;
+    drain_cfg.mode = modules::SpmReadMode::Drain;
+    auto drain = [&](const char *name, sim::Scratchpad *spm,
+                     const sim::Module *wait, sim::HardwareQueue *q,
+                     ColumnBuffer *out) {
+        b.add<modules::SpmReader>("SpmReader",
+                                  std::string("drain_") + name, spm,
+                                  wait, q, drain_cfg);
+        modules::MemoryWriterConfig wr;
+        wr.fieldIndex = 0;
+        wr.elemSizeBytes = 4;
+        b.add<modules::MemoryWriter>("MemoryWriter",
+                                     std::string("wr_") + name, out,
+                                     b.port(), q, wr);
+    };
+    drain("tot1", tot1_spm, upd_tot1, dr_tot1_q, outs.cycleTotals);
+    drain("tot2", tot2_spm, upd_tot2, dr_tot2_q, outs.contextTotals);
+    drain("err1", err1_spm, upd_err1, dr_err1_q, outs.cycleErrors);
+    drain("err2", err2_spm, upd_err2, dr_err2_q, outs.contextErrors);
+    return outs;
+}
+
+} // namespace
+
+BqsrAccelerator::BqsrAccelerator(const BqsrAccelConfig &config)
+    : config_(config)
+{
+    if (config_.numPipelines < 1)
+        fatal("need at least one pipeline");
+    if (config_.psize < 1)
+        fatal("partition size must be positive");
+}
+
+pipeline::HardwareCensus
+BqsrAccelerator::census(int num_pipelines, int64_t psize, int64_t overlap)
+{
+    runtime::AcceleratorSession session{runtime::RuntimeConfig{}};
+    ColumnBuffer dummy;
+    BqsrInputs in;
+    in.pos = in.endpos = in.cigar = in.seq = in.qual = in.flags = &dummy;
+    in.refSeq = in.refSnp = &dummy;
+    in.spmWords = static_cast<size_t>(psize + overlap);
+    pipeline::HardwareCensus census;
+    for (int p = 0; p < num_pipelines; ++p) {
+        PipelineBuilder builder(session.sim(), p);
+        buildPipeline(builder, session, in);
+        census.merge(builder.census());
+    }
+    return census;
+}
+
+BqsrAccelResult
+BqsrAccelerator::run(const std::vector<genome::AlignedRead> &reads,
+                     const genome::ReferenceGenome &genome)
+{
+    BqsrAccelResult result;
+    result.table = gatk::CovariateTable(config_.bqsr);
+
+    table::Partitioner partitioner(config_.psize, config_.overlap);
+    std::vector<table::ReadPartition> partitions;
+    {
+        // Pre-partitioning (by window, then read group) is software
+        // preparation ahead of the stage, per Section IV-D.
+        PrepTimer timer(result.info.prepSeconds);
+        partitions = partitioner.partitionReadsByGroup(reads);
+    }
+
+    for (size_t base = 0; base < partitions.size();
+         base += static_cast<size_t>(config_.numPipelines)) {
+        runtime::AcceleratorSession session(config_.runtime);
+        size_t batch = std::min<size_t>(
+            static_cast<size_t>(config_.numPipelines),
+            partitions.size() - base);
+
+        struct PipelineRun {
+            BqsrOutputs outs;
+            uint16_t readGroup = 0;
+        };
+        std::vector<PipelineRun> runs(batch);
+        {
+            PrepTimer timer(result.info.prepSeconds);
+            for (size_t p = 0; p < batch; ++p) {
+                const auto &part = partitions[base + p];
+                runs[p].readGroup = part.readGroup;
+                ReadColumns cols =
+                    ReadColumns::fromReads(reads, part.readIndices);
+                int64_t overlap = config_.overlap;
+                for (size_t idx : part.readIndices) {
+                    overlap = std::max(overlap, reads[idx].endPos() -
+                                       part.windowEnd);
+                }
+                RefColumns ref = RefColumns::fromGenome(
+                    genome, part.chr, part.windowStart, part.windowEnd,
+                    overlap);
+
+                PipelineBuilder builder(session.sim(),
+                                        static_cast<int>(p));
+                BqsrInputs in;
+                in.bqsr = config_.bqsr;
+                in.pos = session.configureMem(
+                    builder.scopedName("READS.POS"), std::move(cols.pos),
+                    ReadColumns::scalarLens(cols.numReads), 4);
+                in.endpos = session.configureMem(
+                    builder.scopedName("READS.ENDPOS"),
+                    std::move(cols.endpos),
+                    ReadColumns::scalarLens(cols.numReads), 4);
+                in.cigar = session.configureMem(
+                    builder.scopedName("READS.CIGAR"),
+                    std::move(cols.cigar), std::move(cols.cigarLens), 2);
+                in.seq = session.configureMem(
+                    builder.scopedName("READS.SEQ"), std::move(cols.seq),
+                    std::move(cols.seqLens), 1);
+                in.qual = session.configureMem(
+                    builder.scopedName("READS.QUAL"),
+                    std::move(cols.qual), std::move(cols.qualLens), 1);
+                in.flags = session.configureMem(
+                    builder.scopedName("READS.FLAGS"),
+                    std::move(cols.flags),
+                    ReadColumns::scalarLens(cols.numReads), 2);
+                in.refSeq = session.configureMem(
+                    builder.scopedName("REFS.SEQ"), std::move(ref.seq),
+                    ReadColumns::scalarLens(
+                        static_cast<size_t>(ref.seq.size())), 1);
+                in.refSnp = session.configureMem(
+                    builder.scopedName("REFS.IS_SNP"),
+                    std::move(ref.isSnp),
+                    ReadColumns::scalarLens(
+                        static_cast<size_t>(ref.isSnp.size())), 1);
+                in.windowStart = part.windowStart;
+                in.spmWords =
+                    static_cast<size_t>(config_.psize + overlap);
+                runs[p].outs = buildPipeline(builder, session, in);
+                if (result.info.batches == 0)
+                    result.info.census.merge(builder.census());
+            }
+        }
+
+        session.start();
+        session.wait();
+        result.info.totalCycles += session.sim().cycle();
+        ++result.info.batches;
+        result.info.stats.merge(session.sim().collectStats());
+
+        for (auto &run : runs) {
+            const ColumnBuffer *tot1 =
+                session.flush(run.outs.cycleTotals->name);
+            const ColumnBuffer *tot2 =
+                session.flush(run.outs.contextTotals->name);
+            const ColumnBuffer *err1 =
+                session.flush(run.outs.cycleErrors->name);
+            const ColumnBuffer *err2 =
+                session.flush(run.outs.contextErrors->name);
+            runtime::HostTimer timer(session);
+            size_t rg = run.readGroup;
+            GENESIS_ASSERT(rg < result.table.cycleTotals.size(),
+                           "read group %zu out of range", rg);
+            auto accumulate = [](std::vector<int64_t> &dst,
+                                 const ColumnBuffer *src) {
+                for (size_t i = 0;
+                     i < src->elements.size() && i < dst.size(); ++i) {
+                    dst[i] += src->elements[i];
+                }
+            };
+            accumulate(result.table.cycleTotals[rg], tot1);
+            accumulate(result.table.contextTotals[rg], tot2);
+            accumulate(result.table.cycleErrors[rg], err1);
+            accumulate(result.table.contextErrors[rg], err2);
+        }
+        result.info.timing += session.timing();
+    }
+    return result;
+}
+
+} // namespace genesis::core

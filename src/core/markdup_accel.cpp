@@ -1,0 +1,124 @@
+#include "core/markdup_accel.h"
+
+#include "base/logging.h"
+#include "modules/memory_reader.h"
+#include "modules/memory_writer.h"
+#include "modules/reducer.h"
+
+namespace genesis::core {
+
+using modules::ColumnBuffer;
+using pipeline::PipelineBuilder;
+
+namespace {
+
+/** Wire one Figure-10 pipeline; returns the output (sums) buffer. */
+ColumnBuffer *
+buildPipeline(PipelineBuilder &builder, runtime::AcceleratorSession &s,
+              const ColumnBuffer *qual_buffer)
+{
+    auto *qual_q = builder.queue("qual");
+    auto *sum_q = builder.queue("sum");
+    ColumnBuffer *out = s.configureOutput(
+        builder.scopedName("QSUM"), 4);
+
+    modules::MemoryReaderConfig reader_cfg;
+    reader_cfg.emitBoundaries = true;
+    builder.add<modules::MemoryReader>(
+        "MemoryReader", "rd_qual", qual_buffer, builder.port(), qual_q,
+        reader_cfg);
+
+    modules::ReducerConfig red_cfg;
+    red_cfg.op = modules::ReduceOp::Sum;
+    red_cfg.granularity = modules::ReduceGranularity::PerItem;
+    red_cfg.valueField = 0;
+    builder.add<modules::Reducer>("ReducerWide", "sum", qual_q, sum_q,
+                                  red_cfg);
+
+    modules::MemoryWriterConfig writer_cfg;
+    writer_cfg.fieldIndex = 0;
+    writer_cfg.elemSizeBytes = 4;
+    builder.add<modules::MemoryWriter>("MemoryWriter", "wr_sum", out,
+                                       builder.port(), sum_q, writer_cfg);
+    return out;
+}
+
+} // namespace
+
+MarkDupAccelerator::MarkDupAccelerator(const MarkDupAccelConfig &config)
+    : config_(config)
+{
+    if (config_.numPipelines < 1)
+        fatal("need at least one pipeline");
+}
+
+pipeline::HardwareCensus
+MarkDupAccelerator::census(int num_pipelines)
+{
+    runtime::AcceleratorSession session{runtime::RuntimeConfig{}};
+    ColumnBuffer dummy;
+    pipeline::HardwareCensus census;
+    for (int p = 0; p < num_pipelines; ++p) {
+        PipelineBuilder builder(session.sim(), p);
+        buildPipeline(builder, session, &dummy);
+        census.merge(builder.census());
+    }
+    return census;
+}
+
+MarkDupAccelResult
+MarkDupAccelerator::run(std::vector<genome::AlignedRead> &reads)
+{
+    MarkDupAccelResult result;
+    runtime::AcceleratorSession session(config_.runtime);
+
+    // Host: split the read set across pipelines and build the column
+    // streams (the configure_mem preparation work).
+    size_t n = reads.size();
+    size_t per = (n + static_cast<size_t>(config_.numPipelines) - 1) /
+        static_cast<size_t>(config_.numPipelines);
+    std::vector<ColumnBuffer *> outputs;
+    std::vector<size_t> chunk_starts;
+    {
+        PrepTimer timer(result.info.prepSeconds);
+        for (int p = 0; p < config_.numPipelines; ++p) {
+            size_t first = std::min(n, static_cast<size_t>(p) * per);
+            size_t last = std::min(n, first + per);
+            if (first >= last)
+                break;
+            chunk_starts.push_back(first);
+            ReadColumns cols = ReadColumns::fromRange(reads, first, last);
+            PipelineBuilder builder(session.sim(), p);
+            ColumnBuffer *qual = session.configureMem(
+                builder.scopedName("READS.QUAL"), std::move(cols.qual),
+                std::move(cols.qualLens), 1);
+            outputs.push_back(buildPipeline(builder, session, qual));
+            result.info.census.merge(builder.census());
+        }
+    }
+
+    session.start();
+    session.wait();
+    result.info.totalCycles = session.sim().cycle();
+    result.info.batches = 1;
+    result.info.stats.merge(session.sim().collectStats());
+
+    // DMA the sums back and reassemble the full vector.
+    result.qualSums.assign(n, 0);
+    for (size_t c = 0; c < outputs.size(); ++c) {
+        const ColumnBuffer *flushed = session.flush(outputs[c]->name);
+        for (size_t i = 0; i < flushed->elements.size(); ++i)
+            result.qualSums[chunk_starts[c] + i] = flushed->elements[i];
+    }
+
+    // Host: duplicate resolution + coordinate sort with hardware sums.
+    {
+        runtime::HostTimer timer(session);
+        result.stats =
+            gatk::markDuplicatesWithQualSums(reads, result.qualSums);
+    }
+    result.info.timing = session.timing();
+    return result;
+}
+
+} // namespace genesis::core

@@ -1,0 +1,76 @@
+#include "cost/cost.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace genesis::cost {
+
+InstanceSpec
+InstanceSpec::f1_2xlarge()
+{
+    InstanceSpec spec;
+    spec.name = "f1.2xlarge";
+    spec.processors = "Intel Xeon E5-2686 v4 (Broadwell) 2.3 GHz";
+    spec.cores = 4;
+    spec.threads = 8;
+    spec.memory = "122 GiB";
+    spec.storage = "500 GB SSD";
+    spec.accelerator = "1x Xilinx Virtex UltraScale+ VU9P, 64 GB";
+    spec.dollarsPerHour = 1.65;
+    return spec;
+}
+
+InstanceSpec
+InstanceSpec::r5_4xlarge()
+{
+    InstanceSpec spec;
+    spec.name = "r5.4xlarge";
+    spec.processors = "Intel Xeon Platinum 8175M (Skylake-SP) 2.5 GHz";
+    spec.cores = 8;
+    spec.threads = 16;
+    spec.memory = "128 GiB";
+    spec.storage = "2 TB SSD";
+    spec.dollarsPerHour = 1.01 + 0.28; // compute + storage volume
+    return spec;
+}
+
+std::string
+InstanceSpec::str() const
+{
+    std::ostringstream os;
+    os << name << ": " << processors << ", " << cores << "C/" << threads
+       << "T, " << memory << ", " << storage;
+    if (!accelerator.empty())
+        os << ", FPGA " << accelerator;
+    os.precision(2);
+    os << std::fixed << " ($" << dollarsPerHour << "/hr)";
+    return os.str();
+}
+
+double
+runCost(double seconds, const InstanceSpec &instance)
+{
+    if (seconds < 0)
+        fatal("negative runtime");
+    return seconds / 3600.0 * instance.dollarsPerHour;
+}
+
+CostComparison
+compareCost(const std::string &stage, double speedup,
+            const InstanceSpec &baseline, const InstanceSpec &genesis)
+{
+    if (speedup <= 0)
+        fatal("speedup must be positive");
+    CostComparison cmp;
+    cmp.stage = stage;
+    cmp.speedup = speedup;
+    // Same work: baseline takes `speedup` times longer on a machine
+    // costing baseline.$/hr; Genesis takes 1 unit on genesis.$/hr.
+    cmp.costReduction =
+        speedup * baseline.dollarsPerHour / genesis.dollarsPerHour;
+    cmp.normalizedPerfPerDollar = cmp.speedup * cmp.costReduction;
+    return cmp;
+}
+
+} // namespace genesis::cost

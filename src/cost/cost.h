@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cloud cost model (paper Tables II and III).
+ *
+ * Encodes the 2019-11 AWS prices the paper uses — f1.2xlarge at $1.65/hr
+ * for the Genesis system, r5.4xlarge at $1.01/hr compute + $0.28/hr for
+ * the 2 TB SSD volume for the software baseline — and the Table III
+ * arithmetic: cost reduction = speedup x (baseline $/hr / Genesis $/hr),
+ * normalized performance per dollar = speedup x cost reduction.
+ */
+
+#ifndef GENESIS_COST_COST_H
+#define GENESIS_COST_COST_H
+
+#include <string>
+
+namespace genesis::cost {
+
+/** One cloud machine configuration (Table II). */
+struct InstanceSpec {
+    std::string name;
+    std::string processors;
+    int cores = 0;
+    int threads = 0;
+    std::string memory;
+    std::string storage;
+    std::string accelerator;
+    /** Total price in dollars per hour (compute + storage). */
+    double dollarsPerHour = 0.0;
+
+    /** The f1.2xlarge hosting the Genesis accelerators. */
+    static InstanceSpec f1_2xlarge();
+    /** The memory-optimised r5.4xlarge running GATK4 software. */
+    static InstanceSpec r5_4xlarge();
+
+    /** Render a Table-II style description block. */
+    std::string str() const;
+};
+
+/** @return dollars to run for the given duration on the instance. */
+double runCost(double seconds, const InstanceSpec &instance);
+
+/** One Table III row computed from a measured speedup. */
+struct CostComparison {
+    std::string stage;
+    double speedup = 1.0;
+    double costReduction = 1.0;
+    double normalizedPerfPerDollar = 1.0;
+};
+
+/**
+ * Compute the Table III metrics for one stage.
+ * @param speedup Genesis speedup over the software baseline
+ */
+CostComparison compareCost(const std::string &stage, double speedup,
+                           const InstanceSpec &baseline =
+                               InstanceSpec::r5_4xlarge(),
+                           const InstanceSpec &genesis =
+                               InstanceSpec::f1_2xlarge());
+
+} // namespace genesis::cost
+
+#endif // GENESIS_COST_COST_H

@@ -1,0 +1,706 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "genome/cigar.h"
+#include "sql/parser.h"
+
+namespace genesis::engine {
+
+using sql::PlanKind;
+using sql::PlanNode;
+using table::DataType;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+// --- Catalog -----------------------------------------------------------
+
+void
+Catalog::put(const std::string &name, Table t)
+{
+    t.setName(name);
+    tables_.insert_or_assign(name, std::move(t));
+}
+
+const Table *
+Catalog::find(const std::string &name) const
+{
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+}
+
+void
+Catalog::putPartition(const std::string &name, int64_t pid, Table t)
+{
+    partitions_.insert_or_assign({name, pid}, std::move(t));
+}
+
+const Table *
+Catalog::findPartition(const std::string &name, int64_t pid) const
+{
+    auto it = partitions_.find({name, pid});
+    return it == partitions_.end() ? nullptr : &it->second;
+}
+
+void
+Catalog::erase(const std::string &name)
+{
+    tables_.erase(name);
+}
+
+std::vector<std::string>
+Catalog::tableNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto &[name, t] : tables_)
+        names.push_back(name);
+    return names;
+}
+
+// --- Executor ----------------------------------------------------------
+
+Executor::Executor(Catalog &catalog) : catalog_(catalog)
+{
+}
+
+void
+Executor::registerCustomOp(const std::string &name, CustomOp op)
+{
+    customOps_[name] = std::move(op);
+}
+
+const Table *
+Executor::lookupTable(const std::string &name) const
+{
+    for (auto it = tempScopes_.rbegin(); it != tempScopes_.rend(); ++it) {
+        auto found = it->find(name);
+        if (found != it->end())
+            return &found->second;
+    }
+    return catalog_.find(name);
+}
+
+void
+Executor::storeTable(const std::string &name, bool is_temp, Table t,
+                     bool append)
+{
+    t.setName(name);
+    if (append) {
+        // INSERT INTO an existing table appends rows; creates otherwise.
+        Table *existing = nullptr;
+        for (auto it = tempScopes_.rbegin(); it != tempScopes_.rend();
+             ++it) {
+            auto found = it->find(name);
+            if (found != it->end()) {
+                existing = &found->second;
+                break;
+            }
+        }
+        if (!existing && !is_temp) {
+            const Table *global = catalog_.find(name);
+            if (global) {
+                // Copy out, append, write back (catalog owns by value).
+                Table merged = *global;
+                for (size_t r = 0; r < t.numRows(); ++r) {
+                    std::vector<Value> row;
+                    for (size_t c = 0; c < t.numColumns(); ++c)
+                        row.push_back(t.at(r, c));
+                    merged.appendRow(row);
+                }
+                catalog_.put(name, std::move(merged));
+                return;
+            }
+        }
+        if (existing) {
+            if (existing->numColumns() != t.numColumns()) {
+                fatal("INSERT INTO %s: width %zu != existing width %zu",
+                      name.c_str(), t.numColumns(),
+                      existing->numColumns());
+            }
+            for (size_t r = 0; r < t.numRows(); ++r) {
+                std::vector<Value> row;
+                for (size_t c = 0; c < t.numColumns(); ++c)
+                    row.push_back(t.at(r, c));
+                existing->appendRow(row);
+            }
+            return;
+        }
+        // Fall through: create new.
+    }
+    if (is_temp) {
+        if (tempScopes_.empty())
+            tempScopes_.emplace_back();
+        tempScopes_.back().insert_or_assign(name, std::move(t));
+    } else {
+        catalog_.put(name, std::move(t));
+    }
+}
+
+std::optional<Table>
+Executor::run(const std::string &sql_text)
+{
+    sql::Script script = sql::parseScript(sql_text);
+    return runScript(script);
+}
+
+std::optional<Table>
+Executor::runScript(const sql::Script &script)
+{
+    std::optional<Table> last;
+    for (const auto &stmt : script.statements) {
+        auto result = execStatement(*stmt);
+        if (result)
+            last = std::move(result);
+    }
+    return last;
+}
+
+std::optional<Table>
+Executor::execStatement(const sql::Statement &stmt)
+{
+    using sql::StatementKind;
+    switch (stmt.kind) {
+      case StatementKind::CreateTableAs: {
+        Table t = runSelect(*stmt.select);
+        storeTable(stmt.target, stmt.targetIsTemp, std::move(t), false);
+        return std::nullopt;
+      }
+      case StatementKind::InsertInto: {
+        Table t = runSelect(*stmt.select);
+        storeTable(stmt.target, stmt.targetIsTemp, std::move(t), true);
+        return std::nullopt;
+      }
+      case StatementKind::Declare:
+        env_.variables[stmt.target] = Value();
+        return std::nullopt;
+      case StatementKind::SetVar: {
+        if (env_.variables.find(stmt.target) == env_.variables.end())
+            fatal("SET of undeclared variable @%s", stmt.target.c_str());
+        env_.variables[stmt.target] = evalConstExpr(*stmt.value, env_);
+        return std::nullopt;
+      }
+      case StatementKind::ForLoop: {
+        const Table *source = lookupTable(stmt.loopTable);
+        if (!source)
+            fatal("FOR loop over unknown table '%s'",
+                  stmt.loopTable.c_str());
+        // The loop table may be replaced inside the body; iterate a copy.
+        Table snapshot = *source;
+        std::optional<Table> last;
+        for (size_t row = 0; row < snapshot.numRows(); ++row) {
+            tempScopes_.emplace_back();
+            env_.rowBindings[stmt.loopVar] = {&snapshot, row};
+            for (const auto &body_stmt : stmt.body) {
+                auto r = execStatement(*body_stmt);
+                if (r)
+                    last = std::move(r);
+            }
+            env_.rowBindings.erase(stmt.loopVar);
+            tempScopes_.pop_back();
+        }
+        return last;
+      }
+      case StatementKind::Exec: {
+        auto it = customOps_.find(stmt.moduleName);
+        if (it == customOps_.end())
+            fatal("EXEC of unregistered module '%s'",
+                  stmt.moduleName.c_str());
+        std::vector<const Table *> inputs;
+        for (const auto &[input_name, table_name] : stmt.execInputs) {
+            const Table *t = lookupTable(table_name);
+            if (!t) {
+                fatal("EXEC %s: unknown input table '%s' for stream %s",
+                      stmt.moduleName.c_str(), table_name.c_str(),
+                      input_name.c_str());
+            }
+            inputs.push_back(t);
+        }
+        Table result = it->second(inputs);
+        if (!stmt.target.empty()) {
+            storeTable(stmt.target, stmt.targetIsTemp, std::move(result),
+                       false);
+            return std::nullopt;
+        }
+        return result;
+      }
+      case StatementKind::BareSelect:
+        return runSelect(*stmt.select);
+    }
+    panic("unhandled statement kind");
+}
+
+Table
+Executor::runSelect(const sql::SelectStmt &select)
+{
+    sql::PlanPtr plan = sql::planSelect(select);
+    return runPlan(*plan);
+}
+
+Table
+Executor::runPlan(const PlanNode &plan)
+{
+    switch (plan.kind) {
+      case PlanKind::Scan: return execScan(plan);
+      case PlanKind::Project: return execProject(plan);
+      case PlanKind::Filter: return execFilter(plan);
+      case PlanKind::Join: return execJoin(plan);
+      case PlanKind::Aggregate: return execAggregate(plan);
+      case PlanKind::Limit: return execLimit(plan);
+      case PlanKind::PosExplode: return execPosExplode(plan);
+      case PlanKind::ReadExplode: return execReadExplode(plan);
+    }
+    panic("unhandled plan kind");
+}
+
+std::vector<std::string>
+Executor::aliasesOf(const PlanNode &plan)
+{
+    std::vector<std::string> aliases;
+    if (!plan.alias.empty())
+        aliases.push_back(plan.alias);
+    if (plan.kind == PlanKind::Scan) {
+        if (plan.tableName != plan.alias)
+            aliases.push_back(plan.tableName);
+        return aliases;
+    }
+    for (const auto &child : plan.children) {
+        for (auto &a : aliasesOf(*child)) {
+            if (std::find(aliases.begin(), aliases.end(), a) ==
+                aliases.end()) {
+                aliases.push_back(a);
+            }
+        }
+    }
+    return aliases;
+}
+
+table::DataType
+Executor::inferType(const sql::Expr &expr, const Table &input) const
+{
+    if (expr.kind == sql::ExprKind::ColumnRef) {
+        int idx = input.schema().indexOf(expr.name);
+        if (idx < 0 && !expr.qualifier.empty()) {
+            idx = input.schema().indexOf(expr.qualifier + "." +
+                                         expr.name);
+        }
+        if (idx >= 0)
+            return input.schema().field(static_cast<size_t>(idx)).type;
+    }
+    if (expr.kind == sql::ExprKind::Literal && expr.literal.isString())
+        return DataType::String;
+    return DataType::Int64;
+}
+
+Table
+Executor::execScan(const PlanNode &plan)
+{
+    // A loop variable used as a table reference (the paper's
+    // "ReadExplode(...) FROM SingleRead") scans as a one-row table.
+    auto rb = env_.rowBindings.find(plan.tableName);
+    if (rb != env_.rowBindings.end()) {
+        const auto &binding = rb->second;
+        Table out = binding.table->emptyLike(plan.tableName);
+        std::vector<Value> row;
+        for (size_t c = 0; c < binding.table->numColumns(); ++c)
+            row.push_back(binding.table->at(binding.row, c));
+        out.appendRow(row);
+        return out;
+    }
+
+    const Table *t = lookupTable(plan.tableName);
+    if (plan.partition) {
+        int64_t pid = evalConstExpr(*plan.partition, env_).asInt();
+        const Table *part = catalog_.findPartition(plan.tableName, pid);
+        if (part)
+            return *part;
+        if (!t) {
+            fatal("unknown partitioned table '%s'",
+                  plan.tableName.c_str());
+        }
+        // No registered partition: filter rows by a PID column if the
+        // table carries one (the REF table does), else report misuse.
+        int pid_col = t->schema().indexOf("PID");
+        if (pid_col < 0) {
+            fatal("table '%s' has no registered partition %lld and no "
+                  "PID column", plan.tableName.c_str(),
+                  static_cast<long long>(pid));
+        }
+        Table out = t->emptyLike(plan.tableName);
+        for (size_t r = 0; r < t->numRows(); ++r) {
+            if (t->at(r, static_cast<size_t>(pid_col)).asInt() != pid)
+                continue;
+            std::vector<Value> row;
+            for (size_t c = 0; c < t->numColumns(); ++c)
+                row.push_back(t->at(r, c));
+            out.appendRow(row);
+        }
+        return out;
+    }
+    if (!t)
+        fatal("unknown table '%s'", plan.tableName.c_str());
+    return *t;
+}
+
+Table
+Executor::execProject(const PlanNode &plan)
+{
+    Table input = runPlan(*plan.children[0]);
+    auto aliases = aliasesOf(*plan.children[0]);
+
+    Schema schema;
+    for (size_t i = 0; i < plan.outputs.size(); ++i) {
+        std::string name = plan.outputs[i].name;
+        if (schema.has(name))
+            name = plan.outputs[i].expr->str();
+        schema.addField(name, inferType(*plan.outputs[i].expr, input));
+    }
+    Table out("project", schema);
+
+    TableRowResolver resolver(input, aliases);
+    for (size_t r = 0; r < input.numRows(); ++r) {
+        resolver.setRow(r);
+        std::vector<Value> row;
+        row.reserve(plan.outputs.size());
+        for (const auto &o : plan.outputs)
+            row.push_back(evalExpr(*o.expr, &resolver, env_));
+        out.appendRow(row);
+    }
+    return out;
+}
+
+Table
+Executor::execFilter(const PlanNode &plan)
+{
+    Table input = runPlan(*plan.children[0]);
+    auto aliases = aliasesOf(*plan.children[0]);
+    Table out = input.emptyLike("filter");
+
+    TableRowResolver resolver(input, aliases);
+    for (size_t r = 0; r < input.numRows(); ++r) {
+        resolver.setRow(r);
+        Value keep = evalExpr(*plan.predicate, &resolver, env_);
+        if (keep.isNull() || !keep.truthy())
+            continue;
+        std::vector<Value> row;
+        for (size_t c = 0; c < input.numColumns(); ++c)
+            row.push_back(input.at(r, c));
+        out.appendRow(row);
+    }
+    return out;
+}
+
+Table
+Executor::execJoin(const PlanNode &plan)
+{
+    Table left = runPlan(*plan.children[0]);
+    Table right = runPlan(*plan.children[1]);
+    auto left_aliases = aliasesOf(*plan.children[0]);
+    auto right_aliases = aliasesOf(*plan.children[1]);
+    std::string lprefix = left_aliases.empty() ? "L" : left_aliases[0];
+    std::string rprefix = right_aliases.empty() ? "R" : right_aliases[0];
+
+    // Keys may be written either way round in ON; orient them so that
+    // leftKey resolves against the left child.
+    const sql::Expr *lkey = plan.leftKey.get();
+    const sql::Expr *rkey = plan.rightKey.get();
+    auto resolves_against = [](const sql::Expr &e,
+                               const std::vector<std::string> &aliases) {
+        if (e.kind != sql::ExprKind::ColumnRef || e.qualifier.empty())
+            return true; // unqualified: assume positional convention
+        return std::find(aliases.begin(), aliases.end(), e.qualifier) !=
+            aliases.end();
+    };
+    if (!resolves_against(*lkey, left_aliases) &&
+        resolves_against(*rkey, left_aliases)) {
+        std::swap(lkey, rkey);
+    }
+
+    // Output schema: all left columns then all right columns; duplicate
+    // names get "alias.name" spellings so they stay addressable.
+    Schema schema;
+    auto add_side = [&](const Table &t, const std::string &prefix,
+                        const Table &other) {
+        for (const auto &f : t.schema().fields()) {
+            std::string name = f.name;
+            if (other.schema().has(f.name) || schema.has(name))
+                name = prefix + "." + f.name;
+            schema.addField(name, f.type);
+        }
+    };
+    add_side(left, lprefix, right);
+    add_side(right, rprefix, left);
+    Table out("join", schema);
+
+    // Hash the right side on its key. NULL keys never participate —
+    // this matches the hardware Joiner, where an Ins-keyed flit bypasses
+    // the comparison (emitted by a left join, dropped by an inner join).
+    TableRowResolver rresolver(right, right_aliases);
+    std::map<Value, std::vector<size_t>> right_index;
+    for (size_t r = 0; r < right.numRows(); ++r) {
+        rresolver.setRow(r);
+        Value key = evalExpr(*rkey, &rresolver, env_);
+        if (key.isNull())
+            continue;
+        right_index[key].push_back(r);
+    }
+
+    auto emit = [&](ssize_t lrow, ssize_t rrow) {
+        std::vector<Value> row;
+        row.reserve(out.numColumns());
+        for (size_t c = 0; c < left.numColumns(); ++c)
+            row.push_back(lrow >= 0
+                          ? left.at(static_cast<size_t>(lrow), c)
+                          : Value());
+        for (size_t c = 0; c < right.numColumns(); ++c)
+            row.push_back(rrow >= 0
+                          ? right.at(static_cast<size_t>(rrow), c)
+                          : Value());
+        out.appendRow(row);
+    };
+
+    std::vector<bool> right_matched(right.numRows(), false);
+    TableRowResolver lresolver(left, left_aliases);
+    for (size_t l = 0; l < left.numRows(); ++l) {
+        lresolver.setRow(l);
+        Value key = evalExpr(*lkey, &lresolver, env_);
+        bool matched = false;
+        if (!key.isNull()) {
+            auto it = right_index.find(key);
+            if (it != right_index.end()) {
+                for (size_t r : it->second) {
+                    emit(static_cast<ssize_t>(l),
+                         static_cast<ssize_t>(r));
+                    right_matched[r] = true;
+                }
+                matched = true;
+            }
+        }
+        if (!matched && plan.joinType != sql::JoinType::Inner)
+            emit(static_cast<ssize_t>(l), -1);
+    }
+    if (plan.joinType == sql::JoinType::Outer) {
+        for (size_t r = 0; r < right.numRows(); ++r) {
+            if (!right_matched[r])
+                emit(-1, static_cast<ssize_t>(r));
+        }
+    }
+    return out;
+}
+
+Table
+Executor::execAggregate(const PlanNode &plan)
+{
+    Table input = runPlan(*plan.children[0]);
+    auto aliases = aliasesOf(*plan.children[0]);
+    TableRowResolver resolver(input, aliases);
+
+    // Group rows.
+    std::map<std::vector<Value>, std::vector<size_t>> groups;
+    for (size_t r = 0; r < input.numRows(); ++r) {
+        resolver.setRow(r);
+        std::vector<Value> key;
+        key.reserve(plan.groupBy.size());
+        for (const auto &g : plan.groupBy)
+            key.push_back(evalExpr(*g, &resolver, env_));
+        groups[std::move(key)].push_back(r);
+    }
+    if (plan.groupBy.empty() && groups.empty())
+        groups[{}] = {}; // global aggregate over zero rows
+
+    Schema schema;
+    for (size_t i = 0; i < plan.outputs.size(); ++i) {
+        std::string name = plan.outputs[i].name;
+        if (schema.has(name))
+            name = name + "_" + std::to_string(i);
+        // Aggregates produce integers; grouping expressions keep their
+        // input column type.
+        DataType type = sql::containsAggregate(*plan.outputs[i].expr)
+            ? DataType::Int64
+            : inferType(*plan.outputs[i].expr, input);
+        schema.addField(name, type);
+    }
+    Table out("aggregate", schema);
+
+    // Recursive aggregate-aware evaluation over one group.
+    std::function<Value(const sql::Expr &, const std::vector<size_t> &)>
+    eval_agg = [&](const sql::Expr &expr,
+                   const std::vector<size_t> &rows) -> Value {
+        if (expr.kind == sql::ExprKind::Call) {
+            const std::string &fn = expr.name;
+            bool is_agg = fn == "COUNT" || fn == "SUM" || fn == "MIN" ||
+                fn == "MAX";
+            if (is_agg) {
+                if (fn == "COUNT" && expr.args.size() == 1 &&
+                    expr.args[0]->kind == sql::ExprKind::Star) {
+                    return Value(static_cast<int64_t>(rows.size()));
+                }
+                if (expr.args.size() != 1)
+                    fatal("%s takes one argument", fn.c_str());
+                int64_t count = 0;
+                int64_t sum = 0;
+                bool any = false;
+                int64_t mn = 0, mx = 0;
+                for (size_t r : rows) {
+                    resolver.setRow(r);
+                    Value v = evalExpr(*expr.args[0], &resolver, env_);
+                    if (v.isNull())
+                        continue;
+                    int64_t x = v.asInt();
+                    ++count;
+                    sum += x;
+                    if (!any || x < mn)
+                        mn = x;
+                    if (!any || x > mx)
+                        mx = x;
+                    any = true;
+                }
+                if (fn == "COUNT")
+                    return Value(count);
+                if (fn == "SUM")
+                    return Value(sum);
+                if (!any)
+                    return Value();
+                return Value(fn == "MIN" ? mn : mx);
+            }
+        }
+        if (!sql::containsAggregate(expr)) {
+            // A grouping expression: constant within the group.
+            if (rows.empty())
+                return Value();
+            resolver.setRow(rows.front());
+            return evalExpr(expr, &resolver, env_);
+        }
+        // Mixed expression (e.g. SUM(x) / COUNT(*)): recurse.
+        if (expr.kind == sql::ExprKind::Binary) {
+            Value l = eval_agg(*expr.args[0], rows);
+            Value r = eval_agg(*expr.args[1], rows);
+            sql::ExprPtr tmp = sql::Expr::makeBinary(
+                expr.op, sql::Expr::makeLiteral(l),
+                sql::Expr::makeLiteral(r));
+            return evalExpr(*tmp, nullptr, env_);
+        }
+        if (expr.kind == sql::ExprKind::Unary) {
+            Value v = eval_agg(*expr.args[0], rows);
+            sql::ExprPtr tmp = sql::Expr::makeUnary(
+                expr.op, sql::Expr::makeLiteral(v));
+            return evalExpr(*tmp, nullptr, env_);
+        }
+        fatal("unsupported aggregate expression %s", expr.str().c_str());
+    };
+
+    for (const auto &[key, rows] : groups) {
+        std::vector<Value> row;
+        row.reserve(plan.outputs.size());
+        for (const auto &o : plan.outputs)
+            row.push_back(eval_agg(*o.expr, rows));
+        out.appendRow(row);
+    }
+    return out;
+}
+
+Table
+Executor::execLimit(const PlanNode &plan)
+{
+    Table input = runPlan(*plan.children[0]);
+    int64_t offset = plan.limitOffset
+        ? evalConstExpr(*plan.limitOffset, env_).asInt() : 0;
+    int64_t count = evalConstExpr(*plan.limitCount, env_).asInt();
+    if (offset < 0 || count < 0)
+        fatal("negative LIMIT offset/count");
+
+    Table out = input.emptyLike("limit");
+    for (size_t r = static_cast<size_t>(offset);
+         r < input.numRows() &&
+         r < static_cast<size_t>(offset + count); ++r) {
+        std::vector<Value> row;
+        for (size_t c = 0; c < input.numColumns(); ++c)
+            row.push_back(input.at(r, c));
+        out.appendRow(row);
+    }
+    return out;
+}
+
+Table
+Executor::execPosExplode(const PlanNode &plan)
+{
+    Table input = runPlan(*plan.children[0]);
+    auto aliases = aliasesOf(*plan.children[0]);
+    TableRowResolver resolver(input, aliases);
+
+    Schema schema;
+    schema.addField("POS", DataType::Int64);
+    std::string value_name = plan.outputs[0].name;
+    if (value_name == "POS")
+        value_name = "VALUE";
+    schema.addField(value_name, DataType::Int64);
+    Table out("posexplode", schema);
+
+    for (size_t r = 0; r < input.numRows(); ++r) {
+        resolver.setRow(r);
+        Value array = evalExpr(*plan.outputs[0].expr, &resolver, env_);
+        Value init = evalExpr(*plan.outputs[1].expr, &resolver, env_);
+        if (array.isNull())
+            continue;
+        int64_t pos = init.isNull() ? 0 : init.asInt();
+        for (int64_t elem : array.asBlob())
+            out.appendRow({Value(pos++), Value(elem)});
+    }
+    return out;
+}
+
+Table
+Executor::execReadExplode(const PlanNode &plan)
+{
+    Table input = runPlan(*plan.children[0]);
+    auto aliases = aliasesOf(*plan.children[0]);
+    TableRowResolver resolver(input, aliases);
+    bool has_qual = plan.outputs.size() >= 4;
+
+    Schema schema;
+    schema.addField("POS", DataType::Int64);
+    schema.addField("BP", DataType::Int64);
+    if (has_qual)
+        schema.addField("QUAL", DataType::Int64);
+    schema.addField("CYCLE", DataType::Int64);
+    Table out("readexplode", schema);
+
+    for (size_t r = 0; r < input.numRows(); ++r) {
+        resolver.setRow(r);
+        int64_t pos =
+            evalExpr(*plan.outputs[0].expr, &resolver, env_).asInt();
+        const auto cigar_blob =
+            evalExpr(*plan.outputs[1].expr, &resolver, env_).asBlob();
+        const auto seq_blob =
+            evalExpr(*plan.outputs[2].expr, &resolver, env_).asBlob();
+        table::Blob qual_blob;
+        if (has_qual) {
+            qual_blob =
+                evalExpr(*plan.outputs[3].expr, &resolver, env_).asBlob();
+        }
+
+        std::vector<uint16_t> packed(cigar_blob.begin(), cigar_blob.end());
+        genome::Cigar cigar = genome::Cigar::unpackAll(packed);
+        genome::Sequence seq(seq_blob.begin(), seq_blob.end());
+        genome::QualSequence qual(qual_blob.begin(), qual_blob.end());
+
+        for (const auto &b : genome::explodeRead(pos, cigar, seq, qual)) {
+            std::vector<Value> row;
+            row.push_back(b.isInsertion() ? Value() : Value(b.refPos));
+            row.push_back(b.isDeletion() ? Value()
+                          : Value(static_cast<int64_t>(b.readBase)));
+            if (has_qual) {
+                row.push_back(b.isDeletion() || b.qual < 0 ? Value()
+                              : Value(static_cast<int64_t>(b.qual)));
+            }
+            row.push_back(b.isDeletion() ? Value()
+                          : Value(static_cast<int64_t>(b.readOffset)));
+            out.appendRow(row);
+        }
+    }
+    return out;
+}
+
+} // namespace genesis::engine

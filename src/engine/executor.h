@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Software query engine: interprets logical plans over columnar tables.
+ *
+ * This is the functional ground truth for every query Genesis offloads to
+ * hardware — integration tests assert that the simulated accelerator
+ * pipelines produce exactly the rows this engine produces.
+ */
+
+#ifndef GENESIS_ENGINE_EXECUTOR_H
+#define GENESIS_ENGINE_EXECUTOR_H
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/eval.h"
+#include "sql/ast.h"
+#include "sql/plan.h"
+#include "table/table.h"
+
+namespace genesis::engine {
+
+/** Named-table store, with support for pre-partitioned tables. */
+class Catalog
+{
+  public:
+    /** Register (or replace) a table under its name. */
+    void put(const std::string &name, table::Table t);
+
+    /** @return table by name, or nullptr. */
+    const table::Table *find(const std::string &name) const;
+
+    /** Register one partition of a partitioned table (Section III-B). */
+    void putPartition(const std::string &name, int64_t pid, table::Table t);
+
+    /** @return the partition, or nullptr. */
+    const table::Table *findPartition(const std::string &name,
+                                      int64_t pid) const;
+
+    /** Remove a table (no-op when absent). */
+    void erase(const std::string &name);
+
+    /** @return names of all registered (non-partition) tables. */
+    std::vector<std::string> tableNames() const;
+
+  private:
+    std::map<std::string, table::Table> tables_;
+    std::map<std::pair<std::string, int64_t>, table::Table> partitions_;
+};
+
+/**
+ * A user-supplied custom operation (the software twin of a custom
+ * hardware module registered via EXEC, Section III-F).
+ */
+using CustomOp =
+    std::function<table::Table(const std::vector<const table::Table *> &)>;
+
+/** Interprets parsed scripts / logical plans against a catalog. */
+class Executor
+{
+  public:
+    explicit Executor(Catalog &catalog);
+
+    /** Register a custom operation invocable via EXEC. */
+    void registerCustomOp(const std::string &name, CustomOp op);
+
+    /**
+     * Run a full script. @return the result of the last bare SELECT (or
+     * EXEC without INTO) when the script ends with one.
+     */
+    std::optional<table::Table> runScript(const sql::Script &script);
+
+    /** Parse and run SQL text. */
+    std::optional<table::Table> run(const std::string &sql_text);
+
+    /** Plan and run one select statement. */
+    table::Table runSelect(const sql::SelectStmt &select);
+
+    /** Run a logical plan directly. */
+    table::Table runPlan(const sql::PlanNode &plan);
+
+    /** Mutable variable environment (for host code to preset @vars). */
+    VariableEnv &env() { return env_; }
+
+  private:
+    std::optional<table::Table>
+    execStatement(const sql::Statement &stmt);
+
+    table::Table execScan(const sql::PlanNode &plan);
+    table::Table execProject(const sql::PlanNode &plan);
+    table::Table execFilter(const sql::PlanNode &plan);
+    table::Table execJoin(const sql::PlanNode &plan);
+    table::Table execAggregate(const sql::PlanNode &plan);
+    table::Table execLimit(const sql::PlanNode &plan);
+    table::Table execPosExplode(const sql::PlanNode &plan);
+    table::Table execReadExplode(const sql::PlanNode &plan);
+
+    /** Resolve a table name through temp scopes then the catalog. */
+    const table::Table *lookupTable(const std::string &name) const;
+
+    /** Store a statement result under a (possibly temp) name. */
+    void storeTable(const std::string &name, bool is_temp, table::Table t,
+                    bool append);
+
+    /** Qualifier aliases a plan subtree's output answers to. */
+    static std::vector<std::string> aliasesOf(const sql::PlanNode &plan);
+
+    /** Infer the output column type of an expression. */
+    table::DataType inferType(const sql::Expr &expr,
+                              const table::Table &input) const;
+
+    Catalog &catalog_;
+    VariableEnv env_;
+    /** Temp-table scopes; one pushed per FOR-loop iteration. */
+    std::vector<std::map<std::string, table::Table>> tempScopes_;
+    std::map<std::string, CustomOp> customOps_;
+};
+
+} // namespace genesis::engine
+
+#endif // GENESIS_ENGINE_EXECUTOR_H

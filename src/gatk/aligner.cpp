@@ -1,0 +1,136 @@
+#include "gatk/aligner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.h"
+
+namespace genesis::gatk {
+
+namespace {
+
+constexpr uint64_t kInvalidSeed = ~0ull;
+
+uint64_t
+packLocation(uint8_t chr, int64_t pos)
+{
+    return (static_cast<uint64_t>(chr) << 40) |
+        (static_cast<uint64_t>(pos) & ((1ull << 40) - 1));
+}
+
+} // namespace
+
+ReadAligner::ReadAligner(const genome::ReferenceGenome &genome,
+                         const AlignerConfig &config)
+    : genome_(genome), config_(config)
+{
+    if (config_.seedLength < 4 || config_.seedLength > 31)
+        fatal("seed length %d out of range [4, 31]", config_.seedLength);
+    for (const auto &chrom : genome_.chromosomes()) {
+        int64_t limit =
+            chrom.length() - static_cast<int64_t>(config_.seedLength);
+        for (int64_t p = 0; p <= limit; p += config_.indexStride) {
+            uint64_t seed = seedAt(chrom.seq, static_cast<size_t>(p));
+            if (seed == kInvalidSeed)
+                continue;
+            index_[seed].push_back(packLocation(chrom.id, p));
+        }
+    }
+}
+
+uint64_t
+ReadAligner::seedAt(const genome::Sequence &seq, size_t offset) const
+{
+    if (offset + static_cast<size_t>(config_.seedLength) > seq.size())
+        return kInvalidSeed;
+    uint64_t seed = 0;
+    for (int i = 0; i < config_.seedLength; ++i) {
+        uint8_t base = seq[offset + static_cast<size_t>(i)];
+        if (base >= genome::kNumBases)
+            return kInvalidSeed; // N base: seed unusable
+        seed = (seed << 2) | base;
+    }
+    return seed;
+}
+
+int
+ReadAligner::verify(const genome::Sequence &seq, uint8_t chr,
+                    int64_t pos) const
+{
+    const genome::Chromosome &chrom = genome_.chromosome(chr);
+    int mismatches = 0;
+    for (size_t i = 0; i < seq.size(); ++i) {
+        int64_t p = pos + static_cast<int64_t>(i);
+        uint8_t ref = (p >= 0 && p < chrom.length())
+            ? chrom.seq[static_cast<size_t>(p)]
+            : static_cast<uint8_t>(genome::Base::N);
+        if (seq[i] != ref) {
+            if (++mismatches > config_.maxMismatches)
+                return mismatches;
+        }
+    }
+    return mismatches;
+}
+
+AlignmentResult
+ReadAligner::align(const genome::Sequence &seq) const
+{
+    // Seed-and-vote: each sampled seed proposes candidate read start
+    // positions; the position with the most votes is verified first.
+    std::map<uint64_t, int> votes;
+    for (size_t off = 0;
+         off + static_cast<size_t>(config_.seedLength) <= seq.size();
+         off += static_cast<size_t>(config_.seedStride)) {
+        uint64_t seed = seedAt(seq, off);
+        if (seed == kInvalidSeed)
+            continue;
+        auto it = index_.find(seed);
+        if (it == index_.end())
+            continue;
+        // Highly repetitive seeds add noise without information.
+        if (it->second.size() > 64)
+            continue;
+        for (uint64_t loc : it->second) {
+            int64_t pos = static_cast<int64_t>(loc & ((1ull << 40) - 1)) -
+                static_cast<int64_t>(off);
+            if (pos < 0)
+                continue;
+            uint8_t chr = static_cast<uint8_t>(loc >> 40);
+            votes[packLocation(chr, pos)] += 1;
+        }
+    }
+
+    AlignmentResult best;
+    int best_votes = 0;
+    for (const auto &[loc, count] : votes) {
+        if (count <= best_votes)
+            continue;
+        uint8_t chr = static_cast<uint8_t>(loc >> 40);
+        int64_t pos = static_cast<int64_t>(loc & ((1ull << 40) - 1));
+        int mismatches = verify(seq, chr, pos);
+        if (mismatches <= config_.maxMismatches) {
+            best.mapped = true;
+            best.chr = chr;
+            best.pos = pos;
+            best.mismatches = mismatches;
+            best_votes = count;
+        }
+    }
+    return best;
+}
+
+double
+ReadAligner::alignAll(const std::vector<genome::AlignedRead> &reads) const
+{
+    if (reads.empty())
+        return 0.0;
+    int64_t mapped = 0;
+    for (const auto &read : reads) {
+        if (align(read.seq).mapped)
+            ++mapped;
+    }
+    return static_cast<double>(mapped) /
+        static_cast<double>(reads.size());
+}
+
+} // namespace genesis::gatk

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Seed-and-vote read aligner — the software stand-in for the pipeline's
+ * alignment stage (BWA-MEM in GATK4 Best Practices).
+ *
+ * The paper does not accelerate alignment; it only needs the stage's
+ * runtime share (Figure 9) and the observation that once alignment is
+ * accelerated (GenAx-class throughput) the data-manipulation stages
+ * dominate. This aligner is a real, if simple, implementation: a k-mer
+ * hash index over the reference plus seed voting and mismatch-count
+ * verification, enough to consume a realistic share of preprocessing
+ * time on synthetic workloads.
+ */
+
+#ifndef GENESIS_GATK_ALIGNER_H
+#define GENESIS_GATK_ALIGNER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "genome/read.h"
+#include "genome/reference.h"
+
+namespace genesis::gatk {
+
+/** Aligner configuration. */
+struct AlignerConfig {
+    /** Seed length in base pairs. */
+    int seedLength = 21;
+    /** Sampling stride for seeds along the read. */
+    int seedStride = 11;
+    /** Index stride along the reference (1 = every position). */
+    int indexStride = 1;
+    /**
+     * Maximum mismatches tolerated during verification. The budget must
+     * absorb soft-clipped ends (whose bases are arbitrary) on top of
+     * sequencing errors and sample variants.
+     */
+    int maxMismatches = 30;
+};
+
+/** One alignment result. */
+struct AlignmentResult {
+    bool mapped = false;
+    uint8_t chr = 0;
+    int64_t pos = 0;
+    int mismatches = 0;
+};
+
+/** k-mer hash index over a reference genome. */
+class ReadAligner
+{
+  public:
+    ReadAligner(const genome::ReferenceGenome &genome,
+                const AlignerConfig &config = AlignerConfig());
+
+    /** Align one base sequence (forward orientation assumed). */
+    AlignmentResult align(const genome::Sequence &seq) const;
+
+    /** Align every read's sequence; returns the mapped fraction. */
+    double alignAll(const std::vector<genome::AlignedRead> &reads) const;
+
+    size_t indexSize() const { return index_.size(); }
+
+  private:
+    uint64_t seedAt(const genome::Sequence &seq, size_t offset) const;
+    int verify(const genome::Sequence &seq, uint8_t chr,
+               int64_t pos) const;
+
+    const genome::ReferenceGenome &genome_;
+    AlignerConfig config_;
+    /** k-mer -> packed (chr, position) candidate list. */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> index_;
+};
+
+} // namespace genesis::gatk
+
+#endif // GENESIS_GATK_ALIGNER_H

@@ -1,0 +1,220 @@
+#include "gatk/bqsr.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "genome/cigar.h"
+
+namespace genesis::gatk {
+
+using genome::AlignedRead;
+
+CovariateTable::CovariateTable(const BqsrConfig &cfg) : config(cfg)
+{
+    auto rg = static_cast<size_t>(config.numReadGroups);
+    cycleTotals.assign(rg, std::vector<int64_t>(config.cycleTableSize(),
+                                                0));
+    cycleErrors.assign(rg, std::vector<int64_t>(config.cycleTableSize(),
+                                                0));
+    contextTotals.assign(
+        rg, std::vector<int64_t>(config.contextTableSize(), 0));
+    contextErrors.assign(
+        rg, std::vector<int64_t>(config.contextTableSize(), 0));
+}
+
+void
+CovariateTable::merge(const CovariateTable &other)
+{
+    GENESIS_ASSERT(cycleTotals.size() == other.cycleTotals.size(),
+                   "covariate table shape mismatch");
+    auto add = [](std::vector<std::vector<int64_t>> &dst,
+                  const std::vector<std::vector<int64_t>> &src) {
+        for (size_t rg = 0; rg < dst.size(); ++rg) {
+            for (size_t b = 0; b < dst[rg].size(); ++b)
+                dst[rg][b] += src[rg][b];
+        }
+    };
+    add(cycleTotals, other.cycleTotals);
+    add(cycleErrors, other.cycleErrors);
+    add(contextTotals, other.contextTotals);
+    add(contextErrors, other.contextErrors);
+}
+
+int64_t
+CovariateTable::totalObservations() const
+{
+    int64_t n = 0;
+    for (const auto &rg : cycleTotals) {
+        for (int64_t v : rg)
+            n += v;
+    }
+    return n;
+}
+
+int64_t
+CovariateTable::totalErrors() const
+{
+    int64_t n = 0;
+    for (const auto &rg : cycleErrors) {
+        for (int64_t v : rg)
+            n += v;
+    }
+    return n;
+}
+
+bool
+CovariateTable::operator==(const CovariateTable &other) const
+{
+    return cycleTotals == other.cycleTotals &&
+        cycleErrors == other.cycleErrors &&
+        contextTotals == other.contextTotals &&
+        contextErrors == other.contextErrors;
+}
+
+CovariateTable
+buildCovariateTable(const std::vector<AlignedRead> &reads,
+                    const genome::ReferenceGenome &genome,
+                    const BqsrConfig &config)
+{
+    CovariateTable table(config);
+    for (const auto &read : reads) {
+        if (read.readGroup >= config.numReadGroups) {
+            fatal("read group %u exceeds configured %d", read.readGroup,
+                  config.numReadGroups);
+        }
+        auto &cyc_tot = table.cycleTotals[read.readGroup];
+        auto &cyc_err = table.cycleErrors[read.readGroup];
+        auto &ctx_tot = table.contextTotals[read.readGroup];
+        auto &ctx_err = table.contextErrors[read.readGroup];
+
+        const genome::Chromosome &chrom = genome.chromosome(read.chr);
+        int prev_base = -1;
+        for (const auto &b :
+             genome::explodeRead(read.pos, read.cigar, read.seq,
+                                 read.qual)) {
+            if (b.isDeletion())
+                continue; // no read base: nothing to bin
+            int bp = b.readBase;
+            int context = (prev_base >= 0 &&
+                           prev_base < genome::kNumBases &&
+                           bp < genome::kNumBases)
+                ? prev_base * 4 + bp : -1;
+            prev_base = bp;
+            if (b.isInsertion())
+                continue; // context provider only: no reference to check
+            int64_t pos = b.refPos;
+            if (pos < 0 || pos >= chrom.length())
+                continue;
+            if (chrom.isSnp[static_cast<size_t>(pos)])
+                continue; // known variant site: expected mismatch
+            if (bp >= genome::kNumBases)
+                continue; // N call
+            int q = b.qual;
+            if (q < 0 || q >= config.numQualValues)
+                continue;
+            bool error = bp != chrom.seq[static_cast<size_t>(pos)];
+
+            int64_t cycle_value = read.isReverse()
+                ? config.readLength + b.readOffset : b.readOffset;
+            if (cycle_value >= 0 && cycle_value < config.numCycleValues) {
+                size_t bin = static_cast<size_t>(q) *
+                    static_cast<size_t>(config.numCycleValues) +
+                    static_cast<size_t>(cycle_value);
+                ++cyc_tot[bin];
+                if (error)
+                    ++cyc_err[bin];
+            }
+            if (context >= 0) {
+                size_t bin = static_cast<size_t>(q) *
+                    static_cast<size_t>(config.numContextTypes) +
+                    static_cast<size_t>(context);
+                ++ctx_tot[bin];
+                if (error)
+                    ++ctx_err[bin];
+            }
+        }
+    }
+    return table;
+}
+
+double
+empiricalQuality(int64_t errors, int64_t total)
+{
+    double p = (static_cast<double>(errors) + 1.0) /
+        (static_cast<double>(total) + 2.0);
+    return -10.0 * std::log10(p);
+}
+
+int64_t
+applyQualityUpdate(std::vector<AlignedRead> &reads,
+                   const CovariateTable &table)
+{
+    const BqsrConfig &config = table.config;
+    int64_t changed = 0;
+    for (auto &read : reads) {
+        const auto &cyc_tot = table.cycleTotals[read.readGroup];
+        const auto &cyc_err = table.cycleErrors[read.readGroup];
+        const auto &ctx_tot = table.contextTotals[read.readGroup];
+        const auto &ctx_err = table.contextErrors[read.readGroup];
+
+        // Walk the read bases via the same explode as table construction
+        // so cycle/context assignment is identical.
+        int prev_base = -1;
+        for (const auto &b :
+             genome::explodeRead(read.pos, read.cigar, read.seq,
+                                 read.qual)) {
+            if (b.isDeletion())
+                continue;
+            int bp = b.readBase;
+            int context = (prev_base >= 0 &&
+                           prev_base < genome::kNumBases &&
+                           bp < genome::kNumBases)
+                ? prev_base * 4 + bp : -1;
+            prev_base = bp;
+            int q = b.qual;
+            if (q < 0 || q >= config.numQualValues)
+                continue;
+
+            // Blend the empirical qualities of the base's bins; bins with
+            // no observations contribute nothing.
+            double sum = 0.0;
+            int terms = 0;
+            int64_t cycle_value = read.isReverse()
+                ? config.readLength + b.readOffset : b.readOffset;
+            if (cycle_value >= 0 && cycle_value < config.numCycleValues) {
+                size_t bin = static_cast<size_t>(q) *
+                    static_cast<size_t>(config.numCycleValues) +
+                    static_cast<size_t>(cycle_value);
+                if (cyc_tot[bin] > 0) {
+                    sum += empiricalQuality(cyc_err[bin], cyc_tot[bin]);
+                    ++terms;
+                }
+            }
+            if (context >= 0) {
+                size_t bin = static_cast<size_t>(q) *
+                    static_cast<size_t>(config.numContextTypes) +
+                    static_cast<size_t>(context);
+                if (ctx_tot[bin] > 0) {
+                    sum += empiricalQuality(ctx_err[bin], ctx_tot[bin]);
+                    ++terms;
+                }
+            }
+            if (terms == 0)
+                continue;
+            int new_q = static_cast<int>(std::lround(sum / terms));
+            new_q = std::max(1, std::min(new_q, 93));
+            // The read offset indexes unclipped bases; map back to the
+            // physical position by adding the leading clip length.
+            size_t phys = static_cast<size_t>(b.readOffset) +
+                read.cigar.leadingSoftClip();
+            if (phys < read.qual.size() &&
+                read.qual[phys] != static_cast<uint8_t>(new_q)) {
+                read.qual[phys] = static_cast<uint8_t>(new_q);
+                ++changed;
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace genesis::gatk

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Software Base Quality Score Recalibration baseline (Section IV-D).
+ *
+ * Covariate table construction bins every usable read base twice:
+ *  - by (read group, reported quality, cycle value), where the cycle
+ *    value is the base's position within the read and reverse-strand
+ *    reads occupy a second bank of cycle values (302 values for 151 bp
+ *    paired-end reads);
+ *  - by (read group, reported quality, context), the previous+current
+ *    base two-mer (16 context types).
+ * Each bin counts total observations and empirical errors (mismatches
+ * against the reference). Bases at known SNP sites are excluded, as are
+ * deletions, N bases, soft clips, and — for the context covariate — the
+ * first base of a read. Insertions are not binned but do provide context
+ * for the following base, matching the hardware BinIDGen module exactly.
+ *
+ * The quality score update stage (left in software by the paper) adjusts
+ * each base's quality toward the empirical error rate of its bins.
+ */
+
+#ifndef GENESIS_GATK_BQSR_H
+#define GENESIS_GATK_BQSR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/read.h"
+#include "genome/reference.h"
+
+namespace genesis::gatk {
+
+/** BQSR binning geometry. */
+struct BqsrConfig {
+    int numReadGroups = 4;
+    int readLength = 151;
+    int numCycleValues = 302; ///< forward + reverse banks
+    int numContextTypes = 16;
+    int numQualValues = 42;
+
+    size_t cycleTableSize() const
+    {
+        return static_cast<size_t>(numQualValues) *
+            static_cast<size_t>(numCycleValues);
+    }
+    size_t contextTableSize() const
+    {
+        return static_cast<size_t>(numQualValues) *
+            static_cast<size_t>(numContextTypes);
+    }
+};
+
+/** The covariate table: per-read-group total/error counts per bin. */
+struct CovariateTable {
+    BqsrConfig config;
+    /** [read group][q * numCycleValues + cycle value] */
+    std::vector<std::vector<int64_t>> cycleTotals;
+    std::vector<std::vector<int64_t>> cycleErrors;
+    /** [read group][q * numContextTypes + context] */
+    std::vector<std::vector<int64_t>> contextTotals;
+    std::vector<std::vector<int64_t>> contextErrors;
+
+    explicit CovariateTable(const BqsrConfig &config = BqsrConfig());
+
+    /** Accumulate another table (used to merge per-partition results). */
+    void merge(const CovariateTable &other);
+
+    /** Grand totals across all bins (sanity metrics). */
+    int64_t totalObservations() const;
+    int64_t totalErrors() const;
+
+    bool operator==(const CovariateTable &other) const;
+};
+
+/** Build the covariate table over all reads (the accelerated kernel). */
+CovariateTable
+buildCovariateTable(const std::vector<genome::AlignedRead> &reads,
+                    const genome::ReferenceGenome &genome,
+                    const BqsrConfig &config = BqsrConfig());
+
+/**
+ * Quality score update: rewrite each base's quality toward the empirical
+ * quality of its (cycle, context) bins. Bases without usable bins keep
+ * their reported quality. @return number of quality values changed.
+ */
+int64_t applyQualityUpdate(std::vector<genome::AlignedRead> &reads,
+                           const CovariateTable &table);
+
+/**
+ * @return the phred-scaled empirical quality of a bin with the given
+ * counts, with +1/+2 Laplace smoothing (as GATK uses).
+ */
+double empiricalQuality(int64_t errors, int64_t total);
+
+} // namespace genesis::gatk
+
+#endif // GENESIS_GATK_BQSR_H

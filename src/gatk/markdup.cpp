@@ -1,0 +1,109 @@
+#include "gatk/markdup.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace genesis::gatk {
+
+using genome::AlignedRead;
+
+std::vector<int64_t>
+computeQualSums(const std::vector<AlignedRead> &reads)
+{
+    std::vector<int64_t> sums;
+    sums.reserve(reads.size());
+    for (const auto &read : reads)
+        sums.push_back(read.qualSum());
+    return sums;
+}
+
+MarkDuplicatesStats
+markDuplicatesWithQualSums(std::vector<AlignedRead> &reads,
+                           const std::vector<int64_t> &qual_sums)
+{
+    GENESIS_ASSERT(qual_sums.size() == reads.size(),
+                   "quality sums size %zu != reads size %zu",
+                   qual_sums.size(), reads.size());
+
+    MarkDuplicatesStats stats;
+    stats.totalReads = static_cast<int64_t>(reads.size());
+
+    // Group reads into fragments (paired ends share a read name).
+    std::unordered_map<std::string, std::vector<size_t>> fragments;
+    for (size_t i = 0; i < reads.size(); ++i) {
+        reads[i].setDuplicate(false);
+        fragments[reads[i].name].push_back(i);
+    }
+
+    // A fragment's key concatenates the unclipped-5' keys of both ends
+    // (ordered, so the pair key is orientation independent); its score is
+    // the total quality sum across its reads.
+    struct FragmentInfo {
+        const std::string *name = nullptr;
+        std::vector<size_t> readIndices;
+        int64_t score = 0;
+    };
+    std::map<std::pair<uint64_t, uint64_t>, std::vector<FragmentInfo>>
+        by_key;
+    for (auto &[name, indices] : fragments) {
+        std::vector<uint64_t> keys;
+        keys.reserve(indices.size());
+        FragmentInfo info;
+        info.name = &name;
+        info.readIndices = indices;
+        for (size_t idx : indices) {
+            keys.push_back(reads[idx].duplicateKey());
+            info.score += qual_sums[idx];
+        }
+        std::sort(keys.begin(), keys.end());
+        std::pair<uint64_t, uint64_t> key{keys.front(), keys.back()};
+        by_key[key].push_back(std::move(info));
+    }
+
+    for (auto &[key, frags] : by_key) {
+        if (frags.size() < 2)
+            continue;
+        ++stats.duplicateSets;
+        // Keep the fragment with the highest score; ties break on the
+        // lexicographically smallest name for determinism.
+        size_t best = 0;
+        for (size_t f = 1; f < frags.size(); ++f) {
+            if (frags[f].score > frags[best].score ||
+                (frags[f].score == frags[best].score &&
+                 *frags[f].name < *frags[best].name)) {
+                best = f;
+            }
+        }
+        for (size_t f = 0; f < frags.size(); ++f) {
+            if (f == best)
+                continue;
+            for (size_t idx : frags[f].readIndices) {
+                reads[idx].setDuplicate(true);
+                ++stats.duplicatesMarked;
+            }
+        }
+    }
+
+    // The stage also sorts all reads by aligned start position.
+    std::sort(reads.begin(), reads.end(),
+              [](const AlignedRead &a, const AlignedRead &b) {
+                  if (a.chr != b.chr)
+                      return a.chr < b.chr;
+                  if (a.pos != b.pos)
+                      return a.pos < b.pos;
+                  return a.name < b.name;
+              });
+    return stats;
+}
+
+MarkDuplicatesStats
+markDuplicates(std::vector<AlignedRead> &reads)
+{
+    return markDuplicatesWithQualSums(reads, computeQualSums(reads));
+}
+
+} // namespace genesis::gatk

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Software Mark Duplicates baseline (Section IV-B).
+ *
+ * Identifies sets of reads originating from the same DNA fragment (PCR
+ * duplicates): each read's key is its unclipped 5' position (paired
+ * reads concatenate both ends' keys); among reads sharing a key, all but
+ * the one with the highest sum of quality scores are marked as
+ * duplicates. The stage also coordinate-sorts all reads.
+ *
+ * This mirrors the GATK4 MarkDuplicates algorithm the paper accelerates;
+ * the accelerated portion is the per-read sum-of-quality-scores
+ * computation, which markDuplicatesWithQualSums() factors out so the
+ * hardware path can substitute its own sums.
+ */
+
+#ifndef GENESIS_GATK_MARKDUP_H
+#define GENESIS_GATK_MARKDUP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/read.h"
+
+namespace genesis::gatk {
+
+/** Result statistics of a Mark Duplicates run. */
+struct MarkDuplicatesStats {
+    int64_t totalReads = 0;
+    int64_t duplicateSets = 0;    ///< keys with more than one fragment
+    int64_t duplicatesMarked = 0; ///< reads flagged as duplicates
+};
+
+/**
+ * Mark duplicates in place (sets the duplicate flag) and coordinate-sort
+ * the reads. Quality sums are computed in software.
+ */
+MarkDuplicatesStats markDuplicates(std::vector<genome::AlignedRead> &reads);
+
+/**
+ * Mark duplicates using externally supplied per-read quality sums
+ * (indexed like `reads`) — the host-side completion of the accelerated
+ * flow, where the Genesis pipeline computed the sums.
+ */
+MarkDuplicatesStats
+markDuplicatesWithQualSums(std::vector<genome::AlignedRead> &reads,
+                           const std::vector<int64_t> &qual_sums);
+
+/** Compute each read's quality-score sum (the accelerated kernel). */
+std::vector<int64_t>
+computeQualSums(const std::vector<genome::AlignedRead> &reads);
+
+} // namespace genesis::gatk
+
+#endif // GENESIS_GATK_MARKDUP_H

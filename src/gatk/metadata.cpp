@@ -1,0 +1,90 @@
+#include "gatk/metadata.h"
+
+#include "base/logging.h"
+
+namespace genesis::gatk {
+
+using genome::AlignedRead;
+using genome::CigarOp;
+
+ReadMetadata
+computeMetadata(const AlignedRead &read,
+                const genome::ReferenceGenome &genome)
+{
+    ReadMetadata meta;
+    const genome::Chromosome &chrom = genome.chromosome(read.chr);
+
+    int64_t ref_pos = read.pos;
+    size_t read_idx = 0;
+    int64_t match_run = 0;
+    bool in_deletion = false;
+
+    auto flush_run = [&] {
+        meta.md += std::to_string(match_run);
+        match_run = 0;
+    };
+
+    for (const auto &e : read.cigar.elements()) {
+        switch (e.op) {
+          case CigarOp::SoftClip:
+            read_idx += e.length;
+            break;
+          case CigarOp::Insert:
+            // Insertions count toward NM but never appear in MD.
+            meta.nm += static_cast<int32_t>(e.length);
+            read_idx += e.length;
+            break;
+          case CigarOp::Delete:
+            meta.nm += static_cast<int32_t>(e.length);
+            flush_run();
+            meta.md += '^';
+            for (uint32_t i = 0; i < e.length; ++i) {
+                uint8_t ref_base = ref_pos < chrom.length()
+                    ? chrom.seq[static_cast<size_t>(ref_pos)]
+                    : static_cast<uint8_t>(genome::Base::N);
+                meta.md += genome::baseToChar(ref_base);
+                ++ref_pos;
+            }
+            in_deletion = true;
+            break;
+          case CigarOp::Match:
+            for (uint32_t i = 0; i < e.length; ++i) {
+                uint8_t ref_base = ref_pos < chrom.length()
+                    ? chrom.seq[static_cast<size_t>(ref_pos)]
+                    : static_cast<uint8_t>(genome::Base::N);
+                uint8_t read_base = read.seq[read_idx];
+                if (read_base == ref_base) {
+                    ++match_run;
+                    in_deletion = false;
+                } else {
+                    ++meta.nm;
+                    if (read_idx < read.qual.size())
+                        meta.uq += read.qual[read_idx];
+                    flush_run();
+                    meta.md += genome::baseToChar(ref_base);
+                    in_deletion = false;
+                }
+                ++ref_pos;
+                ++read_idx;
+            }
+            break;
+        }
+    }
+    (void)in_deletion;
+    flush_run();
+    return meta;
+}
+
+void
+setNmMdUqTags(std::vector<AlignedRead> &reads,
+              const genome::ReferenceGenome &genome)
+{
+    for (auto &read : reads) {
+        ReadMetadata meta = computeMetadata(read, genome);
+        read.nmTag = meta.nm;
+        read.mdTag = meta.md;
+        read.uqTag = meta.uq;
+    }
+}
+
+} // namespace genesis::gatk

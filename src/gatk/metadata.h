@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Software Metadata Update baseline — GATK4's SetNmMdAndUqTags
+ * (Section IV-C).
+ *
+ * For each read, computes:
+ *  NM — the number of bases differing from the reference (mismatches
+ *       plus inserted plus deleted bases);
+ *  MD — the string that lets the reference be reconstructed from the
+ *       read (match-run lengths, mismatched reference bases, and '^'
+ *       prefixed deletion runs);
+ *  UQ — the sum of quality scores at mismatching (aligned) bases.
+ */
+
+#ifndef GENESIS_GATK_METADATA_H
+#define GENESIS_GATK_METADATA_H
+
+#include <string>
+#include <vector>
+
+#include "genome/read.h"
+#include "genome/reference.h"
+
+namespace genesis::gatk {
+
+/** The three tags for one read. */
+struct ReadMetadata {
+    int32_t nm = 0;
+    std::string md;
+    int32_t uq = 0;
+
+    bool operator==(const ReadMetadata &other) const = default;
+};
+
+/** Compute NM/MD/UQ for one read against the reference. */
+ReadMetadata computeMetadata(const genome::AlignedRead &read,
+                             const genome::ReferenceGenome &genome);
+
+/** Compute and attach tags for every read (the full software stage). */
+void setNmMdUqTags(std::vector<genome::AlignedRead> &reads,
+                   const genome::ReferenceGenome &genome);
+
+} // namespace genesis::gatk
+
+#endif // GENESIS_GATK_METADATA_H

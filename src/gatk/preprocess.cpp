@@ -1,0 +1,88 @@
+#include "gatk/preprocess.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace genesis::gatk {
+
+namespace {
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &start)
+{
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(elapsed).count();
+}
+
+} // namespace
+
+double
+StageTimes::total() const
+{
+    return alignment + duplicateMarking + metadataUpdate +
+        bqsrTableConstruction + bqsrQualityUpdate;
+}
+
+std::string
+StageTimes::breakdownStr() const
+{
+    double t = total();
+    auto pct = [t](double x) { return t > 0 ? 100.0 * x / t : 0.0; };
+    std::ostringstream os;
+    os.precision(1);
+    os << std::fixed;
+    os << "Alignment " << pct(alignment) << "%"
+       << " | Duplicate Marking " << pct(duplicateMarking) << "%"
+       << " | Metadata Update " << pct(metadataUpdate) << "%"
+       << " | BQSR (covariate table) " << pct(bqsrTableConstruction)
+       << "%"
+       << " | BQSR (quality update) " << pct(bqsrQualityUpdate) << "%";
+    return os.str();
+}
+
+PreprocessResult
+runPreprocess(std::vector<genome::AlignedRead> &reads,
+              const genome::ReferenceGenome &genome,
+              const PreprocessOptions &options)
+{
+    PreprocessResult result;
+    result.covariates = CovariateTable(options.bqsr);
+
+    if (options.alignmentAcceleratorReadsPerSec > 0) {
+        // Model a GenAx-class alignment accelerator: runtime is simply
+        // reads / throughput (Section IV-A).
+        result.times.alignment = static_cast<double>(reads.size()) /
+            options.alignmentAcceleratorReadsPerSec;
+    } else if (options.runAligner) {
+        auto start = std::chrono::steady_clock::now();
+        ReadAligner aligner(genome);
+        result.mappedFraction = aligner.alignAll(reads);
+        result.times.alignment = secondsSince(start);
+    }
+
+    {
+        auto start = std::chrono::steady_clock::now();
+        result.dupStats = markDuplicates(reads);
+        result.times.duplicateMarking = secondsSince(start);
+    }
+    {
+        auto start = std::chrono::steady_clock::now();
+        setNmMdUqTags(reads, genome);
+        result.times.metadataUpdate = secondsSince(start);
+    }
+    {
+        auto start = std::chrono::steady_clock::now();
+        result.covariates = buildCovariateTable(reads, genome,
+                                                options.bqsr);
+        result.times.bqsrTableConstruction = secondsSince(start);
+    }
+    {
+        auto start = std::chrono::steady_clock::now();
+        result.qualityValuesChanged =
+            applyQualityUpdate(reads, result.covariates);
+        result.times.bqsrQualityUpdate = secondsSince(start);
+    }
+    return result;
+}
+
+} // namespace genesis::gatk

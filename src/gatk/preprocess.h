@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Full data-preprocessing pipeline driver (GATK4 Best Practices phase 1)
+ * with per-stage timing, reproducing the runtime breakdown of paper
+ * Figure 9 in both flavours: software alignment, and alignment assumed
+ * accelerated at GenAx-class throughput (4058 K reads/s).
+ */
+
+#ifndef GENESIS_GATK_PREPROCESS_H
+#define GENESIS_GATK_PREPROCESS_H
+
+#include <string>
+
+#include "gatk/aligner.h"
+#include "gatk/bqsr.h"
+#include "gatk/markdup.h"
+#include "gatk/metadata.h"
+
+namespace genesis::gatk {
+
+/** Per-stage wall-clock seconds of one preprocessing run. */
+struct StageTimes {
+    double alignment = 0.0;
+    double duplicateMarking = 0.0;
+    double metadataUpdate = 0.0;
+    double bqsrTableConstruction = 0.0;
+    double bqsrQualityUpdate = 0.0;
+
+    double total() const;
+
+    /** Percentage share of each stage (the Figure 9 bars). */
+    std::string breakdownStr() const;
+};
+
+/** Options for a preprocessing run. */
+struct PreprocessOptions {
+    /** Run the software seed-and-vote aligner for the alignment stage. */
+    bool runAligner = true;
+    /**
+     * Replace the measured alignment time with reads / this throughput —
+     * the paper's GenAx assumption (4.058 M reads/s). <= 0 disables.
+     */
+    double alignmentAcceleratorReadsPerSec = 0.0;
+    BqsrConfig bqsr;
+};
+
+/** Outputs of a preprocessing run. */
+struct PreprocessResult {
+    StageTimes times;
+    MarkDuplicatesStats dupStats;
+    CovariateTable covariates;
+    int64_t qualityValuesChanged = 0;
+    double mappedFraction = 0.0;
+
+    PreprocessResult() : covariates(BqsrConfig{}) {}
+};
+
+/**
+ * Run the full software preprocessing pipeline over the reads, in place:
+ * (alignment,) duplicate marking, metadata update, BQSR table
+ * construction and quality update.
+ */
+PreprocessResult runPreprocess(std::vector<genome::AlignedRead> &reads,
+                               const genome::ReferenceGenome &genome,
+                               const PreprocessOptions &options);
+
+} // namespace genesis::gatk
+
+#endif // GENESIS_GATK_PREPROCESS_H

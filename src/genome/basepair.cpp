@@ -1,0 +1,84 @@
+#include "genome/basepair.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genesis::genome {
+
+char
+baseToChar(uint8_t code)
+{
+    static const char table[] = {'A', 'C', 'G', 'T', 'N'};
+    return code < 5 ? table[code] : 'N';
+}
+
+uint8_t
+charToBase(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return static_cast<uint8_t>(Base::A);
+      case 'C': case 'c': return static_cast<uint8_t>(Base::C);
+      case 'G': case 'g': return static_cast<uint8_t>(Base::G);
+      case 'T': case 't': return static_cast<uint8_t>(Base::T);
+      default: return static_cast<uint8_t>(Base::N);
+    }
+}
+
+uint8_t
+complementBase(uint8_t code)
+{
+    switch (static_cast<Base>(code)) {
+      case Base::A: return static_cast<uint8_t>(Base::T);
+      case Base::T: return static_cast<uint8_t>(Base::A);
+      case Base::C: return static_cast<uint8_t>(Base::G);
+      case Base::G: return static_cast<uint8_t>(Base::C);
+      default: return static_cast<uint8_t>(Base::N);
+    }
+}
+
+std::string
+sequenceToString(const Sequence &seq)
+{
+    std::string s;
+    s.reserve(seq.size());
+    for (uint8_t code : seq)
+        s.push_back(baseToChar(code));
+    return s;
+}
+
+Sequence
+stringToSequence(const std::string &s)
+{
+    Sequence seq;
+    seq.reserve(s.size());
+    for (char c : s)
+        seq.push_back(charToBase(c));
+    return seq;
+}
+
+Sequence
+reverseComplement(const Sequence &seq)
+{
+    Sequence out;
+    out.reserve(seq.size());
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it)
+        out.push_back(complementBase(*it));
+    return out;
+}
+
+double
+phredToErrorProb(uint8_t q)
+{
+    return std::pow(10.0, -static_cast<double>(q) / 10.0);
+}
+
+uint8_t
+errorProbToPhred(double p)
+{
+    if (p <= 0.0)
+        return 93;
+    double q = -10.0 * std::log10(p);
+    return static_cast<uint8_t>(std::clamp(q, 1.0, 93.0));
+}
+
+} // namespace genesis::genome

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Nucleotide base-pair representation.
+ *
+ * Bases are stored as compact unsigned codes (A=0, C=1, G=2, T=3, N=4)
+ * throughout the library so that sequences can be streamed as plain byte
+ * columns into the simulated accelerator (Table I in the paper stores
+ * SEQ as uint8_t[LEN]).
+ */
+
+#ifndef GENESIS_GENOME_BASEPAIR_H
+#define GENESIS_GENOME_BASEPAIR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace genesis::genome {
+
+/** Compact nucleotide code. */
+enum class Base : uint8_t {
+    A = 0,
+    C = 1,
+    G = 2,
+    T = 3,
+    N = 4, ///< unknown / ambiguous call
+};
+
+/** Number of distinct unambiguous bases. */
+inline constexpr int kNumBases = 4;
+
+/** A sequence of base codes (one byte per base). */
+using Sequence = std::vector<uint8_t>;
+
+/** A sequence of phred-scaled quality scores (one byte per base). */
+using QualSequence = std::vector<uint8_t>;
+
+/** @return the character for a base code ('A','C','G','T','N'). */
+char baseToChar(uint8_t code);
+
+/** @return the base code for a character; accepts lower case; N otherwise. */
+uint8_t charToBase(char c);
+
+/** @return the Watson-Crick complement code (A<->T, C<->G, N->N). */
+uint8_t complementBase(uint8_t code);
+
+/** Convert a sequence of base codes to a character string. */
+std::string sequenceToString(const Sequence &seq);
+
+/** Convert a character string to a sequence of base codes. */
+Sequence stringToSequence(const std::string &s);
+
+/** @return the reverse complement of the given sequence. */
+Sequence reverseComplement(const Sequence &seq);
+
+/**
+ * Phred-scale helpers. A quality score q encodes an error probability of
+ * 10^(-q/10); sequencers report q in roughly [2, 40].
+ */
+double phredToErrorProb(uint8_t q);
+
+/** Inverse of phredToErrorProb, clamped to [1, 93]. */
+uint8_t errorProbToPhred(double p);
+
+} // namespace genesis::genome
+
+#endif // GENESIS_GENOME_BASEPAIR_H

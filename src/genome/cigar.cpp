@@ -1,0 +1,226 @@
+#include "genome/cigar.h"
+
+#include <cctype>
+
+#include "base/logging.h"
+
+namespace genesis::genome {
+
+char
+cigarOpToChar(CigarOp op)
+{
+    switch (op) {
+      case CigarOp::Match: return 'M';
+      case CigarOp::Insert: return 'I';
+      case CigarOp::Delete: return 'D';
+      case CigarOp::SoftClip: return 'S';
+    }
+    panic("invalid CigarOp %d", static_cast<int>(op));
+}
+
+CigarOp
+charToCigarOp(char c)
+{
+    switch (c) {
+      case 'M': return CigarOp::Match;
+      case 'I': return CigarOp::Insert;
+      case 'D': return CigarOp::Delete;
+      case 'S': return CigarOp::SoftClip;
+      default: fatal("unsupported CIGAR operation '%c'", c);
+    }
+}
+
+uint16_t
+CigarElement::pack() const
+{
+    GENESIS_ASSERT(length < (1u << 14), "CIGAR length %u too large to pack",
+                   length);
+    return static_cast<uint16_t>((length << 2) |
+                                 static_cast<uint16_t>(op));
+}
+
+CigarElement
+CigarElement::unpack(uint16_t raw)
+{
+    CigarElement e;
+    e.length = raw >> 2;
+    e.op = static_cast<CigarOp>(raw & 0x3);
+    return e;
+}
+
+Cigar::Cigar(std::vector<CigarElement> elems) : elems_(std::move(elems))
+{
+    for (const auto &e : elems_) {
+        if (e.length == 0)
+            fatal("CIGAR element with zero length");
+    }
+}
+
+Cigar
+Cigar::parse(const std::string &text)
+{
+    Cigar cigar;
+    if (text.empty() || text == "*")
+        return cigar;
+    uint64_t len = 0;
+    bool have_len = false;
+    for (char c : text) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            len = len * 10 + static_cast<uint64_t>(c - '0');
+            have_len = true;
+            if (len >= (1u << 14))
+                fatal("CIGAR length overflow in '%s'", text.c_str());
+        } else {
+            if (!have_len || len == 0)
+                fatal("malformed CIGAR '%s'", text.c_str());
+            cigar.elems_.push_back(
+                {static_cast<uint32_t>(len), charToCigarOp(c)});
+            len = 0;
+            have_len = false;
+        }
+    }
+    if (have_len)
+        fatal("trailing length in CIGAR '%s'", text.c_str());
+    return cigar;
+}
+
+std::string
+Cigar::str() const
+{
+    if (elems_.empty())
+        return "*";
+    std::string s;
+    for (const auto &e : elems_) {
+        s += std::to_string(e.length);
+        s += cigarOpToChar(e.op);
+    }
+    return s;
+}
+
+void
+Cigar::append(uint32_t length, CigarOp op)
+{
+    if (length == 0)
+        return;
+    if (!elems_.empty() && elems_.back().op == op)
+        elems_.back().length += length;
+    else
+        elems_.push_back({length, op});
+}
+
+uint32_t
+Cigar::readLength() const
+{
+    uint32_t n = 0;
+    for (const auto &e : elems_) {
+        if (e.consumesRead())
+            n += e.length;
+    }
+    return n;
+}
+
+uint32_t
+Cigar::referenceLength() const
+{
+    uint32_t n = 0;
+    for (const auto &e : elems_) {
+        if (e.consumesReference())
+            n += e.length;
+    }
+    return n;
+}
+
+uint32_t
+Cigar::leadingSoftClip() const
+{
+    return (!elems_.empty() && elems_.front().op == CigarOp::SoftClip)
+        ? elems_.front().length : 0;
+}
+
+uint32_t
+Cigar::trailingSoftClip() const
+{
+    return (elems_.size() > 1 && elems_.back().op == CigarOp::SoftClip)
+        ? elems_.back().length : 0;
+}
+
+std::vector<uint16_t>
+Cigar::packAll() const
+{
+    std::vector<uint16_t> raw;
+    raw.reserve(elems_.size());
+    for (const auto &e : elems_)
+        raw.push_back(e.pack());
+    return raw;
+}
+
+Cigar
+Cigar::unpackAll(const std::vector<uint16_t> &raw)
+{
+    std::vector<CigarElement> elems;
+    elems.reserve(raw.size());
+    for (uint16_t r : raw)
+        elems.push_back(CigarElement::unpack(r));
+    return Cigar(std::move(elems));
+}
+
+std::vector<ExplodedBase>
+explodeRead(int64_t pos, const Cigar &cigar, const Sequence &seq,
+            const QualSequence &qual)
+{
+    GENESIS_ASSERT(seq.size() == cigar.readLength(),
+                   "SEQ length %zu does not match CIGAR read length %u",
+                   seq.size(), cigar.readLength());
+    GENESIS_ASSERT(qual.empty() || qual.size() == seq.size(),
+                   "QUAL length %zu does not match SEQ length %zu",
+                   qual.size(), seq.size());
+
+    std::vector<ExplodedBase> out;
+    out.reserve(seq.size());
+    int64_t ref_pos = pos;
+    size_t read_idx = 0;
+    // Read offset counts only bases that survive clipping, matching the
+    // "cycle" notion BQSR uses for unclipped bases.
+    int32_t cycle = 0;
+    for (const auto &e : cigar.elements()) {
+        switch (e.op) {
+          case CigarOp::SoftClip:
+            read_idx += e.length;
+            break;
+          case CigarOp::Match:
+            for (uint32_t i = 0; i < e.length; ++i) {
+                ExplodedBase b;
+                b.refPos = ref_pos++;
+                b.readBase = seq[read_idx];
+                b.qual = qual.empty() ? -1
+                    : static_cast<int16_t>(qual[read_idx]);
+                b.readOffset = cycle++;
+                ++read_idx;
+                out.push_back(b);
+            }
+            break;
+          case CigarOp::Insert:
+            for (uint32_t i = 0; i < e.length; ++i) {
+                ExplodedBase b;
+                b.refPos = -1;
+                b.readBase = seq[read_idx];
+                b.qual = qual.empty() ? -1
+                    : static_cast<int16_t>(qual[read_idx]);
+                b.readOffset = cycle++;
+                ++read_idx;
+                out.push_back(b);
+            }
+            break;
+          case CigarOp::Delete:
+            for (uint32_t i = 0; i < e.length; ++i) {
+                ExplodedBase b;
+                b.refPos = ref_pos++;
+                out.push_back(b);
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace genesis::genome

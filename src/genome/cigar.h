@@ -1,0 +1,148 @@
+/**
+ * @file
+ * CIGAR (Concise Idiosyncratic Gapped Alignment Report) handling.
+ *
+ * A CIGAR summarises how a read aligns to the reference as a list of
+ * (length, operation) pairs — aligned (M), inserted (I), deleted (D) and
+ * soft-clipped (S), exactly the four operations the paper's Figure 2 uses.
+ * The walker in this module is the software ground truth for the hardware
+ * ReadToBases module (the ReadExplode operation of Section III-B).
+ */
+
+#ifndef GENESIS_GENOME_CIGAR_H
+#define GENESIS_GENOME_CIGAR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "genome/basepair.h"
+
+namespace genesis::genome {
+
+/** Alignment operation kind. */
+enum class CigarOp : uint8_t {
+    Match = 0,    ///< M: aligned to the reference (match or mismatch)
+    Insert = 1,   ///< I: present in the read but not the reference
+    Delete = 2,   ///< D: present in the reference but not the read
+    SoftClip = 3, ///< S: read bases ignored by the aligner
+};
+
+/** @return SAM character for an operation ('M','I','D','S'). */
+char cigarOpToChar(CigarOp op);
+
+/** @return operation for a SAM character; throws FatalError otherwise. */
+CigarOp charToCigarOp(char c);
+
+/** One (length, operation) element of a CIGAR. */
+struct CigarElement {
+    uint32_t length = 0;
+    CigarOp op = CigarOp::Match;
+
+    bool operator==(const CigarElement &other) const = default;
+
+    /** @return true when this operation consumes read bases (M, I, S). */
+    bool consumesRead() const { return op != CigarOp::Delete; }
+
+    /** @return true when this operation consumes reference bases (M, D). */
+    bool
+    consumesReference() const
+    {
+        return op == CigarOp::Match || op == CigarOp::Delete;
+    }
+
+    /**
+     * Pack into the 16-bit encoding of the READS.CIGAR column (Table I):
+     * low 2 bits operation, high 14 bits length.
+     */
+    uint16_t pack() const;
+
+    /** Inverse of pack(). */
+    static CigarElement unpack(uint16_t raw);
+};
+
+/** A full CIGAR: an ordered list of elements. */
+class Cigar
+{
+  public:
+    Cigar() = default;
+    explicit Cigar(std::vector<CigarElement> elems);
+
+    /** Parse the SAM text form, e.g. "3S6M1D2M". */
+    static Cigar parse(const std::string &text);
+
+    /** @return SAM text form; "*" when empty. */
+    std::string str() const;
+
+    const std::vector<CigarElement> &elements() const { return elems_; }
+    bool empty() const { return elems_.empty(); }
+    size_t size() const { return elems_.size(); }
+
+    /** Append an element, coalescing with the last one when ops match. */
+    void append(uint32_t length, CigarOp op);
+
+    /** @return number of read bases consumed (M + I + S lengths). */
+    uint32_t readLength() const;
+
+    /** @return number of reference bases consumed (M + D lengths). */
+    uint32_t referenceLength() const;
+
+    /** @return number of soft-clipped bases at the front of the read. */
+    uint32_t leadingSoftClip() const;
+
+    /** @return number of soft-clipped bases at the end of the read. */
+    uint32_t trailingSoftClip() const;
+
+    /** Pack all elements per CigarElement::pack(). */
+    std::vector<uint16_t> packAll() const;
+
+    /** Inverse of packAll(). */
+    static Cigar unpackAll(const std::vector<uint16_t> &raw);
+
+    bool operator==(const Cigar &other) const = default;
+
+  private:
+    std::vector<CigarElement> elems_;
+};
+
+/**
+ * One exploded base produced by walking a read's CIGAR — the software
+ * definition of a ReadExplode output row (paper Figure 3).
+ */
+struct ExplodedBase {
+    /** Reference position, or -1 when the base is an insertion. */
+    int64_t refPos = -1;
+    /** Read base code, or -1 when the reference base is deleted. */
+    int16_t readBase = -1;
+    /** Quality score, or -1 when the reference base is deleted. */
+    int16_t qual = -1;
+    /**
+     * Zero-based index of the base within the (clipped) read, i.e. the
+     * sequencing cycle; -1 for deleted positions which have no read base.
+     */
+    int32_t readOffset = -1;
+
+    bool operator==(const ExplodedBase &other) const = default;
+
+    bool isInsertion() const { return refPos < 0; }
+    bool isDeletion() const { return readBase < 0; }
+};
+
+/**
+ * Walk a read's CIGAR and emit one ExplodedBase per aligned/inserted/deleted
+ * base. Soft-clipped bases are skipped (they never reach the output, as in
+ * Figure 3 of the paper).
+ *
+ * @param pos leftmost aligned reference position of the read
+ * @param cigar the read's CIGAR
+ * @param seq read base codes (length must equal cigar.readLength())
+ * @param qual quality scores; may be empty, in which case qual = -1
+ */
+std::vector<ExplodedBase> explodeRead(int64_t pos, const Cigar &cigar,
+                                      const Sequence &seq,
+                                      const QualSequence &qual);
+
+} // namespace genesis::genome
+
+#endif // GENESIS_GENOME_CIGAR_H

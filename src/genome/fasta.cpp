@@ -1,0 +1,160 @@
+#include "genome/fasta.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace genesis::genome {
+
+namespace {
+
+constexpr int kFastaColumns = 60;
+
+uint8_t
+parseChromosomeId(const std::string &name)
+{
+    if (name.rfind("chr", 0) != 0)
+        fatal("unsupported FASTA record name '%s'", name.c_str());
+    std::string suffix = name.substr(3);
+    if (suffix == "X")
+        return 23;
+    if (suffix == "Y")
+        return 24;
+    try {
+        return static_cast<uint8_t>(std::stoi(suffix));
+    } catch (const std::exception &) {
+        fatal("cannot parse chromosome id from '%s'", name.c_str());
+    }
+}
+
+} // namespace
+
+void
+writeFasta(std::ostream &os, const ReferenceGenome &genome)
+{
+    for (const auto &chrom : genome.chromosomes()) {
+        os << ">" << chrom.name << "\n";
+        for (int64_t p = 0; p < chrom.length(); p += kFastaColumns) {
+            int64_t n = std::min<int64_t>(kFastaColumns,
+                                          chrom.length() - p);
+            for (int64_t i = 0; i < n; ++i)
+                os << baseToChar(chrom.seq[static_cast<size_t>(p + i)]);
+            os << "\n";
+        }
+    }
+}
+
+void
+writeSnpSidecar(std::ostream &os, const ReferenceGenome &genome)
+{
+    // Run-length encoding: alternating run lengths starting with a
+    // non-SNP run, e.g. "120 1 44 2" = 120 clear, 1 set, 44 clear, 2 set.
+    for (const auto &chrom : genome.chromosomes()) {
+        os << ">" << chrom.name << ";snp\n";
+        bool current = false;
+        int64_t run = 0;
+        bool first = true;
+        for (int64_t p = 0; p <= chrom.length(); ++p) {
+            bool bit = p < chrom.length() &&
+                chrom.isSnp[static_cast<size_t>(p)];
+            if (p < chrom.length() && bit == current) {
+                ++run;
+                continue;
+            }
+            if (!first)
+                os << " ";
+            os << run;
+            first = false;
+            current = bit;
+            run = 1;
+        }
+        os << "\n";
+    }
+}
+
+ReferenceGenome
+readFasta(std::istream &is)
+{
+    // First pass: gather records in order; sidecars fold into their
+    // matching sequence records at the end.
+    struct Record {
+        std::string name;
+        bool isSidecar = false;
+        std::string body;
+    };
+    std::vector<Record> records;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            Record rec;
+            std::string header = line.substr(1);
+            auto semi = header.find(";snp");
+            if (semi != std::string::npos) {
+                rec.name = header.substr(0, semi);
+                rec.isSidecar = true;
+            } else {
+                rec.name = header;
+            }
+            records.push_back(std::move(rec));
+        } else {
+            if (records.empty())
+                fatal("FASTA body before any record header");
+            records.back().body += line;
+            records.back().body += ' ';
+        }
+    }
+
+    std::map<std::string, Chromosome> by_name;
+    std::vector<std::string> order;
+    for (const auto &rec : records) {
+        if (!rec.isSidecar) {
+            Chromosome chrom;
+            chrom.id = parseChromosomeId(rec.name);
+            chrom.name = rec.name;
+            for (char c : rec.body) {
+                if (c == ' ')
+                    continue;
+                chrom.seq.push_back(charToBase(c));
+            }
+            chrom.isSnp.assign(chrom.seq.size(), false);
+            order.push_back(rec.name);
+            by_name.emplace(rec.name, std::move(chrom));
+        }
+    }
+    for (const auto &rec : records) {
+        if (!rec.isSidecar)
+            continue;
+        auto it = by_name.find(rec.name);
+        if (it == by_name.end())
+            fatal("SNP sidecar for unknown chromosome '%s'",
+                  rec.name.c_str());
+        Chromosome &chrom = it->second;
+        std::istringstream rls(rec.body);
+        int64_t run;
+        bool current = false;
+        size_t pos = 0;
+        while (rls >> run) {
+            for (int64_t i = 0; i < run && pos < chrom.isSnp.size(); ++i)
+                chrom.isSnp[pos++] = current;
+            current = !current;
+        }
+    }
+
+    ReferenceGenome genome;
+    std::sort(order.begin(), order.end(),
+              [&](const std::string &a, const std::string &b) {
+                  return by_name.at(a).id < by_name.at(b).id;
+              });
+    for (const auto &name : order)
+        genome.addChromosome(std::move(by_name.at(name)));
+    return genome;
+}
+
+} // namespace genesis::genome

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * FASTA-lite reference genome IO.
+ *
+ * Writes/reads the reference sequence in standard FASTA, plus a sidecar
+ * ">...;snp" record stream carrying the IS_SNP bitmap as run-length text
+ * (FASTA has no standard channel for per-base annotations).
+ */
+
+#ifndef GENESIS_GENOME_FASTA_H
+#define GENESIS_GENOME_FASTA_H
+
+#include <iosfwd>
+
+#include "genome/reference.h"
+
+namespace genesis::genome {
+
+/** Write the genome in FASTA form (60 columns per line). */
+void writeFasta(std::ostream &os, const ReferenceGenome &genome);
+
+/**
+ * Read a FASTA stream into a genome. Chromosome ids are parsed from
+ * "chrN"/"chrX"/"chrY" names; IS_SNP defaults to all-false unless a
+ * matching ";snp" sidecar record follows the sequence record.
+ */
+ReferenceGenome readFasta(std::istream &is);
+
+/** Write the IS_SNP bitmaps as sidecar records appended to a FASTA body. */
+void writeSnpSidecar(std::ostream &os, const ReferenceGenome &genome);
+
+} // namespace genesis::genome
+
+#endif // GENESIS_GENOME_FASTA_H

@@ -1,0 +1,37 @@
+#include "genome/read.h"
+
+namespace genesis::genome {
+
+int64_t
+AlignedRead::unclippedFivePrime()
+const
+{
+    if (isReverse())
+        return endPos() + cigar.trailingSoftClip();
+    return pos - cigar.leadingSoftClip();
+}
+
+int64_t
+AlignedRead::qualSum() const
+{
+    int64_t sum = 0;
+    for (uint8_t q : qual)
+        sum += q;
+    return sum;
+}
+
+uint64_t
+AlignedRead::duplicateKey() const
+{
+    // Layout: [chr:8][orientation:1][unclipped 5' position:40].
+    // Positions are always far below 2^40 for human-scale genomes; the
+    // +1 bias keeps the occasional negative unclipped position (leading
+    // soft clip at the chromosome start) representable.
+    uint64_t biased_pos =
+        static_cast<uint64_t>(unclippedFivePrime() + 1) & ((1ull << 40) - 1);
+    uint64_t orientation = isReverse() ? 1 : 0;
+    return (static_cast<uint64_t>(chr) << 41) | (orientation << 40) |
+        biased_pos;
+}
+
+} // namespace genesis::genome

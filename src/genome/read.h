@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Aligned read record — the row type of the READS table (paper Table I).
+ *
+ * Positions are 0-based internally (SAM text serialisation converts to the
+ * customary 1-based form). ENDPOS is the exclusive rightmost reference
+ * position covered by the alignment.
+ */
+
+#ifndef GENESIS_GENOME_READ_H
+#define GENESIS_GENOME_READ_H
+
+#include <cstdint>
+#include <string>
+
+#include "genome/basepair.h"
+#include "genome/cigar.h"
+
+namespace genesis::genome {
+
+/** SAM-style flag bits used by this library. */
+enum ReadFlag : uint16_t {
+    kFlagPaired = 0x1,        ///< read is one end of a pair
+    kFlagProperPair = 0x2,    ///< both ends aligned as expected
+    kFlagReverse = 0x10,      ///< read aligned to the reverse strand
+    kFlagMateReverse = 0x20,  ///< mate aligned to the reverse strand
+    kFlagFirstOfPair = 0x40,  ///< first end of the pair
+    kFlagSecondOfPair = 0x80, ///< second end of the pair
+    kFlagDuplicate = 0x400,   ///< marked as a PCR/optical duplicate
+};
+
+/** An aligned genomic read with its alignment metadata. */
+struct AlignedRead {
+    /** Read name (fragment identifier; both ends of a pair share it). */
+    std::string name;
+    /** Chromosome identifier this read aligned to (1..24). */
+    uint8_t chr = 0;
+    /** 0-based leftmost aligned reference position. */
+    int64_t pos = 0;
+    /** SAM flag bits (ReadFlag). */
+    uint16_t flags = 0;
+    /** Mapping quality reported by the aligner. */
+    uint8_t mapq = 60;
+    /** Alignment CIGAR. */
+    Cigar cigar;
+    /** Base codes (A=0.. per genome::Base), length = cigar.readLength(). */
+    Sequence seq;
+    /** Phred quality scores, same length as seq. */
+    QualSequence qual;
+    /** Read group index (sequencing lane) for BQSR binning. */
+    uint16_t readGroup = 0;
+    /** Mate chromosome (0 when unpaired). */
+    uint8_t mateChr = 0;
+    /** Mate 0-based leftmost position (-1 when unpaired). */
+    int64_t matePos = -1;
+
+    // --- Metadata tags computed by the Metadata Update stage ---
+    /** NM: number of mismatching/inserted/deleted bases; -1 = unset. */
+    int32_t nmTag = -1;
+    /** MD: reference-recovery string; empty = unset. */
+    std::string mdTag;
+    /** UQ: sum of quality scores at mismatching bases; -1 = unset. */
+    int32_t uqTag = -1;
+
+    bool isPaired() const { return flags & kFlagPaired; }
+    bool isReverse() const { return flags & kFlagReverse; }
+    bool isFirstOfPair() const { return flags & kFlagFirstOfPair; }
+    bool isDuplicate() const { return flags & kFlagDuplicate; }
+
+    void
+    setDuplicate(bool dup)
+    {
+        if (dup)
+            flags |= kFlagDuplicate;
+        else
+            flags &= static_cast<uint16_t>(~kFlagDuplicate);
+    }
+
+    /** @return exclusive end position: pos + cigar.referenceLength(). */
+    int64_t endPos() const { return pos + cigar.referenceLength(); }
+
+    /**
+     * @return the unclipped 5' position used as the duplicate-marking key
+     * (Section IV-B): for a forward read, POS minus leading soft clip; for
+     * a reverse read, ENDPOS plus trailing soft clip.
+     */
+    int64_t unclippedFivePrime() const;
+
+    /** @return sum of all quality scores (the Mark Duplicates tiebreak). */
+    int64_t qualSum() const;
+
+    /**
+     * @return 64-bit duplicate key combining chromosome, unclipped 5'
+     * position and orientation, as used to bucket candidate duplicates.
+     */
+    uint64_t duplicateKey() const;
+};
+
+} // namespace genesis::genome
+
+#endif // GENESIS_GENOME_READ_H

@@ -1,0 +1,321 @@
+#include "genome/read_simulator.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace genesis::genome {
+
+ReadSimulator::ReadSimulator(const ReferenceGenome &genome,
+                             const ReadSimulatorConfig &config)
+    : genome_(genome), config_(config), rng_(config.seed)
+{
+    if (genome_.numChromosomes() == 0)
+        fatal("read simulator needs a non-empty reference genome");
+    if (config_.readLength < 8)
+        fatal("read length %d too short", config_.readLength);
+    if (config_.meanFragmentLength < 2 * config_.readLength) {
+        fatal("mean fragment length %d must cover two reads of length %d",
+              config_.meanFragmentLength, config_.readLength);
+    }
+
+    // Build the per-sample variant map. A fixed fraction of known SNP
+    // sites carry an alternate allele; novel variants appear at a much
+    // lower per-base rate (these are what BQSR will mis-count as errors,
+    // mirroring reality).
+    for (const auto &chrom : genome_.chromosomes()) {
+        auto &chr_variants = variants_[chrom.id];
+        for (int64_t p = 0; p < chrom.length(); ++p) {
+            bool variant = chrom.isSnp[static_cast<size_t>(p)]
+                ? rng_.chance(config_.variantAtSnpRate)
+                : rng_.chance(config_.novelVariantRate);
+            if (variant) {
+                uint8_t ref = chrom.seq[static_cast<size_t>(p)];
+                uint8_t alt = static_cast<uint8_t>(
+                    (ref + 1 + rng_.below(kNumBases - 1)) % kNumBases);
+                chr_variants.emplace(p, alt);
+            }
+        }
+    }
+}
+
+int
+ReadSimulator::variantAt(uint8_t chr, int64_t pos) const
+{
+    auto cit = variants_.find(chr);
+    if (cit == variants_.end())
+        return -1;
+    auto pit = cit->second.find(pos);
+    return pit == cit->second.end() ? -1 : static_cast<int>(pit->second);
+}
+
+ReadSimulator::Fragment
+ReadSimulator::sampleFragment()
+{
+    // Pick a chromosome weighted by length, then a fragment inside it.
+    int64_t total = genome_.totalLength();
+    int64_t target = static_cast<int64_t>(rng_.below(
+        static_cast<uint64_t>(total)));
+    const Chromosome *chrom = &genome_.chromosomes().back();
+    for (const auto &c : genome_.chromosomes()) {
+        if (target < c.length()) {
+            chrom = &c;
+            break;
+        }
+        target -= c.length();
+    }
+
+    int64_t frag_len = config_.meanFragmentLength +
+        rng_.range(-config_.fragmentLengthJitter,
+                   config_.fragmentLengthJitter);
+    frag_len = std::min<int64_t>(frag_len, chrom->length());
+    frag_len = std::max<int64_t>(frag_len, 2 * config_.readLength);
+
+    Fragment frag;
+    frag.chr = chrom->id;
+    frag.start = static_cast<int64_t>(rng_.below(
+        static_cast<uint64_t>(chrom->length() - frag_len + 1)));
+    frag.end = frag.start + frag_len;
+    return frag;
+}
+
+AlignedRead
+ReadSimulator::makeRead(const Fragment &frag, bool reverse_end,
+                        int64_t pair_index, int read_group)
+{
+    const Chromosome &chrom = genome_.chromosome(frag.chr);
+    const int L = config_.readLength;
+
+    AlignedRead read;
+    read.name = "frag" + std::to_string(pair_index);
+    read.chr = frag.chr;
+    read.readGroup = static_cast<uint16_t>(read_group);
+    read.flags = kFlagPaired | kFlagProperPair;
+    read.flags |= reverse_end ? (kFlagSecondOfPair | kFlagReverse)
+                              : (kFlagFirstOfPair | kFlagMateReverse);
+    read.mateChr = frag.chr;
+
+    // Soft clips at the outer edges of the read.
+    auto clip_len = [&]() -> int {
+        if (!rng_.chance(config_.softClipRate))
+            return 0;
+        return static_cast<int>(rng_.range(1, config_.maxSoftClipLength));
+    };
+    int lead_clip = clip_len();
+    int tail_clip = clip_len();
+    while (lead_clip + tail_clip >= L - 4) {
+        // Degenerate; retry with smaller clips to keep an aligned core.
+        lead_clip = 0;
+        tail_clip = clip_len();
+    }
+    int core_bases = L - lead_clip - tail_clip;
+
+    // Build the aligned core: walk the reference, occasionally starting
+    // indel events. The core must start and end with an M run for a
+    // well-formed alignment, so indels may only follow at least one match.
+    Cigar core;
+    Sequence core_seq;
+    int64_t ref_cursor;
+    // The 5' end of a forward read sits at the fragment start; a reverse
+    // read covers the fragment tail. We lay out the aligned core from its
+    // leftmost reference position either way (SAM convention: SEQ stored
+    // in reference orientation).
+    int read_remaining = core_bases;
+    int64_t approx_ref_len = core_bases; // refined as indels occur
+    if (reverse_end)
+        ref_cursor = std::max<int64_t>(frag.end - approx_ref_len, 0);
+    else
+        ref_cursor = frag.start;
+    int64_t read_start_pos = ref_cursor;
+
+    bool last_was_match = false;
+    while (read_remaining > 0) {
+        if (last_was_match && read_remaining > 1 &&
+            rng_.chance(config_.indelRate)) {
+            int ev_len = static_cast<int>(
+                rng_.range(1, config_.maxIndelLength));
+            if (rng_.chance(0.5)) {
+                // Insertion: read bases not present in the reference.
+                ev_len = std::min(ev_len, read_remaining - 1);
+                for (int i = 0; i < ev_len; ++i) {
+                    core_seq.push_back(
+                        static_cast<uint8_t>(rng_.below(kNumBases)));
+                }
+                core.append(static_cast<uint32_t>(ev_len), CigarOp::Insert);
+                read_remaining -= ev_len;
+            } else {
+                // Deletion: reference bases skipped by the read.
+                if (ref_cursor + ev_len < chrom.length()) {
+                    core.append(static_cast<uint32_t>(ev_len),
+                                CigarOp::Delete);
+                    ref_cursor += ev_len;
+                }
+            }
+            last_was_match = false;
+            continue;
+        }
+        // One aligned base (sample variants applied; sequencing errors are
+        // injected later together with quality scores).
+        if (ref_cursor >= chrom.length()) {
+            // Ran off the chromosome end: stop the core early and shrink
+            // the read by converting the remainder into a trailing clip.
+            tail_clip += read_remaining;
+            core_bases -= read_remaining;
+            read_remaining = 0;
+            break;
+        }
+        uint8_t base = chrom.seq[static_cast<size_t>(ref_cursor)];
+        int alt = variantAt(frag.chr, ref_cursor);
+        if (alt >= 0) {
+            base = static_cast<uint8_t>(alt);
+            ++variantBases_;
+        }
+        core_seq.push_back(base);
+        core.append(1, CigarOp::Match);
+        ++ref_cursor;
+        --read_remaining;
+        last_was_match = true;
+    }
+
+    // Assemble the full read: [soft clip][core][soft clip].
+    read.pos = read_start_pos;
+    Cigar full;
+    full.append(static_cast<uint32_t>(lead_clip), CigarOp::SoftClip);
+    for (const auto &e : core.elements())
+        full.append(e.length, e.op);
+    full.append(static_cast<uint32_t>(tail_clip), CigarOp::SoftClip);
+    read.cigar = std::move(full);
+
+    read.seq.reserve(static_cast<size_t>(L));
+    for (int i = 0; i < lead_clip; ++i)
+        read.seq.push_back(static_cast<uint8_t>(rng_.below(kNumBases)));
+    read.seq.insert(read.seq.end(), core_seq.begin(), core_seq.end());
+    for (int i = 0; i < tail_clip; ++i)
+        read.seq.push_back(static_cast<uint8_t>(rng_.below(kNumBases)));
+
+    GENESIS_ASSERT(read.seq.size() == read.cigar.readLength(),
+                   "read assembly mismatch: seq %zu vs cigar %u",
+                   read.seq.size(), read.cigar.readLength());
+    return read;
+}
+
+void
+ReadSimulator::injectQualityAndErrors(AlignedRead &read, SimulatedReads &out)
+{
+    const size_t n = read.seq.size();
+    read.qual.resize(n);
+    double rg_mult = 1.0 + read.readGroup * config_.readGroupBias;
+    for (size_t i = 0; i < n; ++i) {
+        int q = config_.meanQuality +
+            static_cast<int>(rng_.range(-config_.qualityJitter,
+                                        config_.qualityJitter));
+        q = std::clamp(q, 2, 40);
+        read.qual[i] = static_cast<uint8_t>(q);
+
+        // Systematic bias: later sequencing cycles are noisier, and some
+        // read groups (lanes) are worse than others. This is exactly the
+        // structure the BQSR covariate table is designed to expose.
+        double cycle_frac = static_cast<double>(i) /
+            static_cast<double>(n);
+        double mult = rg_mult * (1.0 + cycle_frac * config_.lateCycleBias);
+        double p_err = phredToErrorProb(read.qual[i]) * mult;
+        if (rng_.chance(p_err)) {
+            read.seq[i] = static_cast<uint8_t>(
+                (read.seq[i] + 1 + rng_.below(kNumBases - 1)) % kNumBases);
+            ++injectedErrors_;
+            out.injectedErrors = injectedErrors_;
+        }
+    }
+}
+
+AlignedRead
+ReadSimulator::makeDuplicate(const AlignedRead &original)
+{
+    // A PCR duplicate is the same physical fragment sequenced again: it
+    // shares the unclipped 5' position but may be clipped differently and
+    // carries fresh quality scores/errors. We re-clip the leading edge and
+    // shift POS so unclippedFivePrime() is preserved, which is the exact
+    // invariant Mark Duplicates keys on.
+    AlignedRead dup = original;
+    dup.name = original.name + "_dup";
+
+    if (!dup.isReverse() && dup.cigar.leadingSoftClip() > 0 &&
+        rng_.chance(0.5)) {
+        // Convert part of the leading soft clip into aligned bases (a
+        // different aligner decision for the same fragment).
+        auto elems = dup.cigar.elements();
+        uint32_t reclaim = 1 + static_cast<uint32_t>(
+            rng_.below(elems.front().length));
+        Cigar adjusted;
+        adjusted.append(elems.front().length - reclaim, CigarOp::SoftClip);
+        adjusted.append(reclaim, CigarOp::Match);
+        for (size_t i = 1; i < elems.size(); ++i)
+            adjusted.append(elems[i].length, elems[i].op);
+        dup.cigar = adjusted;
+        dup.pos = original.pos - reclaim;
+    }
+    return dup;
+}
+
+SimulatedReads
+ReadSimulator::simulate()
+{
+    SimulatedReads out;
+    out.reads.reserve(static_cast<size_t>(config_.numPairs) * 2);
+
+    for (int64_t i = 0; i < config_.numPairs; ++i) {
+        Fragment frag = sampleFragment();
+        int rg = static_cast<int>(rng_.below(
+            static_cast<uint64_t>(config_.numReadGroups)));
+        AlignedRead r1 = makeRead(frag, false, i, rg);
+        AlignedRead r2 = makeRead(frag, true, i, rg);
+        r1.matePos = r2.pos;
+        r2.matePos = r1.pos;
+
+        // Duplicates are cloned from the error-free fragment reads:
+        // every copy then receives its own independent quality scores
+        // and sequencing errors (a PCR duplicate is the same molecule
+        // sequenced again, not a copy of another copy's errors).
+        int extra_copies = 0;
+        if (rng_.chance(config_.duplicateRate)) {
+            extra_copies = 1;
+            while (rng_.chance(config_.meanExtraCopies - 1.0) &&
+                   extra_copies < 6) {
+                ++extra_copies;
+            }
+            out.trueDuplicatePairs += extra_copies;
+        }
+        std::vector<AlignedRead> copies;
+        for (int c = 0; c < extra_copies; ++c) {
+            AlignedRead d1 = makeDuplicate(r1);
+            AlignedRead d2 = makeDuplicate(r2);
+            d1.name += std::to_string(c);
+            d2.name += std::to_string(c);
+            copies.push_back(std::move(d1));
+            copies.push_back(std::move(d2));
+        }
+
+        injectQualityAndErrors(r1, out);
+        injectQualityAndErrors(r2, out);
+        for (auto &copy : copies) {
+            injectQualityAndErrors(copy, out);
+            out.reads.push_back(std::move(copy));
+        }
+        out.reads.push_back(std::move(r1));
+        out.reads.push_back(std::move(r2));
+    }
+
+    std::sort(out.reads.begin(), out.reads.end(),
+              [](const AlignedRead &a, const AlignedRead &b) {
+                  if (a.chr != b.chr)
+                      return a.chr < b.chr;
+                  if (a.pos != b.pos)
+                      return a.pos < b.pos;
+                  return a.name < b.name;
+              });
+    out.injectedErrors = injectedErrors_;
+    out.variantBases = variantBases_;
+    return out;
+}
+
+} // namespace genesis::genome

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Illumina-like synthetic read generation.
+ *
+ * The paper's evaluation input is a real NA12878 Illumina run (~700 M reads
+ * of up to 151 bp). We cannot ship that data, so this module synthesises a
+ * workload with the same structural properties the accelerated stages
+ * depend on:
+ *
+ *  - paired-end reads of fixed length (default 151 bp) with quality scores;
+ *  - alignments with soft clips, insertions and deletions (full CIGARs);
+ *  - PCR duplicates sharing an unclipped 5' position but differing in
+ *    quality scores and clipping (what Mark Duplicates must resolve);
+ *  - sample variants placed preferentially at known SNP sites (what BQSR
+ *    must mask) plus sequencing errors whose rate carries a systematic
+ *    per-read-group / per-cycle bias (what BQSR must measure);
+ *  - multiple read groups (sequencing lanes).
+ */
+
+#ifndef GENESIS_GENOME_READ_SIMULATOR_H
+#define GENESIS_GENOME_READ_SIMULATOR_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.h"
+#include "genome/read.h"
+#include "genome/reference.h"
+
+namespace genesis::genome {
+
+/** Configuration for synthetic read generation. */
+struct ReadSimulatorConfig {
+    /** Number of read pairs to generate (total reads = 2x this). */
+    int64_t numPairs = 10'000;
+    /** Fixed read length in base pairs (paper: 151). */
+    int readLength = 151;
+    /** Mean outer distance between the two ends of a pair. */
+    int meanFragmentLength = 400;
+    /** Spread of the fragment length (uniform +/- this value). */
+    int fragmentLengthJitter = 60;
+    /** Number of read groups (sequencing lanes). */
+    int numReadGroups = 4;
+    /** Mean phred quality score reported by the instrument. */
+    int meanQuality = 32;
+    /** Quality score jitter (uniform +/- this value, clamped to [2,40]). */
+    int qualityJitter = 6;
+    /** Probability a read starts an indel event at any aligned base. */
+    double indelRate = 0.002;
+    /** Maximum indel event length. */
+    int maxIndelLength = 3;
+    /** Probability that a read end carries a soft clip. */
+    double softClipRate = 0.08;
+    /** Maximum soft-clip length. */
+    int maxSoftClipLength = 12;
+    /** Fraction of known SNP sites at which this sample carries a variant. */
+    double variantAtSnpRate = 0.3;
+    /** Rate of novel (non-dbSNP) variants per base. */
+    double novelVariantRate = 1e-5;
+    /** Probability that a fragment is PCR-duplicated at least once. */
+    double duplicateRate = 0.05;
+    /** Mean number of extra copies for a duplicated fragment. */
+    double meanExtraCopies = 1.3;
+    /**
+     * Systematic error-rate multiplier spread across read groups: read
+     * group g has multiplier 1 + g * readGroupBias. This is the signal
+     * the BQSR covariate table exists to measure.
+     */
+    double readGroupBias = 0.5;
+    /** Extra error-rate multiplier ramped across the read (late cycles). */
+    double lateCycleBias = 1.0;
+    /** Seed for deterministic generation. */
+    uint64_t seed = 1234;
+};
+
+/** Output of read simulation. */
+struct SimulatedReads {
+    /** All reads, coordinate-sorted by (chr, pos). */
+    std::vector<AlignedRead> reads;
+    /** Ground truth: names of fragments that are PCR duplicates. */
+    int64_t trueDuplicatePairs = 0;
+    /** Total sequencing errors injected into aligned (M) bases. */
+    int64_t injectedErrors = 0;
+    /** Total sample-variant bases (mismatching but not errors). */
+    int64_t variantBases = 0;
+};
+
+/**
+ * Generates synthetic aligned reads from a reference genome.
+ *
+ * The simulator owns a per-sample variant map (reference positions where
+ * this individual's genome differs from the reference) that is consistent
+ * across all reads, so overlapping reads agree on variants.
+ */
+class ReadSimulator
+{
+  public:
+    ReadSimulator(const ReferenceGenome &genome,
+                  const ReadSimulatorConfig &config);
+
+    /** Generate the configured number of pairs, coordinate-sorted. */
+    SimulatedReads simulate();
+
+    /** @return the sample's alternate base at (chr, pos), or -1. */
+    int variantAt(uint8_t chr, int64_t pos) const;
+
+  private:
+    struct Fragment {
+        uint8_t chr = 0;
+        int64_t start = 0; ///< 0-based inclusive
+        int64_t end = 0;   ///< 0-based exclusive
+    };
+
+    Fragment sampleFragment();
+    AlignedRead makeRead(const Fragment &frag, bool reverse_end,
+                         int64_t pair_index, int read_group);
+    void injectQualityAndErrors(AlignedRead &read, SimulatedReads &out);
+    AlignedRead makeDuplicate(const AlignedRead &original);
+
+    const ReferenceGenome &genome_;
+    ReadSimulatorConfig config_;
+    Rng rng_;
+    /** chr -> (pos -> alternate base code). */
+    std::unordered_map<uint8_t,
+                       std::unordered_map<int64_t, uint8_t>> variants_;
+    int64_t injectedErrors_ = 0;
+    int64_t variantBases_ = 0;
+};
+
+} // namespace genesis::genome
+
+#endif // GENESIS_GENOME_READ_SIMULATOR_H

@@ -1,0 +1,109 @@
+#include "genome/reference.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace genesis::genome {
+
+std::string
+chromosomeName(uint8_t id)
+{
+    if (id >= 1 && id <= 22)
+        return "chr" + std::to_string(static_cast<int>(id));
+    if (id == 23)
+        return "chrX";
+    if (id == 24)
+        return "chrY";
+    return "chrUn" + std::to_string(static_cast<int>(id));
+}
+
+ReferenceGenome
+ReferenceGenome::synthesize(const SyntheticGenomeConfig &config)
+{
+    if (config.numChromosomes < 1)
+        fatal("synthetic genome needs at least one chromosome");
+    if (config.firstChromosomeLength < 1)
+        fatal("synthetic chromosome length must be positive");
+
+    Rng rng(config.seed);
+    ReferenceGenome genome;
+    double length = static_cast<double>(config.firstChromosomeLength);
+    for (int i = 0; i < config.numChromosomes; ++i) {
+        Chromosome chrom;
+        chrom.id = static_cast<uint8_t>(i + 1);
+        chrom.name = chromosomeName(chrom.id);
+        auto n = std::max<int64_t>(static_cast<int64_t>(length),
+                                   config.minChromosomeLength);
+        chrom.seq.reserve(static_cast<size_t>(n));
+        chrom.isSnp.reserve(static_cast<size_t>(n));
+        for (int64_t p = 0; p < n; ++p) {
+            chrom.seq.push_back(static_cast<uint8_t>(rng.below(kNumBases)));
+            chrom.isSnp.push_back(rng.chance(config.snpDensity));
+        }
+        genome.addChromosome(std::move(chrom));
+        length *= config.lengthDecay;
+    }
+    return genome;
+}
+
+void
+ReferenceGenome::addChromosome(Chromosome chromosome)
+{
+    if (chromosome.seq.size() != chromosome.isSnp.size())
+        fatal("chromosome %s: SNP bitmap size %zu != sequence size %zu",
+              chromosome.name.c_str(), chromosome.isSnp.size(),
+              chromosome.seq.size());
+    if (!chromosomes_.empty() &&
+        chromosome.id <= chromosomes_.back().id) {
+        fatal("chromosome ids must be added in increasing order "
+              "(%d after %d)", chromosome.id, chromosomes_.back().id);
+    }
+    chromosomes_.push_back(std::move(chromosome));
+}
+
+const Chromosome &
+ReferenceGenome::chromosome(uint8_t id) const
+{
+    for (const auto &c : chromosomes_) {
+        if (c.id == id)
+            return c;
+    }
+    fatal("unknown chromosome id %d", id);
+}
+
+bool
+ReferenceGenome::hasChromosome(uint8_t id) const
+{
+    return std::any_of(chromosomes_.begin(), chromosomes_.end(),
+                       [id](const Chromosome &c) { return c.id == id; });
+}
+
+int64_t
+ReferenceGenome::totalLength() const
+{
+    int64_t total = 0;
+    for (const auto &c : chromosomes_)
+        total += c.length();
+    return total;
+}
+
+uint8_t
+ReferenceGenome::baseAt(uint8_t chr_id, int64_t pos) const
+{
+    const Chromosome &c = chromosome(chr_id);
+    if (pos < 0 || pos >= c.length())
+        return static_cast<uint8_t>(Base::N);
+    return c.seq[static_cast<size_t>(pos)];
+}
+
+bool
+ReferenceGenome::isSnpAt(uint8_t chr_id, int64_t pos) const
+{
+    const Chromosome &c = chromosome(chr_id);
+    if (pos < 0 || pos >= c.length())
+        return false;
+    return c.isSnp[static_cast<size_t>(pos)];
+}
+
+} // namespace genesis::genome

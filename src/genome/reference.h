@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reference genome model and synthetic genome generation.
+ *
+ * The paper evaluates against GRCh38 plus the dbSNP138 known-variant sites.
+ * We do not ship those data sets; instead ReferenceGenome can synthesise a
+ * deterministic genome of configurable shape (number of chromosomes,
+ * lengths, known-SNP density) that exercises the same code paths: the
+ * reference sequence column (REF.SEQ) and the known-site bitmap (REF.IS_SNP)
+ * of Table I.
+ */
+
+#ifndef GENESIS_GENOME_REFERENCE_H
+#define GENESIS_GENOME_REFERENCE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "genome/basepair.h"
+
+namespace genesis::genome {
+
+/** One chromosome: a named contiguous base sequence with a SNP bitmap. */
+struct Chromosome {
+    /** 1-based chromosome identifier (1..22, 23 = X, 24 = Y). */
+    uint8_t id = 0;
+    /** Display name ("chr1", "chrX", ...). */
+    std::string name;
+    /** Base codes for the full chromosome. */
+    Sequence seq;
+    /** Per-position flag: true when the locus is a known variant site. */
+    std::vector<bool> isSnp;
+
+    int64_t length() const { return static_cast<int64_t>(seq.size()); }
+};
+
+/** Configuration for synthetic genome generation. */
+struct SyntheticGenomeConfig {
+    /** Number of chromosomes to generate. */
+    int numChromosomes = 2;
+    /** Length of the first chromosome in base pairs. */
+    int64_t firstChromosomeLength = 1'000'000;
+    /**
+     * Each subsequent chromosome is this fraction of the previous one's
+     * length (human chromosome lengths decay roughly geometrically).
+     */
+    double lengthDecay = 0.85;
+    /** Minimum chromosome length regardless of decay. */
+    int64_t minChromosomeLength = 10'000;
+    /** Probability that a locus is a known SNP site (dbSNP density). */
+    double snpDensity = 0.01;
+    /** Seed for deterministic generation. */
+    uint64_t seed = 42;
+};
+
+/** A complete reference genome: an ordered set of chromosomes. */
+class ReferenceGenome
+{
+  public:
+    ReferenceGenome() = default;
+
+    /** Generate a deterministic synthetic genome. */
+    static ReferenceGenome synthesize(const SyntheticGenomeConfig &config);
+
+    /** Append a chromosome; ids must be added in increasing order. */
+    void addChromosome(Chromosome chromosome);
+
+    const std::vector<Chromosome> &chromosomes() const
+    {
+        return chromosomes_;
+    }
+
+    size_t numChromosomes() const { return chromosomes_.size(); }
+
+    /** @return chromosome by 1-based id; throws FatalError when absent. */
+    const Chromosome &chromosome(uint8_t id) const;
+
+    /** @return true when a chromosome with the given id exists. */
+    bool hasChromosome(uint8_t id) const;
+
+    /** @return total base pairs across all chromosomes. */
+    int64_t totalLength() const;
+
+    /**
+     * @return the base code at (chromosome id, 0-based position).
+     * Positions outside the chromosome return N.
+     */
+    uint8_t baseAt(uint8_t chr_id, int64_t pos) const;
+
+    /** @return true when (chr, pos) is a known SNP site. */
+    bool isSnpAt(uint8_t chr_id, int64_t pos) const;
+
+  private:
+    std::vector<Chromosome> chromosomes_;
+};
+
+/** @return canonical display name for a chromosome id ("chr1".."chrY"). */
+std::string chromosomeName(uint8_t id);
+
+} // namespace genesis::genome
+
+#endif // GENESIS_GENOME_REFERENCE_H

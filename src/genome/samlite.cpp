@@ -1,0 +1,158 @@
+#include "genome/samlite.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace genesis::genome {
+
+namespace {
+
+/** Split a line into tab-separated fields. */
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (start <= line.size()) {
+        size_t tab = line.find('\t', start);
+        if (tab == std::string::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+    return fields;
+}
+
+int64_t
+parseInt(const std::string &s, const char *what)
+{
+    try {
+        size_t idx = 0;
+        int64_t v = std::stoll(s, &idx);
+        if (idx != s.size())
+            fatal("trailing characters in %s field '%s'", what, s.c_str());
+        return v;
+    } catch (const std::invalid_argument &) {
+        fatal("malformed %s field '%s'", what, s.c_str());
+    } catch (const std::out_of_range &) {
+        fatal("out-of-range %s field '%s'", what, s.c_str());
+    }
+}
+
+} // namespace
+
+std::string
+readToSamLine(const AlignedRead &read)
+{
+    std::ostringstream os;
+    os << read.name << '\t'
+       << read.flags << '\t'
+       << chromosomeName(read.chr) << '\t'
+       << (read.pos + 1) << '\t' // SAM is 1-based
+       << static_cast<int>(read.mapq) << '\t'
+       << read.cigar.str() << '\t'
+       << (read.mateChr == read.chr && read.mateChr != 0
+           ? "=" : (read.mateChr ? chromosomeName(read.mateChr) : "*"))
+       << '\t'
+       << (read.matePos >= 0 ? read.matePos + 1 : 0) << '\t'
+       << 0 << '\t' // TLEN unused by this library
+       << sequenceToString(read.seq) << '\t';
+    for (uint8_t q : read.qual)
+        os << static_cast<char>(q + 33);
+    if (read.qual.empty())
+        os << '*';
+    os << "\tRG:Z:rg" << read.readGroup;
+    if (read.nmTag >= 0)
+        os << "\tNM:i:" << read.nmTag;
+    if (!read.mdTag.empty())
+        os << "\tMD:Z:" << read.mdTag;
+    if (read.uqTag >= 0)
+        os << "\tUQ:i:" << read.uqTag;
+    return os.str();
+}
+
+AlignedRead
+samLineToRead(const std::string &line)
+{
+    auto fields = splitTabs(line);
+    if (fields.size() < 11)
+        fatal("SAM line has %zu fields, need at least 11", fields.size());
+
+    AlignedRead read;
+    read.name = fields[0];
+    read.flags = static_cast<uint16_t>(parseInt(fields[1], "FLAG"));
+
+    const std::string &rname = fields[2];
+    if (rname.rfind("chr", 0) != 0)
+        fatal("unsupported RNAME '%s'", rname.c_str());
+    std::string suffix = rname.substr(3);
+    if (suffix == "X")
+        read.chr = 23;
+    else if (suffix == "Y")
+        read.chr = 24;
+    else
+        read.chr = static_cast<uint8_t>(parseInt(suffix, "RNAME"));
+
+    read.pos = parseInt(fields[3], "POS") - 1;
+    read.mapq = static_cast<uint8_t>(parseInt(fields[4], "MAPQ"));
+    read.cigar = Cigar::parse(fields[5]);
+    if (fields[6] == "=")
+        read.mateChr = read.chr;
+    else if (fields[6] == "*")
+        read.mateChr = 0;
+    read.matePos = parseInt(fields[7], "PNEXT") - 1;
+    read.seq = stringToSequence(fields[9]);
+    if (fields[10] != "*") {
+        read.qual.reserve(fields[10].size());
+        for (char c : fields[10])
+            read.qual.push_back(static_cast<uint8_t>(c - 33));
+    }
+
+    for (size_t i = 11; i < fields.size(); ++i) {
+        const std::string &tag = fields[i];
+        if (tag.rfind("RG:Z:rg", 0) == 0) {
+            read.readGroup = static_cast<uint16_t>(
+                parseInt(tag.substr(7), "RG"));
+        } else if (tag.rfind("NM:i:", 0) == 0) {
+            read.nmTag = static_cast<int32_t>(parseInt(tag.substr(5), "NM"));
+        } else if (tag.rfind("MD:Z:", 0) == 0) {
+            read.mdTag = tag.substr(5);
+        } else if (tag.rfind("UQ:i:", 0) == 0) {
+            read.uqTag = static_cast<int32_t>(parseInt(tag.substr(5), "UQ"));
+        }
+    }
+    return read;
+}
+
+void
+writeSam(std::ostream &os, const ReferenceGenome &genome,
+         const std::vector<AlignedRead> &reads)
+{
+    os << "@HD\tVN:1.6\tSO:coordinate\n";
+    for (const auto &chrom : genome.chromosomes()) {
+        os << "@SQ\tSN:" << chrom.name << "\tLN:" << chrom.length()
+           << "\n";
+    }
+    for (const auto &read : reads)
+        os << readToSamLine(read) << "\n";
+}
+
+std::vector<AlignedRead>
+readSam(std::istream &is)
+{
+    std::vector<AlignedRead> reads;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '@')
+            continue;
+        reads.push_back(samLineToRead(line));
+    }
+    return reads;
+}
+
+} // namespace genesis::genome

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * SAM-lite text serialisation for aligned reads.
+ *
+ * A simplified, self-consistent subset of the SAM format: the eleven
+ * mandatory columns plus the RG/NM/MD/UQ optional tags this library
+ * computes. Round-tripping through this format is exercised by tests so
+ * synthetic workloads can be inspected and persisted.
+ */
+
+#ifndef GENESIS_GENOME_SAMLITE_H
+#define GENESIS_GENOME_SAMLITE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genome/read.h"
+#include "genome/reference.h"
+
+namespace genesis::genome {
+
+/** Serialise one read as a SAM-lite text line (no trailing newline). */
+std::string readToSamLine(const AlignedRead &read);
+
+/** Parse one SAM-lite text line; throws FatalError on malformed input. */
+AlignedRead samLineToRead(const std::string &line);
+
+/** Write a header plus all reads to the given stream. */
+void writeSam(std::ostream &os, const ReferenceGenome &genome,
+              const std::vector<AlignedRead> &reads);
+
+/** Read all alignment lines from the given stream (header lines skipped). */
+std::vector<AlignedRead> readSam(std::istream &is);
+
+} // namespace genesis::genome
+
+#endif // GENESIS_GENOME_SAMLITE_H

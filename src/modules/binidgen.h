@@ -1,0 +1,75 @@
+/**
+ * @file
+ * BinIDGen custom module (Section IV-D).
+ *
+ * For each read base with quality score q it computes the two BQSR
+ * covariate bin ids:
+ *   b1 = q * (number of cycle values) + cycle value
+ *   b2 = q * (number of context types) + context id
+ * where the cycle value is the base's position within the read (reverse
+ * reads occupy a second bank of cycle values), and the context id encodes
+ * the previous and current base (AA=0, AC=1, ..., TT=15).
+ *
+ * Bases with no defined covariate — deletions, N bases, the first base of
+ * a read (no context) — carry Null bin ids, which downstream SPM updaters
+ * skip.
+ */
+
+#ifndef GENESIS_MODULES_BINIDGEN_H
+#define GENESIS_MODULES_BINIDGEN_H
+
+#include "sim/module.h"
+
+namespace genesis::modules {
+
+/** Configuration for BinIDGen. */
+struct BinIdGenConfig {
+    /** Total distinct cycle values (paper: 302 for 151 bp paired reads). */
+    int numCycleValues = 302;
+    /** Read length; reverse reads map cycle c to readLength + c. */
+    int readLength = 151;
+    /** Context types: 4 x 4 two-base combinations. */
+    int numContextTypes = 16;
+    /** Input field layout (ReadToBases output). */
+    int bpField = 0;
+    int qualField = 1;
+    int cycleField = 2;
+};
+
+/** Number of distinct quality-score values binned (phred 0..41). */
+inline constexpr int kBqsrQualValues = 42;
+
+/** The BinIDGen module. */
+class BinIdGen : public sim::Module
+{
+  public:
+    /**
+     * @param in ReadToBases output stream
+     * @param flags_in one flit per read: SAM FLAGS (for strand)
+     * @param out same stream with fields rewritten to [bp, qual, b1, b2]
+     */
+    BinIdGen(std::string name, sim::HardwareQueue *in,
+             sim::HardwareQueue *flags_in, sim::HardwareQueue *out,
+             const BinIdGenConfig &config = BinIdGenConfig());
+
+    void tick() override;
+    bool done() const override;
+
+    /** @return total bins per covariate table (for SPM sizing). */
+    static size_t tableSize(const BinIdGenConfig &config, bool cycle_table);
+
+  private:
+    sim::HardwareQueue *in_;
+    sim::HardwareQueue *flagsIn_;
+    sim::HardwareQueue *out_;
+    BinIdGenConfig config_;
+
+    bool needFlags_ = true;
+    bool reverse_ = false;
+    int64_t prevBase_ = -1;
+    bool closed_ = false;
+};
+
+} // namespace genesis::modules
+
+#endif // GENESIS_MODULES_BINIDGEN_H

@@ -1,0 +1,83 @@
+#include "modules/custom.h"
+
+#include "base/logging.h"
+#include "modules/binidgen.h"
+#include "modules/mdgen.h"
+
+namespace genesis::modules {
+
+CustomModuleRegistry &
+CustomModuleRegistry::global()
+{
+    static CustomModuleRegistry registry = [] {
+        CustomModuleRegistry r;
+        r.add("MDGen",
+              [](const std::string &instance_name,
+                 const std::vector<sim::HardwareQueue *> &inputs,
+                 sim::HardwareQueue *out) -> std::unique_ptr<sim::Module> {
+                  return std::make_unique<MdGen>(instance_name, inputs[0],
+                                                 out);
+              },
+              1);
+        r.add("BinIDGen",
+              [](const std::string &instance_name,
+                 const std::vector<sim::HardwareQueue *> &inputs,
+                 sim::HardwareQueue *out) -> std::unique_ptr<sim::Module> {
+                  return std::make_unique<BinIdGen>(
+                      instance_name, inputs[0], inputs[1], out);
+              },
+              2);
+        return r;
+    }();
+    return registry;
+}
+
+void
+CustomModuleRegistry::add(const std::string &name,
+                          CustomModuleFactory factory, size_t num_inputs)
+{
+    entries_[name] = Entry{std::move(factory), num_inputs};
+}
+
+bool
+CustomModuleRegistry::has(const std::string &name) const
+{
+    return entries_.count(name) > 0;
+}
+
+size_t
+CustomModuleRegistry::numInputs(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        fatal("unknown custom module '%s'", name.c_str());
+    return it->second.numInputs;
+}
+
+std::unique_ptr<sim::Module>
+CustomModuleRegistry::instantiate(
+    const std::string &name, const std::string &instance_name,
+    const std::vector<sim::HardwareQueue *> &inputs,
+    sim::HardwareQueue *out) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        fatal("unknown custom module '%s'", name.c_str());
+    if (inputs.size() != it->second.numInputs) {
+        fatal("custom module '%s' expects %zu inputs, got %zu",
+              name.c_str(), it->second.numInputs, inputs.size());
+    }
+    return it->second.factory(instance_name, inputs, out);
+}
+
+std::vector<std::string>
+CustomModuleRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace genesis::modules

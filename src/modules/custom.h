@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Custom-module registry (Section III-F).
+ *
+ * Users extend Genesis by registering a factory for a module that takes
+ * one or more input streams and produces one output stream. Registered
+ * modules are invocable from the SQL dialect via
+ *   EXEC ModuleName InputStream1 = <table> ...
+ * and from the pipeline builder by name. MDGen and BinIDGen — the two
+ * custom modules the paper's accelerators use — are pre-registered.
+ */
+
+#ifndef GENESIS_MODULES_CUSTOM_H
+#define GENESIS_MODULES_CUSTOM_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/module.h"
+
+namespace genesis::modules {
+
+/** Factory for one custom module instance. */
+using CustomModuleFactory = std::function<std::unique_ptr<sim::Module>(
+    const std::string &instance_name,
+    const std::vector<sim::HardwareQueue *> &inputs,
+    sim::HardwareQueue *out)>;
+
+/** Name-indexed registry of custom module factories. */
+class CustomModuleRegistry
+{
+  public:
+    /** @return the process-wide registry (built-ins pre-registered). */
+    static CustomModuleRegistry &global();
+
+    /** Register a factory; re-registering a name replaces it. */
+    void add(const std::string &name, CustomModuleFactory factory,
+             size_t num_inputs);
+
+    /** @return true when a factory with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** @return the number of input streams the module expects. */
+    size_t numInputs(const std::string &name) const;
+
+    /** Instantiate a module; throws FatalError on unknown names. */
+    std::unique_ptr<sim::Module>
+    instantiate(const std::string &name,
+                const std::string &instance_name,
+                const std::vector<sim::HardwareQueue *> &inputs,
+                sim::HardwareQueue *out) const;
+
+    /** @return registered names in sorted order. */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Entry {
+        CustomModuleFactory factory;
+        size_t numInputs = 1;
+    };
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace genesis::modules
+
+#endif // GENESIS_MODULES_CUSTOM_H

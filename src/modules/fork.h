@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fork module: replicates one flit stream to several consumers.
+ *
+ * The BQSR pipeline of paper Figure 12 fans a Filter's output out to two
+ * SPM updaters and a cascaded second Filter; in hardware this is plain
+ * wire fan-out with ready/valid coupling, which this module models: a
+ * flit advances only when every output queue can accept it in the same
+ * cycle.
+ */
+
+#ifndef GENESIS_MODULES_FORK_H
+#define GENESIS_MODULES_FORK_H
+
+#include <vector>
+
+#include "sim/module.h"
+
+namespace genesis::modules {
+
+/** Replicates an input stream into N output queues. */
+class Fork : public sim::Module
+{
+  public:
+    Fork(std::string name, sim::HardwareQueue *in,
+         std::vector<sim::HardwareQueue *> outs);
+
+    void tick() override;
+    bool done() const override;
+
+  private:
+    sim::HardwareQueue *in_;
+    std::vector<sim::HardwareQueue *> outs_;
+    bool closed_ = false;
+};
+
+} // namespace genesis::modules
+
+#endif // GENESIS_MODULES_FORK_H

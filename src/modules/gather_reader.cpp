@@ -1,0 +1,115 @@
+#include "modules/gather_reader.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace genesis::modules {
+
+using sim::Flit;
+
+GatherReader::GatherReader(std::string name, const ColumnBuffer *buffer,
+                           sim::MemoryPort *port,
+                           sim::HardwareQueue *start_in,
+                           sim::HardwareQueue *end_in,
+                           sim::HardwareQueue *out,
+                           const GatherReaderConfig &config)
+    : Module(std::move(name)), buffer_(buffer), port_(port),
+      startIn_(start_in), endIn_(end_in), out_(out), config_(config)
+{
+    GENESIS_ASSERT(buffer_ && port_ && startIn_ && endIn_ && out_,
+                   "gather reader wiring");
+}
+
+void
+GatherReader::tick()
+{
+    constexpr uint32_t kAccessGranularity = 64;
+    if (closed_)
+        return;
+
+    // Issue requests for the active interval.
+    if (intervalActive_) {
+        uint64_t interval_bytes = static_cast<uint64_t>(
+            intervalEnd_ - cursor_) * buffer_->elemSizeBytes +
+            bytesConsumed_;
+        while (bytesRequested_ < interval_bytes && port_->canIssue()) {
+            uint64_t offset = static_cast<uint64_t>(
+                cursor_ - config_.addrBase) * buffer_->elemSizeBytes +
+                bytesRequested_ - bytesConsumed_;
+            uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
+                kAccessGranularity, interval_bytes - bytesRequested_));
+            port_->issue(buffer_->baseAddr + offset, chunk, false);
+            bytesRequested_ += chunk;
+        }
+    }
+    bytesArrived_ += port_->takeCompletedReadBytes();
+
+    if (!out_->canPush()) {
+        countStall("backpressure");
+        return;
+    }
+    if (pendingBoundary_) {
+        out_->push(sim::makeBoundary());
+        pendingBoundary_ = false;
+        return;
+    }
+
+    if (intervalActive_) {
+        if (cursor_ >= intervalEnd_) {
+            intervalActive_ = false;
+            if (config_.emitBoundaries) {
+                out_->push(sim::makeBoundary());
+                return;
+            }
+        } else {
+            uint64_t next = bytesConsumed_ + buffer_->elemSizeBytes;
+            if (next > bytesArrived_) {
+                countStall("memory");
+                return;
+            }
+            size_t idx = static_cast<size_t>(cursor_ - config_.addrBase);
+            GENESIS_ASSERT(idx < buffer_->elements.size(),
+                           "gather read of %zu beyond buffer %zu", idx,
+                           buffer_->elements.size());
+            Flit flit;
+            flit.key = cursor_;
+            flit.pushField(buffer_->elements[idx]);
+            out_->push(flit);
+            countFlit();
+            ++cursor_;
+            bytesConsumed_ = next;
+            if (cursor_ >= intervalEnd_) {
+                intervalActive_ = false;
+                pendingBoundary_ = config_.emitBoundaries;
+            }
+            return;
+        }
+    }
+
+    if (startIn_->canPop() && endIn_->canPop()) {
+        Flit start = startIn_->pop();
+        Flit end = endIn_->pop();
+        GENESIS_ASSERT(!sim::isBoundary(start) && !sim::isBoundary(end),
+                       "gather reader expects scalar interval streams");
+        cursor_ = start.key;
+        intervalEnd_ = end.key;
+        intervalActive_ = true;
+        bytesRequested_ = 0;
+        bytesArrived_ = 0;
+        bytesConsumed_ = 0;
+        return;
+    }
+    if (startIn_->drained() && endIn_->drained() && port_->idle()) {
+        out_->close();
+        closed_ = true;
+    }
+}
+
+bool
+GatherReader::done() const
+{
+    return closed_;
+}
+
+} // namespace genesis::modules

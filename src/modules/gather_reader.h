@@ -1,0 +1,63 @@
+/**
+ * @file
+ * GatherReader: per-interval reference fetch straight from device memory.
+ *
+ * This module is the counterfactual to the SPM path of Figures 7/11/12:
+ * instead of staging the partition's reference in an on-chip scratchpad
+ * and reading it per interval, it issues memory requests for every
+ * read's [POS, ENDPOS) span. Functionally identical to the interval
+ * SpmReader; architecturally it re-reads overlapping reference bytes
+ * from DRAM for every read. The ablate_spm bench uses it to quantify the
+ * data reuse the paper's scratchpads capture.
+ */
+
+#ifndef GENESIS_MODULES_GATHER_READER_H
+#define GENESIS_MODULES_GATHER_READER_H
+
+#include "modules/stream_buffer.h"
+#include "sim/memory.h"
+#include "sim/module.h"
+
+namespace genesis::modules {
+
+/** Configuration for a GatherReader. */
+struct GatherReaderConfig {
+    /** Reference position of the buffer's first element. */
+    int64_t addrBase = 0;
+    /** Emit a boundary flit after each interval. */
+    bool emitBoundaries = true;
+};
+
+/** Streams [start, end) reference intervals from device memory. */
+class GatherReader : public sim::Module
+{
+  public:
+    GatherReader(std::string name, const ColumnBuffer *buffer,
+                 sim::MemoryPort *port, sim::HardwareQueue *start_in,
+                 sim::HardwareQueue *end_in, sim::HardwareQueue *out,
+                 const GatherReaderConfig &config);
+
+    void tick() override;
+    bool done() const override;
+
+  private:
+    const ColumnBuffer *buffer_;
+    sim::MemoryPort *port_;
+    sim::HardwareQueue *startIn_;
+    sim::HardwareQueue *endIn_;
+    sim::HardwareQueue *out_;
+    GatherReaderConfig config_;
+
+    bool intervalActive_ = false;
+    int64_t cursor_ = 0;      ///< next position to emit
+    int64_t intervalEnd_ = 0;
+    uint64_t bytesRequested_ = 0; ///< within the current interval
+    uint64_t bytesArrived_ = 0;
+    uint64_t bytesConsumed_ = 0;
+    bool pendingBoundary_ = false;
+    bool closed_ = false;
+};
+
+} // namespace genesis::modules
+
+#endif // GENESIS_MODULES_GATHER_READER_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MDGen custom module (Section IV-C).
+ *
+ * Generates the MD tag from the left-joined (read base, reference base)
+ * stream: runs of matching bases are emitted as a decimal count,
+ * mismatches emit the reference base, and deletion runs emit '^' followed
+ * by the deleted reference bases (footnote 2 of the paper). Insertions do
+ * not appear in MD. Output is a stream of ASCII character flits, one
+ * character per cycle, with a boundary flit per read.
+ */
+
+#ifndef GENESIS_MODULES_MDGEN_H
+#define GENESIS_MODULES_MDGEN_H
+
+#include <deque>
+
+#include "sim/module.h"
+
+namespace genesis::modules {
+
+/** Field layout of MDGen's input (the metadata pipeline's join output). */
+struct MdGenConfig {
+    int bpField = 0;   ///< read base code (or Del)
+    int refField = 3;  ///< reference base code (or Null for insertions)
+};
+
+/** The MDGen module. */
+class MdGen : public sim::Module
+{
+  public:
+    MdGen(std::string name, sim::HardwareQueue *in,
+          sim::HardwareQueue *out,
+          const MdGenConfig &config = MdGenConfig());
+
+    void tick() override;
+    bool done() const override;
+
+  private:
+    /** Append the current match count's decimal digits to pending. */
+    void flushCount();
+
+    sim::HardwareQueue *in_;
+    sim::HardwareQueue *out_;
+    MdGenConfig config_;
+
+    int64_t matchCount_ = 0;
+    bool inDeletion_ = false;
+    /** Pending output characters; kBoundaryMark delimits reads. */
+    std::deque<int64_t> pending_;
+    static constexpr int64_t kBoundaryMark = -1;
+    bool closed_ = false;
+};
+
+} // namespace genesis::modules
+
+#endif // GENESIS_MODULES_MDGEN_H

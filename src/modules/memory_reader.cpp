@@ -1,0 +1,112 @@
+#include "modules/memory_reader.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace genesis::modules {
+
+using sim::Flit;
+
+MemoryReader::MemoryReader(std::string name, const ColumnBuffer *buffer,
+                           sim::MemoryPort *port, sim::HardwareQueue *out,
+                           const MemoryReaderConfig &config)
+    : Module(std::move(name)), buffer_(buffer), port_(port), out_(out),
+      config_(config)
+{
+    GENESIS_ASSERT(buffer_ && port_ && out_,
+                   "memory reader needs buffer, port and output queue");
+    if (!buffer_->rowLengths.empty()) {
+        rowRemaining_ = buffer_->rowLengths[0];
+        rowLoaded_ = true;
+    }
+}
+
+void
+MemoryReader::tick()
+{
+    if (closed_)
+        return;
+
+    // 1. Keep the prefetch pipeline full: request more bytes while the
+    //    in-flight + buffered volume stays under the prefetch capacity.
+    //    Requests go out at the memory access granularity (64 B).
+    constexpr uint32_t kAccessGranularity = 64;
+    const uint64_t total = buffer_->totalBytes();
+    while (bytesRequested_ < total && port_->canIssue()) {
+        uint64_t in_flight_or_buffered = bytesRequested_ - bytesConsumed_;
+        if (in_flight_or_buffered >= config_.prefetchBytes)
+            break;
+        uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
+            kAccessGranularity, total - bytesRequested_));
+        port_->issue(buffer_->baseAddr + bytesRequested_, chunk, false);
+        bytesRequested_ += chunk;
+    }
+
+    // 2. Collect arrived bytes.
+    bytesArrived_ += port_->takeCompletedReadBytes();
+
+    // 3. Emit at most one flit per cycle.
+    if (!out_->canPush()) {
+        countStall("backpressure");
+        return;
+    }
+    if (pendingBoundary_) {
+        out_->push(sim::makeBoundary());
+        pendingBoundary_ = false;
+        return;
+    }
+    // Rows with zero elements contribute only a boundary flit.
+    if (rowLoaded_ && rowRemaining_ == 0) {
+        advanceRow();
+        if (config_.emitBoundaries)
+            out_->push(sim::makeBoundary());
+        return;
+    }
+    if (elemCursor_ >= buffer_->elements.size()) {
+        if (!rowLoaded_ || !config_.emitBoundaries) {
+            out_->close();
+            closed_ = true;
+        }
+        return;
+    }
+    uint64_t next_consumed = bytesConsumed_ + buffer_->elemSizeBytes;
+    if (next_consumed > bytesArrived_) {
+        countStall("memory");
+        return;
+    }
+    int64_t value = buffer_->elements[elemCursor_];
+    out_->push(sim::makeFlit(value, value));
+    countFlit();
+    ++elemCursor_;
+    bytesConsumed_ = next_consumed;
+    if (rowLoaded_) {
+        --rowRemaining_;
+        if (rowRemaining_ == 0) {
+            advanceRow();
+            if (config_.emitBoundaries)
+                pendingBoundary_ = true;
+        }
+    }
+}
+
+void
+MemoryReader::advanceRow()
+{
+    ++rowCursor_;
+    if (rowCursor_ < buffer_->rowLengths.size()) {
+        rowRemaining_ = buffer_->rowLengths[rowCursor_];
+        rowLoaded_ = true;
+    } else {
+        rowRemaining_ = 0;
+        rowLoaded_ = false;
+    }
+}
+
+bool
+MemoryReader::done() const
+{
+    return closed_;
+}
+
+} // namespace genesis::modules

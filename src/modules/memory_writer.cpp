@@ -1,0 +1,85 @@
+#include "modules/memory_writer.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace genesis::modules {
+
+using sim::Flit;
+
+MemoryWriter::MemoryWriter(std::string name, ColumnBuffer *buffer,
+                           sim::MemoryPort *port, sim::HardwareQueue *in,
+                           const MemoryWriterConfig &config)
+    : Module(std::move(name)), buffer_(buffer), port_(port), in_(in),
+      config_(config)
+{
+    GENESIS_ASSERT(buffer_ && port_ && in_,
+                   "memory writer needs buffer, port and input queue");
+    buffer_->elemSizeBytes = config_.elemSizeBytes;
+}
+
+void
+MemoryWriter::tick()
+{
+    constexpr uint32_t kAccessGranularity = 64;
+
+    // Accept at most one flit per cycle.
+    if (in_->canPop()) {
+        const Flit &head = in_->front();
+        if (sim::isBoundary(head)) {
+            in_->pop();
+            if (config_.rowMode) {
+                buffer_->appendRow(currentRow_);
+                currentRow_.clear();
+            }
+        } else {
+            // Issue backpressure by not popping when the port is saturated
+            // far beyond a full chunk.
+            if (bytesAccumulated_ < 4 * kAccessGranularity) {
+                Flit flit = in_->pop();
+                int64_t v = config_.fieldIndex < 0
+                    ? flit.key : flit.fieldAt(config_.fieldIndex);
+                if (config_.rowMode) {
+                    currentRow_.push_back(v);
+                } else {
+                    buffer_->appendRow({v});
+                }
+                bytesAccumulated_ += config_.elemSizeBytes;
+                countFlit();
+            } else {
+                countStall("write_backlog");
+            }
+        }
+    } else if (in_->drained() && !inputDrained_) {
+        inputDrained_ = true;
+        if (config_.rowMode && !currentRow_.empty()) {
+            // Stream ended without a trailing boundary: flush the row.
+            buffer_->appendRow(currentRow_);
+            currentRow_.clear();
+        }
+    }
+
+    // Issue write requests for full chunks (or the final partial chunk).
+    while (bytesAccumulated_ >= kAccessGranularity && port_->canIssue()) {
+        port_->issue(buffer_->baseAddr + bytesIssued_, kAccessGranularity,
+                     true);
+        bytesIssued_ += kAccessGranularity;
+        bytesAccumulated_ -= kAccessGranularity;
+    }
+    if (inputDrained_ && bytesAccumulated_ > 0 && port_->canIssue()) {
+        port_->issue(buffer_->baseAddr + bytesIssued_,
+                     static_cast<uint32_t>(bytesAccumulated_), true);
+        bytesIssued_ += bytesAccumulated_;
+        bytesAccumulated_ = 0;
+    }
+}
+
+bool
+MemoryWriter::done() const
+{
+    return inputDrained_ && bytesAccumulated_ == 0 &&
+        port_->retiredWriteBytes() >= bytesIssued_;
+}
+
+} // namespace genesis::modules

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory Writer module (Section III-C).
+ *
+ * Accepts one flit per cycle, accumulates values in an internal buffer,
+ * and issues a write request whenever a full memory-access-granularity
+ * chunk is ready (or the stream ends). Data lands in a ColumnBuffer;
+ * boundary flits close the current output row.
+ */
+
+#ifndef GENESIS_MODULES_MEMORY_WRITER_H
+#define GENESIS_MODULES_MEMORY_WRITER_H
+
+#include <vector>
+
+#include "modules/stream_buffer.h"
+#include "sim/memory.h"
+#include "sim/module.h"
+
+namespace genesis::modules {
+
+/** Configuration for a MemoryWriter. */
+struct MemoryWriterConfig {
+    /** Which flit field to store (-1 stores the key instead). */
+    int fieldIndex = 0;
+    /** Element size in device memory. */
+    uint32_t elemSizeBytes = 4;
+    /**
+     * When true (row mode) a boundary flit ends the current output row;
+     * when false every flit is its own row (scalar columns).
+     */
+    bool rowMode = false;
+};
+
+/** Streams flits from a queue into a ColumnBuffer in device memory. */
+class MemoryWriter : public sim::Module
+{
+  public:
+    MemoryWriter(std::string name, ColumnBuffer *buffer,
+                 sim::MemoryPort *port, sim::HardwareQueue *in,
+                 const MemoryWriterConfig &config = MemoryWriterConfig());
+
+    void tick() override;
+    bool done() const override;
+
+  private:
+    ColumnBuffer *buffer_;
+    sim::MemoryPort *port_;
+    sim::HardwareQueue *in_;
+    MemoryWriterConfig config_;
+
+    std::vector<int64_t> currentRow_;
+    uint64_t bytesAccumulated_ = 0; ///< accepted but not yet requested
+    uint64_t bytesIssued_ = 0;      ///< total write bytes issued
+    bool inputDrained_ = false;
+};
+
+} // namespace genesis::modules
+
+#endif // GENESIS_MODULES_MEMORY_WRITER_H

@@ -1,0 +1,141 @@
+#include "modules/read_to_bases.h"
+
+#include "base/logging.h"
+
+namespace genesis::modules {
+
+using genome::CigarOp;
+using sim::Flit;
+
+ReadToBases::ReadToBases(std::string name, sim::HardwareQueue *pos_in,
+                         sim::HardwareQueue *cigar_in,
+                         sim::HardwareQueue *seq_in,
+                         sim::HardwareQueue *qual_in,
+                         sim::HardwareQueue *out)
+    : Module(std::move(name)), posIn_(pos_in), cigarIn_(cigar_in),
+      seqIn_(seq_in), qualIn_(qual_in), out_(out)
+{
+    GENESIS_ASSERT(posIn_ && cigarIn_ && seqIn_ && out_,
+                   "ReadToBases wiring");
+}
+
+bool
+ReadToBases::consumeBase(int64_t &bp, int64_t &qual)
+{
+    if (!seqIn_->canPop() || sim::isBoundary(seqIn_->front()))
+        return false;
+    if (qualIn_ &&
+        (!qualIn_->canPop() || sim::isBoundary(qualIn_->front()))) {
+        return false;
+    }
+    bp = seqIn_->pop().key;
+    qual = qualIn_ ? qualIn_->pop().key : Flit::kNull;
+    return true;
+}
+
+void
+ReadToBases::tick()
+{
+    if (closed_)
+        return;
+    if (!out_->canPush()) {
+        countStall("backpressure");
+        return;
+    }
+
+    if (!active_) {
+        if (posIn_->canPop()) {
+            refPos_ = posIn_->pop().key;
+            active_ = true;
+            cycle_ = 0;
+            haveElem_ = false;
+            return;
+        }
+        if (posIn_->drained() && cigarIn_->drained() &&
+            seqIn_->drained() &&
+            (!qualIn_ || qualIn_->drained())) {
+            out_->close();
+            closed_ = true;
+            return;
+        }
+        countStall("starved");
+        return;
+    }
+
+    if (!haveElem_) {
+        if (!cigarIn_->canPop()) {
+            countStall("starved");
+            return;
+        }
+        if (sim::isBoundary(cigarIn_->front())) {
+            // Read complete: align the companion streams' boundaries and
+            // emit the output boundary in one step.
+            bool seq_at_boundary = seqIn_->canPop() &&
+                sim::isBoundary(seqIn_->front());
+            bool qual_at_boundary = !qualIn_ ||
+                (qualIn_->canPop() && sim::isBoundary(qualIn_->front()));
+            if (!seq_at_boundary || !qual_at_boundary) {
+                countStall("starved");
+                return;
+            }
+            cigarIn_->pop();
+            seqIn_->pop();
+            if (qualIn_)
+                qualIn_->pop();
+            out_->push(sim::makeBoundary());
+            active_ = false;
+            return;
+        }
+        elem_ = genome::CigarElement::unpack(
+            static_cast<uint16_t>(cigarIn_->pop().key));
+        elemRemaining_ = elem_.length;
+        haveElem_ = elemRemaining_ > 0;
+        return;
+    }
+
+    int64_t bp = 0, qual = 0;
+    switch (elem_.op) {
+      case CigarOp::SoftClip:
+        // Clipped bases are consumed without producing output.
+        if (!consumeBase(bp, qual)) {
+            countStall("starved");
+            return;
+        }
+        break;
+      case CigarOp::Match:
+        if (!consumeBase(bp, qual)) {
+            countStall("starved");
+            return;
+        }
+        out_->push(sim::makeFlit(refPos_, bp, qual, cycle_));
+        countFlit();
+        ++refPos_;
+        ++cycle_;
+        break;
+      case CigarOp::Insert:
+        if (!consumeBase(bp, qual)) {
+            countStall("starved");
+            return;
+        }
+        out_->push(sim::makeFlit(Flit::kIns, bp, qual, cycle_));
+        countFlit();
+        ++cycle_;
+        break;
+      case CigarOp::Delete:
+        out_->push(sim::makeFlit(refPos_, Flit::kDel, Flit::kDel,
+                                 Flit::kDel));
+        countFlit();
+        ++refPos_;
+        break;
+    }
+    if (--elemRemaining_ == 0)
+        haveElem_ = false;
+}
+
+bool
+ReadToBases::done() const
+{
+    return closed_;
+}
+
+} // namespace genesis::modules

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ReadToBases module — the hardware ReadExplode (Sections III-B/III-C).
+ *
+ * Consumes a read's POS, CIGAR, SEQ (and optionally QUAL) streams and
+ * emits one flit per exploded base per cycle:
+ *   key   = reference position, or the Ins marker for inserted bases
+ *   field0 = read base code, or Del for deleted positions
+ *   field1 = quality score, or Del for deleted positions
+ *   field2 = sequencing cycle (read offset among unclipped bases), or Del
+ * Soft-clipped bases are consumed but never emitted, exactly as in paper
+ * Figure 3. A boundary flit delimits each read's output.
+ */
+
+#ifndef GENESIS_MODULES_READ_TO_BASES_H
+#define GENESIS_MODULES_READ_TO_BASES_H
+
+#include "genome/cigar.h"
+#include "sim/module.h"
+
+namespace genesis::modules {
+
+/** The ReadToBases module. */
+class ReadToBases : public sim::Module
+{
+  public:
+    /**
+     * @param pos_in one flit per read: leftmost aligned position (key)
+     * @param cigar_in packed CIGAR elements + per-read boundary
+     * @param seq_in base codes + per-read boundary
+     * @param qual_in quality scores + per-read boundary; may be null
+     * @param out exploded base stream
+     */
+    ReadToBases(std::string name, sim::HardwareQueue *pos_in,
+                sim::HardwareQueue *cigar_in, sim::HardwareQueue *seq_in,
+                sim::HardwareQueue *qual_in, sim::HardwareQueue *out);
+
+    void tick() override;
+    bool done() const override;
+
+  private:
+    /** @return true when a base (and qual) flit could be consumed. */
+    bool consumeBase(int64_t &bp, int64_t &qual);
+
+    sim::HardwareQueue *posIn_;
+    sim::HardwareQueue *cigarIn_;
+    sim::HardwareQueue *seqIn_;
+    sim::HardwareQueue *qualIn_; ///< may be null
+    sim::HardwareQueue *out_;
+
+    bool active_ = false;    ///< processing a read
+    int64_t refPos_ = 0;     ///< next reference position
+    int64_t cycle_ = 0;      ///< next read-offset value
+    bool haveElem_ = false;  ///< a CIGAR element is loaded
+    genome::CigarElement elem_;
+    uint32_t elemRemaining_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace genesis::modules
+
+#endif // GENESIS_MODULES_READ_TO_BASES_H

@@ -1,0 +1,132 @@
+#include "modules/reducer.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace genesis::modules {
+
+using sim::Flit;
+
+Reducer::Reducer(std::string name, sim::HardwareQueue *in,
+                 sim::HardwareQueue *out, const ReducerConfig &config)
+    : Module(std::move(name)), in_(in), out_(out), config_(config)
+{
+    GENESIS_ASSERT(in_ && out_, "reducer wiring");
+    resetAccumulator();
+}
+
+void
+Reducer::resetAccumulator()
+{
+    any_ = false;
+    switch (config_.op) {
+      case ReduceOp::Sum:
+      case ReduceOp::Count:
+        accumulator_ = 0;
+        break;
+      case ReduceOp::Min:
+        accumulator_ = std::numeric_limits<int64_t>::max();
+        break;
+      case ReduceOp::Max:
+        accumulator_ = std::numeric_limits<int64_t>::min();
+        break;
+    }
+}
+
+void
+Reducer::accumulate(const Flit &flit)
+{
+    if (config_.maskField >= 0 &&
+        flit.fieldAt(config_.maskField) == 0) {
+        return;
+    }
+    if (config_.op == ReduceOp::Count) {
+        ++accumulator_;
+        any_ = true;
+        return;
+    }
+    int64_t v = config_.valueField < 0
+        ? flit.key : flit.fieldAt(config_.valueField);
+    if (config_.skipSentinels &&
+        (v == Flit::kNull || v == Flit::kDel || v == Flit::kIns)) {
+        return;
+    }
+    switch (config_.op) {
+      case ReduceOp::Sum:
+        accumulator_ += v;
+        break;
+      case ReduceOp::Min:
+        accumulator_ = std::min(accumulator_, v);
+        break;
+      case ReduceOp::Max:
+        accumulator_ = std::max(accumulator_, v);
+        break;
+      case ReduceOp::Count:
+        break;
+    }
+    any_ = true;
+}
+
+Flit
+Reducer::resultFlit()
+{
+    Flit flit;
+    flit.key = itemIndex_++;
+    if ((config_.op == ReduceOp::Min || config_.op == ReduceOp::Max) &&
+        !any_) {
+        flit.pushField(Flit::kNull);
+    } else {
+        flit.pushField(accumulator_);
+    }
+    return flit;
+}
+
+void
+Reducer::tick()
+{
+    if (closed_)
+        return;
+    if (!out_->canPush()) {
+        countStall("backpressure");
+        return;
+    }
+    if (pendingBoundary_) {
+        out_->push(sim::makeBoundary());
+        pendingBoundary_ = false;
+        return;
+    }
+    if (in_->canPop()) {
+        const Flit &head = in_->front();
+        if (sim::isBoundary(head)) {
+            in_->pop();
+            if (config_.granularity == ReduceGranularity::PerItem) {
+                out_->push(resultFlit());
+                resetAccumulator();
+                pendingBoundary_ = config_.emitBoundaries;
+            }
+            return;
+        }
+        accumulate(in_->pop());
+        countFlit();
+        return;
+    }
+    if (in_->drained()) {
+        if (config_.granularity == ReduceGranularity::WholeStream &&
+            !finalEmitted_) {
+            out_->push(resultFlit());
+            finalEmitted_ = true;
+            return;
+        }
+        out_->close();
+        closed_ = true;
+    }
+}
+
+bool
+Reducer::done() const
+{
+    return closed_;
+}
+
+} // namespace genesis::modules

@@ -1,0 +1,156 @@
+#include "modules/spm_reader.h"
+
+#include "base/logging.h"
+
+namespace genesis::modules {
+
+using sim::Flit;
+
+SpmReader::SpmReader(std::string name, const sim::Scratchpad *spm,
+                     sim::HardwareQueue *addr_in, sim::HardwareQueue *out,
+                     const SpmReaderConfig &config)
+    : Module(std::move(name)), spm_(spm), startIn_(addr_in), out_(out),
+      config_(config)
+{
+    GENESIS_ASSERT(config_.mode == SpmReadMode::AddressStream,
+                   "address-stream constructor requires AddressStream "
+                   "mode");
+    GENESIS_ASSERT(spm_ && startIn_ && out_, "SPM reader wiring");
+}
+
+SpmReader::SpmReader(std::string name, const sim::Scratchpad *spm,
+                     sim::HardwareQueue *start_in,
+                     sim::HardwareQueue *end_in, sim::HardwareQueue *out,
+                     const SpmReaderConfig &config)
+    : Module(std::move(name)), spm_(spm), startIn_(start_in),
+      endIn_(end_in), out_(out), config_(config)
+{
+    GENESIS_ASSERT(config_.mode == SpmReadMode::Interval,
+                   "interval constructor requires Interval mode");
+    GENESIS_ASSERT(spm_ && startIn_ && endIn_ && out_,
+                   "SPM reader wiring");
+}
+
+SpmReader::SpmReader(std::string name, const sim::Scratchpad *spm,
+                     const sim::Module *wait_for, sim::HardwareQueue *out,
+                     const SpmReaderConfig &config)
+    : Module(std::move(name)), spm_(spm), out_(out), waitFor_(wait_for),
+      config_(config)
+{
+    GENESIS_ASSERT(config_.mode == SpmReadMode::Drain,
+                   "drain constructor requires Drain mode");
+    GENESIS_ASSERT(spm_ && waitFor_ && out_, "SPM reader wiring");
+}
+
+void
+SpmReader::pushWord(int64_t key, int64_t word)
+{
+    Flit flit;
+    flit.key = key;
+    if (config_.unpackPair) {
+        flit.pushField(word & 0xff);
+        flit.pushField((word >> 8) & 0xff);
+    } else {
+        flit.pushField(word);
+    }
+    out_->push(flit);
+    countFlit();
+}
+
+void
+SpmReader::tick()
+{
+    if (closed_)
+        return;
+    if (config_.waitFor && !config_.waitFor->done()) {
+        countStall("spm_init");
+        return;
+    }
+    if (!out_->canPush()) {
+        countStall("backpressure");
+        return;
+    }
+
+    switch (config_.mode) {
+      case SpmReadMode::AddressStream: {
+        if (!startIn_->canPop()) {
+            if (startIn_->drained()) {
+                out_->close();
+                closed_ = true;
+            }
+            return;
+        }
+        const Flit &head = startIn_->front();
+        if (sim::isBoundary(head)) {
+            startIn_->pop();
+            out_->push(sim::makeBoundary());
+            return;
+        }
+        Flit flit = startIn_->pop();
+        int64_t addr = flit.key - config_.addrBase;
+        pushWord(flit.key, spm_->read(static_cast<size_t>(addr)));
+        return;
+      }
+      case SpmReadMode::Interval: {
+        if (pendingBoundary_) {
+            out_->push(sim::makeBoundary());
+            pendingBoundary_ = false;
+            return;
+        }
+        if (intervalActive_) {
+            if (cursor_ >= intervalEnd_) {
+                intervalActive_ = false;
+                if (config_.emitBoundaries) {
+                    out_->push(sim::makeBoundary());
+                    return;
+                }
+            } else {
+                int64_t addr = cursor_ - config_.addrBase;
+                pushWord(cursor_, spm_->read(static_cast<size_t>(addr)));
+                ++cursor_;
+                if (cursor_ >= intervalEnd_) {
+                    intervalActive_ = false;
+                    pendingBoundary_ = config_.emitBoundaries;
+                }
+                return;
+            }
+        }
+        if (startIn_->canPop() && endIn_->canPop()) {
+            Flit start = startIn_->pop();
+            Flit end = endIn_->pop();
+            GENESIS_ASSERT(!sim::isBoundary(start) &&
+                           !sim::isBoundary(end),
+                           "interval SPM reader expects scalar streams");
+            cursor_ = start.key;
+            intervalEnd_ = end.key;
+            intervalActive_ = true;
+            return;
+        }
+        if (startIn_->drained() && endIn_->drained()) {
+            out_->close();
+            closed_ = true;
+        }
+        return;
+      }
+      case SpmReadMode::Drain: {
+        if (!waitFor_->done())
+            return;
+        if (cursor_ >= static_cast<int64_t>(spm_->sizeWords())) {
+            out_->close();
+            closed_ = true;
+            return;
+        }
+        pushWord(cursor_, spm_->read(static_cast<size_t>(cursor_)));
+        ++cursor_;
+        return;
+      }
+    }
+}
+
+bool
+SpmReader::done() const
+{
+    return closed_;
+}
+
+} // namespace genesis::modules

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Stream ALU module (Section III-C, Figure 6).
+ *
+ * Performs a simple unary or binary ALU operation on flits from one or
+ * two input queues (or one queue and a constant). With two queues the
+ * operation pairs flits positionally. Boundary flits pass through (and
+ * must be aligned across two-queue inputs). An optional mask field can
+ * gate the operation, leaving unmasked flits' first operand unchanged.
+ */
+
+#ifndef GENESIS_MODULES_STREAM_ALU_H
+#define GENESIS_MODULES_STREAM_ALU_H
+
+#include "sim/module.h"
+
+namespace genesis::modules {
+
+/** ALU operation. */
+enum class AluOp {
+    Add, Sub, Mul, And, Or, Xor, Not, Min, Max,
+    Cmp,   ///< (a == b) ? 1 : 0
+    Shl,   ///< a << b
+    Pack,  ///< a | (b << 8) — used to pack (SEQ, IS_SNP) SPM words
+};
+
+/** Configuration for a StreamAlu. */
+struct StreamAluConfig {
+    AluOp op = AluOp::Add;
+    /** Field of the first input used as operand A (-1 = key). */
+    int fieldA = 0;
+    /** Field of the second input used as operand B (-1 = key). */
+    int fieldB = 0;
+    /** Constant operand B when no second queue is connected. */
+    int64_t constantB = 0;
+    /** Mask field on the first input; -1 = unmasked. */
+    int maskField = -1;
+};
+
+/** The Stream ALU module. */
+class StreamAlu : public sim::Module
+{
+  public:
+    /** Binary form with two input queues. */
+    StreamAlu(std::string name, sim::HardwareQueue *in_a,
+              sim::HardwareQueue *in_b, sim::HardwareQueue *out,
+              const StreamAluConfig &config);
+
+    /** Unary / queue-with-constant form. */
+    StreamAlu(std::string name, sim::HardwareQueue *in,
+              sim::HardwareQueue *out, const StreamAluConfig &config);
+
+    void tick() override;
+    bool done() const override;
+
+    /** Apply the configured operation (exposed for tests). */
+    static int64_t apply(AluOp op, int64_t a, int64_t b);
+
+  private:
+    sim::HardwareQueue *inA_;
+    sim::HardwareQueue *inB_; ///< may be null (constant operand)
+    sim::HardwareQueue *out_;
+    StreamAluConfig config_;
+    bool closed_ = false;
+};
+
+} // namespace genesis::modules
+
+#endif // GENESIS_MODULES_STREAM_ALU_H

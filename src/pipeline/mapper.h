@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Logical-plan -> hardware-pipeline mapper (Section III-D).
+ *
+ * The paper constructs accelerators manually from the hardware library
+ * but envisions automating the translation: "each node in the [query
+ * plan] graph can be mapped to a Genesis hardware module, and each edge
+ * to a hardware queue". This mapper implements that translation for the
+ * streaming query class the paper's accelerators belong to:
+ *
+ *   [INSERT INTO out] Aggregate( ... )
+ *       <- Filter*                       (Filter module)
+ *       <- Join(ReadExplode(...), ref)   (Joiner + SPM reader)
+ *       <- ReadExplode(POS,CIGAR,SEQ[,QUAL])  (ReadToBases + readers)
+ *
+ * The FOR-row-IN-table iteration of the SQL form becomes hardware
+ * streaming: the per-read loop body is fused into a single plan (temp
+ * tables inlined), per-read aggregation becomes per-item reduction, and
+ * the LIMIT-windowed reference subquery becomes the interval SPM read
+ * driven by POS/ENDPOS.
+ */
+
+#ifndef GENESIS_PIPELINE_MAPPER_H
+#define GENESIS_PIPELINE_MAPPER_H
+
+#include <string>
+
+#include "modules/stream_buffer.h"
+#include "pipeline/builder.h"
+#include "runtime/api.h"
+#include "sql/ast.h"
+#include "sql/plan.h"
+
+namespace genesis::pipeline {
+
+/** Device buffers and SPM hints the mapped pipeline binds to. */
+struct QueryBinding {
+    const modules::ColumnBuffer *pos = nullptr;
+    const modules::ColumnBuffer *endpos = nullptr;
+    const modules::ColumnBuffer *cigar = nullptr;
+    const modules::ColumnBuffer *seq = nullptr;
+    /** Optional; required only when the query reads QUAL. */
+    const modules::ColumnBuffer *qual = nullptr;
+    /** The reference column that the user hinted into an SPM. */
+    const modules::ColumnBuffer *refSeq = nullptr;
+    /** Names that identify the reference table in the plan. */
+    std::vector<std::string> refTableNames = {"RelevantReference", "REF",
+                                              "ReferenceRow"};
+    int64_t windowStart = 0;
+    size_t spmWords = 1;
+};
+
+/** Result of mapping: the pipeline's output buffer. */
+struct MappedQuery {
+    modules::ColumnBuffer *output = nullptr;
+    /** Human-readable lowering trace (module per plan node). */
+    std::string trace;
+};
+
+/**
+ * Fuse a parsed Figure-4-style script into one logical plan: the last
+ * INSERT inside the FOR loop is the root; scans of loop-local temp
+ * tables are replaced by the plans that created them.
+ * Throws FatalError when the script has no FOR loop with a final INSERT.
+ */
+sql::PlanPtr fuseScriptToPlan(const sql::Script &script);
+
+/**
+ * Lower a fused plan onto hardware modules inside the builder.
+ * Throws FatalError with a precise reason for unsupported plan shapes.
+ */
+MappedQuery mapPlanToPipeline(PipelineBuilder &builder,
+                              runtime::AcceleratorSession &session,
+                              const sql::PlanNode &plan,
+                              const QueryBinding &binding);
+
+} // namespace genesis::pipeline
+
+#endif // GENESIS_PIPELINE_MAPPER_H

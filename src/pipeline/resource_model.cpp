@@ -1,0 +1,104 @@
+#include "pipeline/resource_model.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace genesis::pipeline {
+
+namespace {
+
+/**
+ * Calibrated per-kind costs. LUT/FF figures are fitted so the three
+ * paper accelerators (Sections IV-B/C/D at 16/16/8 pipelines) land close
+ * to the place-and-route numbers of Table IV; buffer bytes cover each
+ * module's dedicated BRAM (prefetch / write-combine storage).
+ */
+const std::map<std::string, ModuleCost> kCosts = {
+    // kind                LUTs   FFs    buffer bytes
+    {"MemoryReader",      {1200,  1200,  8192}},
+    {"MemoryWriter",      {1200,  1000,  8192}},
+    {"Reducer",           { 800,   500,  0}},
+    // Wide reduction tree over a full 64-value flit (Mark Duplicates'
+    // quality-score summation).
+    {"ReducerWide",       {9000, 10400,  0}},
+    {"ReadToBases",       {2500,  3000,  0}},
+    {"Joiner",            {1200,  1500,  0}},
+    {"Filter",            { 400,   300,  0}},
+    {"Fork",              { 200,   150,  0}},
+    {"StreamAlu",         { 500,   400,  0}},
+    {"MDGen",             {1200,  1500,  256}},
+    // Two multiplies plus context tracking; heavily LUT/DSP-mapped.
+    {"BinIDGen",          {6000,  2000,  0}},
+    {"SpmUpdater",        { 600,   500,  0}},
+    // Read-modify-write variant carries the 3-deep hazard CAM and the
+    // update datapath.
+    {"SpmUpdaterRMW",     {8000,  1500,  0}},
+    {"SpmReader",         { 600,   500,  0}},
+    // Per-pipeline control: command interface, sequencing, DMA glue.
+    {"PipelineCtrl",      {2200,  4100,  4096}},
+};
+
+/** Per-queue cost: small control plus flit storage. */
+constexpr ModuleCost kQueueCost = {50, 150, 512};
+
+} // namespace
+
+const ModuleCost &
+moduleCost(const std::string &kind)
+{
+    auto it = kCosts.find(kind);
+    if (it == kCosts.end())
+        fatal("no resource-cost entry for module kind '%s'", kind.c_str());
+    return it->second;
+}
+
+ResourceUsage
+estimateResources(const HardwareCensus &census)
+{
+    ResourceUsage usage;
+    uint64_t buffer_bytes = 0;
+    for (const auto &[kind, count] : census.moduleCounts) {
+        const ModuleCost &cost = moduleCost(kind);
+        usage.luts += cost.luts * static_cast<uint64_t>(count);
+        usage.registers += cost.registers * static_cast<uint64_t>(count);
+        buffer_bytes += cost.bufferBytes * static_cast<uint64_t>(count);
+    }
+    // Implicit per-pipeline control logic.
+    const ModuleCost &ctrl = kCosts.at("PipelineCtrl");
+    usage.luts += ctrl.luts * static_cast<uint64_t>(census.numPipelines);
+    usage.registers +=
+        ctrl.registers * static_cast<uint64_t>(census.numPipelines);
+    buffer_bytes +=
+        ctrl.bufferBytes * static_cast<uint64_t>(census.numPipelines);
+
+    usage.luts += kQueueCost.luts * static_cast<uint64_t>(
+        census.queueCount);
+    usage.registers += kQueueCost.registers * static_cast<uint64_t>(
+        census.queueCount);
+    buffer_bytes += kQueueCost.bufferBytes * static_cast<uint64_t>(
+        census.queueCount);
+
+    buffer_bytes += census.spmBits / 8;
+    usage.bramMiB = static_cast<double>(buffer_bytes) / (1024.0 * 1024.0);
+    return usage;
+}
+
+std::string
+ResourceUsage::str(const std::string &title) const
+{
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed;
+    os << title << "\n"
+       << "  CLB Lookup Tables  " << luts / 1000 << "K / "
+       << kAvailableLuts / 1000 << "K  (" << lutUtilization() << "%)\n"
+       << "  CLB Registers      " << registers / 1000 << "K / "
+       << kAvailableRegisters / 1000 << "K  (" << registerUtilization()
+       << "%)\n"
+       << "  BRAMs              " << bramMiB << " MB / "
+       << kAvailableBramMiB << " MB  (" << bramUtilization() << "%)\n";
+    return os.str();
+}
+
+} // namespace genesis::pipeline

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * FPGA resource model (reproduces paper Table IV).
+ *
+ * Estimates CLB LUT / CLB register / BRAM consumption of an assembled
+ * accelerator from its hardware census. Per-module-kind LUT/FF costs are
+ * calibrated against the paper's place-and-route reports for the three
+ * GATK4 accelerators on the Xilinx VU9P; BRAM comes from architectural
+ * SPM bits plus per-module buffering (prefetch and write-combine buffers,
+ * queue storage).
+ */
+
+#ifndef GENESIS_PIPELINE_RESOURCE_MODEL_H
+#define GENESIS_PIPELINE_RESOURCE_MODEL_H
+
+#include <string>
+
+#include "pipeline/builder.h"
+
+namespace genesis::pipeline {
+
+/** Resource usage estimate for one accelerator. */
+struct ResourceUsage {
+    uint64_t luts = 0;
+    uint64_t registers = 0;
+    double bramMiB = 0.0;
+
+    /** VU9P device capacity (paper Table IV "Available"). */
+    static constexpr uint64_t kAvailableLuts = 895'000;
+    static constexpr uint64_t kAvailableRegisters = 1'790'000;
+    static constexpr double kAvailableBramMiB = 7.56;
+
+    double lutUtilization() const
+    {
+        return 100.0 * static_cast<double>(luts) / kAvailableLuts;
+    }
+    double registerUtilization() const
+    {
+        return 100.0 * static_cast<double>(registers) /
+            kAvailableRegisters;
+    }
+    double bramUtilization() const
+    {
+        return 100.0 * bramMiB / kAvailableBramMiB;
+    }
+
+    /** Render a Table-IV style report block. */
+    std::string str(const std::string &title) const;
+};
+
+/** Per-module-kind cost entry. */
+struct ModuleCost {
+    uint64_t luts = 0;
+    uint64_t registers = 0;
+    /** Dedicated buffer storage (prefetch / write combine), bytes. */
+    uint64_t bufferBytes = 0;
+};
+
+/** @return the calibrated cost table entry for a module kind. */
+const ModuleCost &moduleCost(const std::string &kind);
+
+/** Estimate resources for a full accelerator census. */
+ResourceUsage estimateResources(const HardwareCensus &census);
+
+} // namespace genesis::pipeline
+
+#endif // GENESIS_PIPELINE_RESOURCE_MODEL_H

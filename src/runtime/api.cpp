@@ -1,0 +1,332 @@
+#include "runtime/api.h"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace genesis::runtime {
+
+// --- TimingBreakdown ----------------------------------------------------
+
+TimingBreakdown &
+TimingBreakdown::operator+=(const TimingBreakdown &other)
+{
+    hostSeconds += other.hostSeconds;
+    dmaSeconds += other.dmaSeconds;
+    accelSeconds += other.accelSeconds;
+    return *this;
+}
+
+std::string
+TimingBreakdown::str() const
+{
+    double t = total();
+    auto pct = [t](double x) { return t > 0 ? 100.0 * x / t : 0.0; };
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed;
+    os << "total " << t << " s"
+       << " | host " << hostSeconds << " s (" << pct(hostSeconds) << "%)"
+       << " | communication " << dmaSeconds << " s (" << pct(dmaSeconds)
+       << "%)"
+       << " | accelerator " << accelSeconds << " s ("
+       << pct(accelSeconds) << "%)";
+    return os.str();
+}
+
+// --- AcceleratorSession ---------------------------------------------------
+
+AcceleratorSession::AcceleratorSession(const RuntimeConfig &config)
+    : config_(config),
+      sim_(std::make_unique<sim::Simulator>(config.memory))
+{
+    if (config_.clockHz <= 0)
+        fatal("accelerator clock must be positive");
+}
+
+AcceleratorSession::~AcceleratorSession()
+{
+    if (worker_.joinable())
+        worker_.join();
+}
+
+modules::ColumnBuffer *
+AcceleratorSession::configureMem(const std::string &colname,
+                                 const table::Column &column)
+{
+    modules::ColumnBuffer *buffer = device_.upload(colname, column);
+    timing_.dmaSeconds += transferSeconds(config_.dma,
+                                          buffer->totalBytes());
+    return buffer;
+}
+
+modules::ColumnBuffer *
+AcceleratorSession::configureMem(const std::string &colname,
+                                 std::vector<int64_t> elements,
+                                 std::vector<uint32_t> row_lengths,
+                                 uint32_t elem_size_bytes)
+{
+    modules::ColumnBuffer *buffer =
+        device_.upload(colname, std::move(elements),
+                       std::move(row_lengths), elem_size_bytes);
+    timing_.dmaSeconds += transferSeconds(config_.dma,
+                                          buffer->totalBytes());
+    return buffer;
+}
+
+modules::ColumnBuffer *
+AcceleratorSession::configureOutput(const std::string &colname,
+                                    uint32_t elem_size_bytes)
+{
+    return device_.allocate(colname, elem_size_bytes);
+}
+
+void
+AcceleratorSession::start()
+{
+    GENESIS_ASSERT(!started_, "session already started");
+    started_ = true;
+    worker_ = std::thread([this] { sim_->run(); });
+}
+
+bool
+AcceleratorSession::check()
+{
+    GENESIS_ASSERT(started_, "check before start");
+    return sim_->allDone();
+}
+
+void
+AcceleratorSession::wait()
+{
+    if (!started_ || joined_)
+        return;
+    worker_.join();
+    joined_ = true;
+    timing_.accelSeconds += secondsForCycles(sim_->cycle());
+}
+
+const modules::ColumnBuffer *
+AcceleratorSession::flush(const std::string &colname)
+{
+    modules::ColumnBuffer *buffer = device_.find(colname);
+    if (!buffer)
+        fatal("flush of unknown device buffer '%s'", colname.c_str());
+    timing_.dmaSeconds += transferSeconds(config_.dma,
+                                          buffer->totalBytes());
+    return buffer;
+}
+
+double
+AcceleratorSession::secondsForCycles(uint64_t cycles) const
+{
+    return static_cast<double>(cycles) / config_.clockHz;
+}
+
+HostTimer::HostTimer(AcceleratorSession &session)
+    : session_(session), start_(std::chrono::steady_clock::now())
+{
+}
+
+HostTimer::~HostTimer()
+{
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    session_.addHostSeconds(
+        std::chrono::duration<double>(elapsed).count());
+}
+
+// --- Paper-literal API ----------------------------------------------------
+
+namespace {
+
+/** Host data recorded by configure_mem, pending upload or flush. */
+struct ConfiguredColumn {
+    void *addr = nullptr;
+    int elemSize = 0;
+    int len = 0;
+};
+
+/** Per-pipeline runtime state for the literal API. */
+struct PipelineSlot {
+    std::unique_ptr<AcceleratorSession> session;
+    std::map<std::string, ConfiguredColumn> columns;
+};
+
+struct ImageState {
+    ImageBuilder builder;
+    RuntimeConfig config;
+    std::vector<PipelineSlot> slots;
+    bool loaded = false;
+};
+
+ImageState &
+imageState()
+{
+    static ImageState state;
+    return state;
+}
+
+PipelineSlot &
+slotFor(int pipeline_id)
+{
+    ImageState &state = imageState();
+    if (!state.loaded)
+        fatal("no Genesis image loaded (call genesis_load_image first)");
+    if (pipeline_id < 0 ||
+        static_cast<size_t>(pipeline_id) >= state.slots.size()) {
+        fatal("pipeline id %d out of range (%zu pipelines)", pipeline_id,
+              state.slots.size());
+    }
+    return state.slots[static_cast<size_t>(pipeline_id)];
+}
+
+/** Decode little-endian raw host memory into int64 elements. */
+std::vector<int64_t>
+decodeHost(const ConfiguredColumn &col)
+{
+    std::vector<int64_t> elements;
+    elements.reserve(static_cast<size_t>(col.len));
+    const auto *bytes = static_cast<const uint8_t *>(col.addr);
+    for (int i = 0; i < col.len; ++i) {
+        uint64_t v = 0;
+        for (int b = 0; b < col.elemSize; ++b) {
+            v |= static_cast<uint64_t>(
+                     bytes[static_cast<size_t>(i) *
+                           static_cast<size_t>(col.elemSize) +
+                           static_cast<size_t>(b)])
+                << (8 * b);
+        }
+        elements.push_back(static_cast<int64_t>(v));
+    }
+    return elements;
+}
+
+} // namespace
+
+void
+genesis_load_image(ImageBuilder builder, int num_pipelines,
+                   const RuntimeConfig &config)
+{
+    if (num_pipelines < 1)
+        fatal("image needs at least one pipeline");
+    ImageState &state = imageState();
+    state.builder = std::move(builder);
+    state.config = config;
+    state.slots.clear();
+    state.slots.resize(static_cast<size_t>(num_pipelines));
+    state.loaded = true;
+}
+
+void
+genesis_unload_image()
+{
+    ImageState &state = imageState();
+    for (auto &slot : state.slots) {
+        if (slot.session)
+            slot.session->wait();
+    }
+    state.slots.clear();
+    state.builder = nullptr;
+    state.loaded = false;
+}
+
+void
+configure_mem(void *addr, int elemsize, int len,
+              const std::string &colname, int pipelineID)
+{
+    if (!addr || elemsize <= 0 || elemsize > 8 || len < 0)
+        fatal("configure_mem: invalid arguments for '%s'",
+              colname.c_str());
+    PipelineSlot &slot = slotFor(pipelineID);
+    slot.columns[colname] = ConfiguredColumn{addr, elemsize, len};
+}
+
+void
+run_genesis(int pipelineID)
+{
+    ImageState &state = imageState();
+    PipelineSlot &slot = slotFor(pipelineID);
+    slot.session = std::make_unique<AcceleratorSession>(state.config);
+
+    auto input = [&slot](const std::string &colname)
+        -> modules::ColumnBuffer * {
+        auto it = slot.columns.find(colname);
+        if (it == slot.columns.end()) {
+            fatal("image requests column '%s' that was never configured",
+                  colname.c_str());
+        }
+        std::vector<int64_t> elements = decodeHost(it->second);
+        std::vector<uint32_t> row_lengths(elements.size(), 1);
+        return slot.session->configureMem(
+            colname, std::move(elements), std::move(row_lengths),
+            static_cast<uint32_t>(it->second.elemSize));
+    };
+    {
+        HostTimer timer(*slot.session);
+        state.builder(*slot.session, input);
+    }
+    slot.session->start();
+}
+
+bool
+check_genesis(int pipelineID)
+{
+    PipelineSlot &slot = slotFor(pipelineID);
+    if (!slot.session)
+        fatal("check_genesis before run_genesis");
+    return slot.session->check();
+}
+
+void
+wait_genesis(int pipelineID)
+{
+    PipelineSlot &slot = slotFor(pipelineID);
+    if (!slot.session)
+        fatal("wait_genesis before run_genesis");
+    slot.session->wait();
+}
+
+void
+genesis_flush(int pipelineID)
+{
+    PipelineSlot &slot = slotFor(pipelineID);
+    if (!slot.session)
+        fatal("genesis_flush before run_genesis");
+    slot.session->wait();
+    // Copy every output buffer with a configured host destination back to
+    // host memory, accounting the device-to-host DMA.
+    for (const auto &buffer : slot.session->deviceMemory().buffers()) {
+        if (!buffer->isOutput)
+            continue;
+        auto it = slot.columns.find(buffer->name);
+        if (it == slot.columns.end())
+            continue;
+        const modules::ColumnBuffer *flushed =
+            slot.session->flush(buffer->name);
+        auto *dest = static_cast<uint8_t *>(it->second.addr);
+        size_t max_elems = static_cast<size_t>(it->second.len);
+        size_t n = std::min(flushed->elements.size(), max_elems);
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t v = static_cast<uint64_t>(flushed->elements[i]);
+            for (int b = 0; b < it->second.elemSize; ++b) {
+                dest[i * static_cast<size_t>(it->second.elemSize) +
+                     static_cast<size_t>(b)] =
+                    static_cast<uint8_t>((v >> (8 * b)) & 0xff);
+            }
+        }
+    }
+}
+
+TimingBreakdown
+genesis_timing(int pipelineID)
+{
+    PipelineSlot &slot = slotFor(pipelineID);
+    if (!slot.session)
+        return TimingBreakdown{};
+    return slot.session->timing();
+}
+
+} // namespace genesis::runtime

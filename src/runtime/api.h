@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Host-side runtime: accelerator sessions, timing accounting, and the
+ * paper's application-programmer interface (Section III-E).
+ *
+ * An AcceleratorSession owns one simulated accelerator invocation: its
+ * device memory, its Simulator, and the timing ledger that splits runtime
+ * into host / communication (DMA) / accelerator components — the exact
+ * decomposition of paper Figure 13(b). start() is non-blocking (a worker
+ * thread advances the simulation) so the host can overlap its own work,
+ * mirroring the non-blocking run_genesis()/check_genesis() calls.
+ *
+ * The bottom of this header declares the paper-literal C-style API
+ * (configure_mem, run_genesis, check_genesis, wait_genesis,
+ * genesis_flush) over a process-global image registry.
+ */
+
+#ifndef GENESIS_RUNTIME_API_H
+#define GENESIS_RUNTIME_API_H
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "runtime/device.h"
+#include "runtime/dma.h"
+#include "sim/scheduler.h"
+
+namespace genesis::runtime {
+
+/** Clock and interconnect configuration of one deployment. */
+struct RuntimeConfig {
+    /** Accelerator clock (paper: 250 MHz on the F1 VU9P). */
+    double clockHz = 250e6;
+    DmaConfig dma = DmaConfig::pcie3();
+    sim::MemoryConfig memory;
+};
+
+/** Host / communication / accelerator runtime split (Figure 13(b)). */
+struct TimingBreakdown {
+    double hostSeconds = 0.0;
+    double dmaSeconds = 0.0;
+    double accelSeconds = 0.0;
+
+    double total() const
+    {
+        return hostSeconds + dmaSeconds + accelSeconds;
+    }
+
+    TimingBreakdown &operator+=(const TimingBreakdown &other);
+
+    /** Percentage shares, rendered like the paper's breakdown. */
+    std::string str() const;
+};
+
+/** One accelerator invocation: build, configure, run, flush. */
+class AcceleratorSession
+{
+  public:
+    explicit AcceleratorSession(const RuntimeConfig &config);
+    ~AcceleratorSession();
+
+    AcceleratorSession(const AcceleratorSession &) = delete;
+    AcceleratorSession &operator=(const AcceleratorSession &) = delete;
+
+    const RuntimeConfig &config() const { return config_; }
+    sim::Simulator &sim() { return *sim_; }
+    DeviceMemory &deviceMemory() { return device_; }
+
+    /** configure_mem for an input column: DMA-in accounted. */
+    modules::ColumnBuffer *configureMem(const std::string &colname,
+                                        const table::Column &column);
+
+    /** configure_mem for a pre-decoded element stream: DMA-in accounted. */
+    modules::ColumnBuffer *configureMem(const std::string &colname,
+                                        std::vector<int64_t> elements,
+                                        std::vector<uint32_t> row_lengths,
+                                        uint32_t elem_size_bytes);
+
+    /** Allocate an output buffer (no DMA until flushed). */
+    modules::ColumnBuffer *configureOutput(const std::string &colname,
+                                           uint32_t elem_size_bytes);
+
+    /** Non-blocking: launch the simulation on a worker thread. */
+    void start();
+
+    /** @return true when the accelerator finished (non-blocking). */
+    bool check();
+
+    /** Block until the accelerator finishes; accumulates accel time. */
+    void wait();
+
+    /** genesis_flush: DMA an output buffer back; returns it. */
+    const modules::ColumnBuffer *flush(const std::string &colname);
+
+    /** Account host-side work time explicitly. */
+    void addHostSeconds(double seconds) { timing_.hostSeconds += seconds; }
+
+    const TimingBreakdown &timing() const { return timing_; }
+
+    /** @return simulated accelerator seconds for a cycle count. */
+    double secondsForCycles(uint64_t cycles) const;
+
+  private:
+    RuntimeConfig config_;
+    DeviceMemory device_;
+    std::unique_ptr<sim::Simulator> sim_;
+    TimingBreakdown timing_;
+    std::thread worker_;
+    bool started_ = false;
+    bool joined_ = false;
+};
+
+/** Stopwatch that adds elapsed wall time to a session's host bucket. */
+class HostTimer
+{
+  public:
+    explicit HostTimer(AcceleratorSession &session);
+    ~HostTimer();
+
+    HostTimer(const HostTimer &) = delete;
+    HostTimer &operator=(const HostTimer &) = delete;
+
+  private:
+    AcceleratorSession &session_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+// --- Paper-literal API (Section III-E) ---------------------------------
+
+/**
+ * Image builder callback: wires the design for one pipeline into the
+ * session's simulator. `input(colname)` uploads the host data configured
+ * for that column (via configure_mem) and returns its device buffer; the
+ * builder must create output buffers via session.configureOutput() for
+ * every writer column, using the writer column's configured name so that
+ * genesis_flush can route results back to the host.
+ */
+using ImageBuilder = std::function<void(
+    AcceleratorSession &session,
+    const std::function<modules::ColumnBuffer *(const std::string &)>
+        &input)>;
+
+/** Load a hardware image for the given pipeline ids. */
+void genesis_load_image(ImageBuilder builder, int num_pipelines,
+                        const RuntimeConfig &config = RuntimeConfig());
+
+/** Release all pipeline state created by genesis_load_image. */
+void genesis_unload_image();
+
+/**
+ * Configure one memory reader or writer (blocking; copies reader data to
+ * the accelerator). Matches the paper's signature: `addr` points to
+ * host column data of `len` elements of `elemsize` bytes. For writer
+ * columns pass the destination host buffer (filled by genesis_flush).
+ */
+void configure_mem(void *addr, int elemsize, int len,
+                   const std::string &colname, int pipelineID);
+
+/** Start execution (non-blocking). */
+void run_genesis(int pipelineID);
+
+/** @return true when the pipeline's execution completed (non-blocking). */
+bool check_genesis(int pipelineID);
+
+/** Block until the pipeline's execution completes. */
+void wait_genesis(int pipelineID);
+
+/** Copy output data back to the host addresses from configure_mem. */
+void genesis_flush(int pipelineID);
+
+/** @return the timing ledger of a pipeline (for reporting). */
+TimingBreakdown genesis_timing(int pipelineID);
+
+} // namespace genesis::runtime
+
+#endif // GENESIS_RUNTIME_API_H

@@ -1,0 +1,77 @@
+#include "runtime/device.h"
+
+#include "base/logging.h"
+
+namespace genesis::runtime {
+
+uint64_t
+DeviceMemory::reserve(uint64_t bytes)
+{
+    uint64_t addr = nextAddr_;
+    uint64_t padded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    nextAddr_ += padded == 0 ? kAlignment : padded;
+    return addr;
+}
+
+modules::ColumnBuffer *
+DeviceMemory::allocate(const std::string &name, uint32_t elem_size_bytes,
+                       uint64_t reserve_bytes)
+{
+    auto buffer = std::make_unique<modules::ColumnBuffer>();
+    buffer->name = name;
+    buffer->elemSizeBytes = elem_size_bytes;
+    buffer->baseAddr = reserve(reserve_bytes);
+    buffer->isOutput = true;
+    buffers_.push_back(std::move(buffer));
+    return buffers_.back().get();
+}
+
+modules::ColumnBuffer *
+DeviceMemory::upload(const std::string &name, const table::Column &column)
+{
+    std::vector<uint8_t> raw;
+    std::vector<uint32_t> row_lengths;
+    column.serialize(raw, row_lengths);
+
+    // Decode the serialized bytes back into elements; the raw image is
+    // what travels over DMA, the decoded form is what readers stream.
+    size_t esize = table::elementSize(column.type());
+    std::vector<int64_t> elements;
+    elements.reserve(raw.size() / esize);
+    for (size_t off = 0; off + esize <= raw.size(); off += esize) {
+        uint64_t v = 0;
+        for (size_t b = 0; b < esize; ++b)
+            v |= static_cast<uint64_t>(raw[off + b]) << (8 * b);
+        elements.push_back(static_cast<int64_t>(v));
+    }
+    return upload(name, std::move(elements), std::move(row_lengths),
+                  static_cast<uint32_t>(esize));
+}
+
+modules::ColumnBuffer *
+DeviceMemory::upload(const std::string &name,
+                     std::vector<int64_t> elements,
+                     std::vector<uint32_t> row_lengths,
+                     uint32_t elem_size_bytes)
+{
+    auto buffer = std::make_unique<modules::ColumnBuffer>();
+    buffer->name = name;
+    buffer->elements = std::move(elements);
+    buffer->rowLengths = std::move(row_lengths);
+    buffer->elemSizeBytes = elem_size_bytes;
+    buffer->baseAddr = reserve(buffer->totalBytes());
+    buffers_.push_back(std::move(buffer));
+    return buffers_.back().get();
+}
+
+modules::ColumnBuffer *
+DeviceMemory::find(const std::string &name)
+{
+    for (auto &buffer : buffers_) {
+        if (buffer->name == name)
+            return buffer.get();
+    }
+    return nullptr;
+}
+
+} // namespace genesis::runtime

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Device (FPGA-attached DRAM) memory management for the host runtime.
+ *
+ * Allocates ColumnBuffers at increasing device addresses (which drives
+ * channel interleaving in the timing model) and decodes host columns
+ * into their device images.
+ */
+
+#ifndef GENESIS_RUNTIME_DEVICE_H
+#define GENESIS_RUNTIME_DEVICE_H
+
+#include <memory>
+#include <vector>
+
+#include "modules/stream_buffer.h"
+#include "table/column.h"
+
+namespace genesis::runtime {
+
+/** Device memory allocator / column store. */
+class DeviceMemory
+{
+  public:
+    /** Allocation alignment (rows of the DRAM interleave). */
+    static constexpr uint64_t kAlignment = 4096;
+
+    DeviceMemory() = default;
+
+    /** Allocate an empty buffer (for accelerator outputs). */
+    modules::ColumnBuffer *allocate(const std::string &name,
+                                    uint32_t elem_size_bytes,
+                                    uint64_t reserve_bytes = 1 << 20);
+
+    /** Decode and store a host column (configure_mem's copy step). */
+    modules::ColumnBuffer *upload(const std::string &name,
+                                  const table::Column &column);
+
+    /** Store a pre-decoded element stream. */
+    modules::ColumnBuffer *upload(const std::string &name,
+                                  std::vector<int64_t> elements,
+                                  std::vector<uint32_t> row_lengths,
+                                  uint32_t elem_size_bytes);
+
+    /** @return buffer by name, or nullptr. */
+    modules::ColumnBuffer *find(const std::string &name);
+
+    /** Total bytes currently allocated. */
+    uint64_t allocatedBytes() const { return nextAddr_; }
+
+    const std::vector<std::unique_ptr<modules::ColumnBuffer>> &
+    buffers() const
+    {
+        return buffers_;
+    }
+
+  private:
+    uint64_t reserve(uint64_t bytes);
+
+    std::vector<std::unique_ptr<modules::ColumnBuffer>> buffers_;
+    uint64_t nextAddr_ = 0;
+};
+
+} // namespace genesis::runtime
+
+#endif // GENESIS_RUNTIME_DEVICE_H

@@ -1,0 +1,30 @@
+#include "runtime/dma.h"
+
+#include "base/logging.h"
+
+namespace genesis::runtime {
+
+DmaConfig
+DmaConfig::pcie3()
+{
+    return DmaConfig{"pcie3", 7.0e9, 20e-6};
+}
+
+DmaConfig
+DmaConfig::pcie4()
+{
+    return DmaConfig{"pcie4", 32.0e9, 20e-6};
+}
+
+double
+transferSeconds(const DmaConfig &config, uint64_t bytes)
+{
+    if (config.bytesPerSecond <= 0)
+        fatal("DMA bandwidth must be positive");
+    if (bytes == 0)
+        return 0.0;
+    return config.perTransferLatency +
+        static_cast<double>(bytes) / config.bytesPerSecond;
+}
+
+} // namespace genesis::runtime

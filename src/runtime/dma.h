@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Host <-> FPGA interconnect (DMA) timing model.
+ *
+ * On AWS F1 the host reaches the card through PCIe DMA, which the paper
+ * measures at ~7 GB/s and identifies as the dominant limiter for the
+ * Metadata Update and BQSR accelerators (53.4% and 29.5% of runtime).
+ * The PCIe 4.0 preset reproduces the paper's 32 GB/s projection used for
+ * the 33x / 16.4x speedup estimates.
+ */
+
+#ifndef GENESIS_RUNTIME_DMA_H
+#define GENESIS_RUNTIME_DMA_H
+
+#include <cstdint>
+#include <string>
+
+namespace genesis::runtime {
+
+/** Interconnect configuration. */
+struct DmaConfig {
+    std::string name = "pcie3";
+    /** Sustained bandwidth in bytes per second. */
+    double bytesPerSecond = 7.0e9;
+    /** Fixed per-transfer setup latency in seconds. */
+    double perTransferLatency = 20e-6;
+
+    /** The paper's measured F1 PCIe DMA (~7 GB/s). */
+    static DmaConfig pcie3();
+    /** The paper's projected PCIe 4.0 interconnect (32 GB/s). */
+    static DmaConfig pcie4();
+};
+
+/** @return seconds to move `bytes` over the interconnect (one transfer). */
+double transferSeconds(const DmaConfig &config, uint64_t bytes);
+
+} // namespace genesis::runtime
+
+#endif // GENESIS_RUNTIME_DMA_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Round-robin arbitration primitive used by the memory system's local and
+ * global arbiters (paper Figure 8).
+ */
+
+#ifndef GENESIS_SIM_ARBITER_H
+#define GENESIS_SIM_ARBITER_H
+
+#include <cstddef>
+#include <functional>
+
+namespace genesis::sim {
+
+/**
+ * Fair round-robin selector over n requesters. grant() scans the
+ * requesters starting just past the last winner and returns the first
+ * index the predicate accepts, updating the pointer; -1 when none.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(size_t n = 0) : n_(n) {}
+
+    void resize(size_t n);
+    size_t size() const { return n_; }
+
+    /**
+     * @param requesting predicate: does requester i want (and may get) a
+     * grant this cycle?
+     * @return granted index, or -1 when no requester is eligible.
+     */
+    int grant(const std::function<bool(size_t)> &requesting);
+
+  private:
+    size_t n_ = 0;
+    size_t next_ = 0;
+};
+
+} // namespace genesis::sim
+
+#endif // GENESIS_SIM_ARBITER_H

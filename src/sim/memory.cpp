@@ -1,0 +1,170 @@
+#include "sim/memory.h"
+
+#include "base/logging.h"
+
+namespace genesis::sim {
+
+bool
+MemoryPort::canIssue() const
+{
+    return pending_.size() < queueDepth_;
+}
+
+void
+MemoryPort::issue(uint64_t addr, uint32_t bytes, bool is_write)
+{
+    if (!canIssue())
+        panic("memory port %d: issue to full queue", id_);
+    if (bytes == 0)
+        panic("memory port %d: zero-byte request", id_);
+    Request req;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.isWrite = is_write;
+    pending_.push_back(req);
+}
+
+uint64_t
+MemoryPort::takeCompletedReadBytes()
+{
+    uint64_t bytes = completedReadBytes_;
+    completedReadBytes_ = 0;
+    return bytes;
+}
+
+MemorySystem::MemorySystem(const MemoryConfig &config) : config_(config)
+{
+    if (config_.numChannels < 1)
+        fatal("memory system needs at least one channel");
+    if (config_.bytesPerCyclePerChannel == 0)
+        fatal("channel bandwidth must be non-zero");
+    channelBusyUntil_.assign(static_cast<size_t>(config_.numChannels), 0);
+    globalArbiters_.assign(static_cast<size_t>(config_.numChannels),
+                           RoundRobinArbiter());
+}
+
+MemoryPort *
+MemorySystem::makePort(int local_group)
+{
+    if (local_group < 0)
+        fatal("negative local arbiter group");
+    int id = static_cast<int>(ports_.size());
+    auto port =
+        std::unique_ptr<MemoryPort>(new MemoryPort(id, local_group));
+    port->queueDepth_ = config_.portQueueDepth;
+    ports_.push_back(std::move(port));
+
+    size_t num_groups = static_cast<size_t>(local_group) + 1;
+    if (groupPorts_.size() < num_groups) {
+        groupPorts_.resize(num_groups);
+        localArbiters_.resize(num_groups);
+    }
+    groupPorts_[static_cast<size_t>(local_group)].push_back(
+        static_cast<size_t>(id));
+    localArbiters_[static_cast<size_t>(local_group)].resize(
+        groupPorts_[static_cast<size_t>(local_group)].size());
+    for (auto &arb : globalArbiters_)
+        arb.resize(groupPorts_.size());
+    return ports_.back().get();
+}
+
+int
+MemorySystem::channelOf(uint64_t addr) const
+{
+    return static_cast<int>((addr / config_.accessGranularity) %
+                            static_cast<uint64_t>(config_.numChannels));
+}
+
+void
+MemorySystem::tick()
+{
+    ++cycle_;
+
+    // Each local arbiter forwards at most one request per cycle; each
+    // channel's global arbiter accepts at most one request per cycle.
+    std::vector<bool> group_used(localArbiters_.size(), false);
+
+    for (int ch = 0; ch < config_.numChannels; ++ch) {
+        if (channelBusyUntil_[static_cast<size_t>(ch)] > cycle_)
+            continue; // data bus still transferring a prior request
+
+        // A group is eligible when one of its ports has an unscheduled
+        // head request destined for this channel.
+        auto port_eligible = [&](size_t group, size_t slot) {
+            if (group >= groupPorts_.size() ||
+                slot >= groupPorts_[group].size()) {
+                return false;
+            }
+            const MemoryPort &p = *ports_[groupPorts_[group][slot]];
+            if (p.pending_.empty())
+                return false;
+            const auto &head = p.pending_.front();
+            return !head.scheduled && channelOf(head.addr) == ch;
+        };
+
+        int group = globalArbiters_[static_cast<size_t>(ch)].grant(
+            [&](size_t g) {
+                if (group_used[g])
+                    return false;
+                for (size_t s = 0; s < groupPorts_[g].size(); ++s) {
+                    if (port_eligible(g, s))
+                        return true;
+                }
+                return false;
+            });
+        if (group < 0) {
+            stats_.add("channel_idle_cycles");
+            continue;
+        }
+        group_used[static_cast<size_t>(group)] = true;
+
+        int slot = localArbiters_[static_cast<size_t>(group)].grant(
+            [&](size_t s) {
+                return port_eligible(static_cast<size_t>(group), s);
+            });
+        GENESIS_ASSERT(slot >= 0, "global arbiter granted empty group");
+
+        size_t port_idx =
+            groupPorts_[static_cast<size_t>(group)]
+                       [static_cast<size_t>(slot)];
+        auto &req = ports_[port_idx]->pending_.front();
+        uint64_t transfer_cycles =
+            (req.bytes + config_.bytesPerCyclePerChannel - 1) /
+            config_.bytesPerCyclePerChannel;
+        req.scheduled = true;
+        req.completeCycle = cycle_ + config_.latencyCycles +
+            transfer_cycles;
+        channelBusyUntil_[static_cast<size_t>(ch)] =
+            cycle_ + transfer_cycles;
+
+        stats_.add("requests");
+        stats_.add(req.isWrite ? "write_bytes" : "read_bytes", req.bytes);
+        stats_.add("channel_busy_cycles", transfer_cycles);
+    }
+
+    // Retire completions in issue order per port.
+    for (auto &port : ports_) {
+        while (!port->pending_.empty()) {
+            const auto &head = port->pending_.front();
+            if (!head.scheduled || head.completeCycle > cycle_)
+                break;
+            if (head.isWrite)
+                port->retiredWriteBytes_ += head.bytes;
+            else
+                port->completedReadBytes_ += head.bytes;
+            port->pending_.pop_front();
+        }
+    }
+}
+
+bool
+MemorySystem::idle() const
+{
+    for (const auto &port : ports_) {
+        if (!port->idle())
+            return false;
+    }
+    return true;
+}
+
+} // namespace genesis::sim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Timing model of the accelerator-attached DRAM (the F1 card's 64 GB).
+ *
+ * Requests flow through the two-level arbitration of paper Figure 8:
+ * each pipeline's memory modules share a port, ports are grouped under
+ * local arbiters (one per group of pipelines), and one global arbiter per
+ * memory channel picks among local arbiters. Each channel serves one
+ * request at a time at a fixed bytes/cycle transfer rate plus a fixed
+ * access latency. Addresses interleave across channels at access
+ * granularity.
+ *
+ * The memory system models *timing only* — data contents live in the
+ * runtime's device buffers, which the memory reader/writer modules hold
+ * directly. This separation keeps the timing model exact while avoiding a
+ * byte-accurate DRAM image.
+ */
+
+#ifndef GENESIS_SIM_MEMORY_H
+#define GENESIS_SIM_MEMORY_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "base/stats.h"
+#include "sim/arbiter.h"
+
+namespace genesis::sim {
+
+/** Memory system configuration. */
+struct MemoryConfig {
+    /** Independent DRAM channels (F1 card: 4). */
+    int numChannels = 4;
+    /** Data-bus bandwidth per channel in bytes per accelerator cycle
+     *  (16 B/cycle at 250 MHz = 4 GB/s per channel, 16 GB/s total). */
+    uint32_t bytesPerCyclePerChannel = 16;
+    /** Fixed access latency in cycles before data starts returning. */
+    uint32_t latencyCycles = 40;
+    /** Request size granularity in bytes (Section III-C: e.g. 64 B). */
+    uint32_t accessGranularity = 64;
+    /** Outstanding requests a port may queue. */
+    size_t portQueueDepth = 8;
+};
+
+class MemorySystem;
+
+/**
+ * One requester's interface to the memory system. Each hardware pipeline
+ * owns a port; all of its memory readers/writers issue through it.
+ * Completions retire in issue order (the DMA engine reorders internally).
+ */
+class MemoryPort
+{
+  public:
+    /** @return true when the port queue can accept a request. */
+    bool canIssue() const;
+
+    /** Queue a request for [addr, addr+bytes). */
+    void issue(uint64_t addr, uint32_t bytes, bool is_write);
+
+    /** @return read bytes completed since the last call (and reset). */
+    uint64_t takeCompletedReadBytes();
+
+    /** @return true when no requests are outstanding. */
+    bool idle() const { return pending_.empty(); }
+
+    /** @return total write bytes fully retired so far. */
+    uint64_t retiredWriteBytes() const { return retiredWriteBytes_; }
+
+  private:
+    friend class MemorySystem;
+
+    struct Request {
+        uint64_t addr = 0;
+        uint32_t bytes = 0;
+        bool isWrite = false;
+        bool scheduled = false;
+        uint64_t completeCycle = 0;
+    };
+
+    MemoryPort(int id, int group) : id_(id), group_(group) {}
+
+    int id_;
+    int group_;
+    size_t queueDepth_ = 8;
+    std::deque<Request> pending_;
+    uint64_t completedReadBytes_ = 0;
+    uint64_t retiredWriteBytes_ = 0;
+};
+
+/** The timing model proper. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryConfig &config = MemoryConfig());
+
+    const MemoryConfig &config() const { return config_; }
+
+    /**
+     * Create a port for one memory module.
+     * @param local_group index of the local arbiter (one per hardware
+     *        pipeline in Figure 8) this port hangs off
+     */
+    MemoryPort *makePort(int local_group = 0);
+
+    /** Advance one cycle: arbitrate, schedule, retire. */
+    void tick();
+
+    /** @return true when every port is idle. */
+    bool idle() const;
+
+    uint64_t cycle() const { return cycle_; }
+
+    StatRegistry &stats() { return stats_; }
+    const StatRegistry &stats() const { return stats_; }
+
+  private:
+    int channelOf(uint64_t addr) const;
+
+    MemoryConfig config_;
+    std::vector<std::unique_ptr<MemoryPort>> ports_;
+    /** Port indices per local-arbiter group. */
+    std::vector<std::vector<size_t>> groupPorts_;
+    /** Cycle at which each channel's data bus frees up. */
+    std::vector<uint64_t> channelBusyUntil_;
+    /** One global arbiter per channel, selecting among local groups. */
+    std::vector<RoundRobinArbiter> globalArbiters_;
+    /** One local arbiter per port group, selecting among its ports. */
+    std::vector<RoundRobinArbiter> localArbiters_;
+    uint64_t cycle_ = 0;
+    StatRegistry stats_;
+};
+
+} // namespace genesis::sim
+
+#endif // GENESIS_SIM_MEMORY_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Base class for Genesis hardware-library modules.
+ *
+ * Each module is an independent dataflow unit: every cycle it consumes at
+ * most one flit from each input queue and produces at most one output
+ * flit (Section III-C). Modules never call each other — all communication
+ * flows through HardwareQueues, and the Simulator ticks every module once
+ * per cycle.
+ */
+
+#ifndef GENESIS_SIM_MODULE_H
+#define GENESIS_SIM_MODULE_H
+
+#include <string>
+
+#include "base/stats.h"
+#include "sim/queue.h"
+
+namespace genesis::sim {
+
+/** Abstract hardware module. */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+    virtual ~Module() = default;
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** Advance one clock cycle. */
+    virtual void tick() = 0;
+
+    /**
+     * @return true when the module has finished all work: inputs drained,
+     * outputs flushed and (where applicable) closed.
+     */
+    virtual bool done() const = 0;
+
+    const std::string &name() const { return name_; }
+
+    StatRegistry &stats() { return stats_; }
+    const StatRegistry &stats() const { return stats_; }
+
+  protected:
+    /** Record one stall cycle with a reason bucket. */
+    void
+    countStall(const char *reason)
+    {
+        stats_.add(std::string("stall.") + reason);
+    }
+
+    /** Record one processed flit. */
+    void countFlit() { stats_.add("flits"); }
+
+  private:
+    std::string name_;
+    StatRegistry stats_;
+};
+
+} // namespace genesis::sim
+
+#endif // GENESIS_SIM_MODULE_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bounded hardware queue connecting two dataflow modules.
+ *
+ * Two-phase semantics make the simulation deterministic regardless of
+ * module tick order: pushes, pops and closes performed during a cycle are
+ * staged and only become visible after commit() — exactly like a queue
+ * with registered occupancy in RTL. Throughput is one push and one pop
+ * per cycle.
+ */
+
+#ifndef GENESIS_SIM_QUEUE_H
+#define GENESIS_SIM_QUEUE_H
+
+#include <deque>
+#include <string>
+
+#include "sim/flit.h"
+
+namespace genesis::sim {
+
+/** A single-producer single-consumer bounded flit queue. */
+class HardwareQueue
+{
+  public:
+    /** Default queue depth used throughout the hardware library. */
+    static constexpr size_t kDefaultCapacity = 8;
+
+    explicit HardwareQueue(std::string name,
+                           size_t capacity = kDefaultCapacity);
+
+    const std::string &name() const { return name_; }
+    size_t capacity() const { return capacity_; }
+    size_t size() const { return buffer_.size(); }
+    bool empty() const { return buffer_.empty(); }
+
+    /** @return true when the producer may push this cycle. */
+    bool canPush() const;
+
+    /** Stage a push; at most one per cycle. */
+    void push(const Flit &flit);
+
+    /** @return true when a committed flit is available this cycle. */
+    bool canPop() const;
+
+    /** @return the flit visible at the head this cycle. */
+    const Flit &front() const;
+
+    /** Stage a pop of the head flit; at most one per cycle. */
+    Flit pop();
+
+    /** Producer marks the stream complete (staged like a push). */
+    void close();
+
+    /** @return true when the producer has committed a close. */
+    bool closed() const { return closed_; }
+
+    /**
+     * @return true when the stream is finished: no committed flits left,
+     * no staged flit in flight, and the producer closed the queue.
+     */
+    bool drained() const;
+
+    /** Make this cycle's staged operations visible. */
+    void commit();
+
+    // --- statistics ---
+    uint64_t totalFlits() const { return totalFlits_; }
+    size_t maxOccupancy() const { return maxOccupancy_; }
+
+  private:
+    std::string name_;
+    size_t capacity_;
+    std::deque<Flit> buffer_;
+
+    bool stagedPushValid_ = false;
+    Flit stagedPush_;
+    bool stagedPop_ = false;
+    bool stagedClose_ = false;
+    bool closed_ = false;
+
+    uint64_t totalFlits_ = 0;
+    size_t maxOccupancy_ = 0;
+};
+
+} // namespace genesis::sim
+
+#endif // GENESIS_SIM_QUEUE_H

@@ -1,0 +1,140 @@
+#include "sim/scheduler.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace genesis::sim {
+
+Simulator::Simulator(const MemoryConfig &mem_config) : memory_(mem_config)
+{
+}
+
+HardwareQueue *
+Simulator::makeQueue(const std::string &name, size_t capacity)
+{
+    queues_.push_back(std::make_unique<HardwareQueue>(name, capacity));
+    return queues_.back().get();
+}
+
+Scratchpad *
+Simulator::makeScratchpad(const std::string &name, size_t size_words,
+                          uint32_t word_bytes)
+{
+    scratchpads_.push_back(
+        std::make_unique<Scratchpad>(name, size_words, word_bytes));
+    return scratchpads_.back().get();
+}
+
+bool
+Simulator::allDone() const
+{
+    for (const auto &m : modules_) {
+        if (!m->done())
+            return false;
+    }
+    return true;
+}
+
+void
+Simulator::step()
+{
+    for (auto &m : modules_)
+        m->tick();
+    for (auto &q : queues_)
+        q->commit();
+    memory_.tick();
+    ++cycle_;
+}
+
+uint64_t
+Simulator::stateFingerprint() const
+{
+    // Any push, pop, close, or memory event perturbs this fingerprint;
+    // a constant fingerprint over many cycles means the design is stuck.
+    uint64_t fp = 0xcbf29ce484222325ull;
+    auto mix = [&fp](uint64_t v) {
+        fp ^= v;
+        fp *= 0x100000001b3ull;
+    };
+    for (const auto &q : queues_) {
+        mix(q->totalFlits());
+        mix(q->size());
+        mix(q->closed() ? 1 : 0);
+    }
+    mix(memory_.stats().get("requests"));
+    return fp;
+}
+
+uint64_t
+Simulator::run(uint64_t max_cycles)
+{
+    // Deadlock horizon: generously above the worst legitimate quiet
+    // period (memory latency plus arbitration backlog).
+    const uint64_t deadlock_horizon =
+        10'000 + 100ull * memory_.config().latencyCycles;
+
+    uint64_t last_fp = stateFingerprint();
+    uint64_t quiet_cycles = 0;
+    while (!allDone()) {
+        if (cycle_ >= max_cycles) {
+            panic("simulation exceeded %llu cycles\n%s",
+                  static_cast<unsigned long long>(max_cycles),
+                  dumpState().c_str());
+        }
+        step();
+        uint64_t fp = stateFingerprint();
+        if (fp == last_fp) {
+            if (++quiet_cycles > deadlock_horizon) {
+                panic("deadlock: no progress for %llu cycles\n%s",
+                      static_cast<unsigned long long>(quiet_cycles),
+                      dumpState().c_str());
+            }
+        } else {
+            quiet_cycles = 0;
+            last_fp = fp;
+        }
+    }
+    return cycle_;
+}
+
+StatRegistry
+Simulator::collectStats() const
+{
+    StatRegistry all;
+    all.set("cycles", cycle_);
+    for (const auto &m : modules_) {
+        for (const auto &[name, value] : m->stats().counters())
+            all.add(m->name() + "." + name, value);
+    }
+    for (const auto &q : queues_) {
+        all.set("queue." + q->name() + ".flits", q->totalFlits());
+        all.set("queue." + q->name() + ".max_occupancy",
+                q->maxOccupancy());
+    }
+    for (const auto &[name, value] : memory_.stats().counters())
+        all.add("mem." + name, value);
+    for (const auto &s : scratchpads_) {
+        for (const auto &[name, value] : s->stats().counters())
+            all.add("spm." + s->name() + "." + name, value);
+    }
+    return all;
+}
+
+std::string
+Simulator::dumpState() const
+{
+    std::ostringstream os;
+    os << "cycle " << cycle_ << "\n";
+    for (const auto &m : modules_) {
+        os << "  module " << m->name()
+           << (m->done() ? " done" : " BUSY") << "\n";
+    }
+    for (const auto &q : queues_) {
+        os << "  queue " << q->name() << " size=" << q->size()
+           << (q->closed() ? " closed" : " open") << "\n";
+    }
+    return os.str();
+}
+
+} // namespace genesis::sim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The cycle-driven simulator that owns and advances a dataflow design.
+ *
+ * A Simulator owns the hardware queues, scratchpads, modules and the
+ * memory system of one accelerator configuration (one or many parallel
+ * pipelines). run() ticks every module each cycle, commits every queue,
+ * and advances the memory system until all modules report done.
+ */
+
+#ifndef GENESIS_SIM_SCHEDULER_H
+#define GENESIS_SIM_SCHEDULER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/memory.h"
+#include "sim/module.h"
+#include "sim/queue.h"
+#include "sim/spm.h"
+
+namespace genesis::sim {
+
+/** Owns and runs one simulated accelerator design. */
+class Simulator
+{
+  public:
+    explicit Simulator(const MemoryConfig &mem_config = MemoryConfig());
+
+    /** Create a queue owned by the simulator. */
+    HardwareQueue *makeQueue(const std::string &name,
+                             size_t capacity = HardwareQueue::
+                                 kDefaultCapacity);
+
+    /** Create a scratchpad owned by the simulator. */
+    Scratchpad *makeScratchpad(const std::string &name, size_t size_words,
+                               uint32_t word_bytes = 8);
+
+    /** Take ownership of a module; returns a borrowed pointer. */
+    template <typename T>
+    T *
+    addModule(std::unique_ptr<T> module)
+    {
+        T *raw = module.get();
+        modules_.push_back(std::move(module));
+        return raw;
+    }
+
+    /** Construct a module in place. */
+    template <typename T, typename... Args>
+    T *
+    make(Args &&...args)
+    {
+        return addModule(std::make_unique<T>(std::forward<Args>(args)...));
+    }
+
+    MemorySystem &memory() { return memory_; }
+    const MemorySystem &memory() const { return memory_; }
+
+    uint64_t cycle() const { return cycle_; }
+
+    /** @return true when every module reports done. */
+    bool allDone() const;
+
+    /**
+     * Run until all modules are done.
+     * @param max_cycles hard cap; exceeding it panics (runaway design)
+     * @return total cycles simulated across all run() calls
+     */
+    uint64_t run(uint64_t max_cycles = 1'000'000'000);
+
+    /** Tick exactly one cycle (for fine-grained tests). */
+    void step();
+
+    /** Aggregate all module/queue/memory statistics into one registry. */
+    StatRegistry collectStats() const;
+
+    const std::vector<std::unique_ptr<Module>> &modules() const
+    {
+        return modules_;
+    }
+
+  private:
+    /** @return a fingerprint of architectural state for deadlock checks. */
+    uint64_t stateFingerprint() const;
+
+    /** Render queue/module state for deadlock diagnostics. */
+    std::string dumpState() const;
+
+    MemorySystem memory_;
+    std::vector<std::unique_ptr<HardwareQueue>> queues_;
+    std::vector<std::unique_ptr<Scratchpad>> scratchpads_;
+    std::vector<std::unique_ptr<Module>> modules_;
+    uint64_t cycle_ = 0;
+};
+
+} // namespace genesis::sim
+
+#endif // GENESIS_SIM_SCHEDULER_H

@@ -1,0 +1,44 @@
+#include "sim/spm.h"
+
+#include "base/logging.h"
+
+namespace genesis::sim {
+
+Scratchpad::Scratchpad(std::string name, size_t size_words,
+                       uint32_t word_bytes)
+    : name_(std::move(name)), wordBytes_(word_bytes)
+{
+    if (size_words == 0)
+        fatal("scratchpad '%s' must have non-zero size", name_.c_str());
+    words_.assign(size_words, 0);
+}
+
+int64_t
+Scratchpad::read(size_t addr) const
+{
+    if (addr >= words_.size()) {
+        panic("scratchpad '%s': read of %zu beyond size %zu",
+              name_.c_str(), addr, words_.size());
+    }
+    stats_.add("reads");
+    return words_[addr];
+}
+
+void
+Scratchpad::write(size_t addr, int64_t value)
+{
+    if (addr >= words_.size()) {
+        panic("scratchpad '%s': write of %zu beyond size %zu",
+              name_.c_str(), addr, words_.size());
+    }
+    stats_.add("writes");
+    words_[addr] = value;
+}
+
+void
+Scratchpad::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+} // namespace genesis::sim

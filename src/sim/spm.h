@@ -1,0 +1,67 @@
+/**
+ * @file
+ * On-chip scratchpad memory (SPM).
+ *
+ * The paper maps frequently reused tables — the reference sequence, the
+ * IS_SNP bitmap, BQSR count buffers — to on-chip scratchpads to exploit
+ * data reuse (Section III-D). A scratchpad is a word-addressed array with
+ * single-cycle access; the SpmReader/SpmUpdater modules provide the
+ * streaming interfaces, including the read-modify-write hazard interlock.
+ */
+
+#ifndef GENESIS_SIM_SPM_H
+#define GENESIS_SIM_SPM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+
+namespace genesis::sim {
+
+/** A word-addressed on-chip scratchpad. */
+class Scratchpad
+{
+  public:
+    /**
+     * @param name diagnostic name
+     * @param size_words capacity in 64-bit words
+     * @param word_bytes storage width per word for resource accounting
+     *        (a base-pair SPM stores 1 byte/word; a counter SPM 4)
+     */
+    Scratchpad(std::string name, size_t size_words,
+               uint32_t word_bytes = 8);
+
+    const std::string &name() const { return name_; }
+    size_t sizeWords() const { return words_.size(); }
+    uint32_t wordBytes() const { return wordBytes_; }
+
+    /** @return capacity in bytes (for BRAM resource accounting). */
+    uint64_t sizeBytes() const
+    {
+        return static_cast<uint64_t>(words_.size()) * wordBytes_;
+    }
+
+    /** Read one word; out-of-range addresses panic. */
+    int64_t read(size_t addr) const;
+
+    /** Write one word. */
+    void write(size_t addr, int64_t value);
+
+    /** Zero-fill the whole array. */
+    void clear();
+
+    StatRegistry &stats() { return stats_; }
+    const StatRegistry &stats() const { return stats_; }
+
+  private:
+    std::string name_;
+    uint32_t wordBytes_;
+    std::vector<int64_t> words_;
+    mutable StatRegistry stats_;
+};
+
+} // namespace genesis::sim
+
+#endif // GENESIS_SIM_SPM_H

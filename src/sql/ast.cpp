@@ -1,0 +1,128 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace genesis::sql {
+
+ExprPtr
+Expr::clone() const
+{
+    auto copy = std::make_unique<Expr>();
+    copy->kind = kind;
+    copy->literal = literal;
+    copy->qualifier = qualifier;
+    copy->name = name;
+    copy->op = op;
+    copy->args.reserve(args.size());
+    for (const auto &a : args)
+        copy->args.push_back(a->clone());
+    return copy;
+}
+
+std::string
+Expr::str() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case ExprKind::Literal:
+        os << literal.str();
+        break;
+      case ExprKind::ColumnRef:
+        if (!qualifier.empty())
+            os << qualifier << ".";
+        os << name;
+        break;
+      case ExprKind::VarRef:
+        os << "@" << name;
+        break;
+      case ExprKind::Binary:
+        os << "(" << args[0]->str() << " " << op << " " << args[1]->str()
+           << ")";
+        break;
+      case ExprKind::Unary:
+        os << "(" << op << " " << args[0]->str() << ")";
+        break;
+      case ExprKind::Call:
+        os << name << "(";
+        for (size_t i = 0; i < args.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << args[i]->str();
+        }
+        os << ")";
+        break;
+      case ExprKind::Star:
+        os << "*";
+        break;
+    }
+    return os.str();
+}
+
+ExprPtr
+Expr::makeLiteral(table::Value v)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Literal;
+    e->literal = std::move(v);
+    return e;
+}
+
+ExprPtr
+Expr::makeColumn(std::string qualifier, std::string name)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::ColumnRef;
+    e->qualifier = std::move(qualifier);
+    e->name = std::move(name);
+    return e;
+}
+
+ExprPtr
+Expr::makeVar(std::string name)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::VarRef;
+    e->name = std::move(name);
+    return e;
+}
+
+ExprPtr
+Expr::makeBinary(std::string op, ExprPtr l, ExprPtr r)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->op = std::move(op);
+    e->args.push_back(std::move(l));
+    e->args.push_back(std::move(r));
+    return e;
+}
+
+ExprPtr
+Expr::makeUnary(std::string op, ExprPtr operand)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Unary;
+    e->op = std::move(op);
+    e->args.push_back(std::move(operand));
+    return e;
+}
+
+ExprPtr
+Expr::makeCall(std::string name, std::vector<ExprPtr> args)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Call;
+    e->name = std::move(name);
+    e->args = std::move(args);
+    return e;
+}
+
+ExprPtr
+Expr::makeStar()
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Star;
+    return e;
+}
+
+} // namespace genesis::sql

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Abstract syntax tree for the Genesis extended-SQL dialect.
+ *
+ * The dialect covers everything in the paper's Figure 4 walk-through:
+ * CREATE TABLE ... AS SELECT / PosExplode / ReadExplode, INSERT INTO ...
+ * SELECT, WHERE, INNER/LEFT/OUTER JOIN ... ON, GROUP BY, LIMIT offset,count,
+ * aggregate calls (COUNT/SUM/MIN/MAX), DECLARE/SET variables, FOR row IN
+ * table loops, and EXEC for user-supplied custom modules (Section III-F).
+ */
+
+#ifndef GENESIS_SQL_AST_H
+#define GENESIS_SQL_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+
+namespace genesis::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node kinds. */
+enum class ExprKind {
+    Literal,   ///< integer or string literal
+    ColumnRef, ///< [table.]column
+    VarRef,    ///< @variable
+    Binary,    ///< left OP right
+    Unary,     ///< OP operand (NOT, -)
+    Call,      ///< NAME(args...) — aggregates and scalar functions
+    Star,      ///< * inside COUNT(*) / SELECT *
+};
+
+/** One expression node. */
+struct Expr {
+    ExprKind kind = ExprKind::Literal;
+    /** Literal payload. */
+    table::Value literal;
+    /** ColumnRef: qualifier (may be empty); Call: function name. */
+    std::string qualifier;
+    /** ColumnRef column / VarRef variable / Call function name. */
+    std::string name;
+    /** Binary/Unary operator spelling ("==", "+", "AND", "NOT", ...). */
+    std::string op;
+    /** Binary: {lhs, rhs}; Unary: {operand}; Call: arguments. */
+    std::vector<ExprPtr> args;
+
+    /** Deep copy. */
+    ExprPtr clone() const;
+
+    /** Render back to SQL-ish text (for diagnostics). */
+    std::string str() const;
+
+    static ExprPtr makeLiteral(table::Value v);
+    static ExprPtr makeColumn(std::string qualifier, std::string name);
+    static ExprPtr makeVar(std::string name);
+    static ExprPtr makeBinary(std::string op, ExprPtr l, ExprPtr r);
+    static ExprPtr makeUnary(std::string op, ExprPtr operand);
+    static ExprPtr makeCall(std::string name, std::vector<ExprPtr> args);
+    static ExprPtr makeStar();
+};
+
+/** Join types supported by the hardware Joiner (Section III-C). */
+enum class JoinType { Inner, Left, Outer };
+
+/** A LIMIT clause: offset (optional) and row count. */
+struct LimitClause {
+    ExprPtr offset; ///< may be null (no offset)
+    ExprPtr count;  ///< required when present
+};
+
+struct SelectStmt;
+
+/** A table reference: base table, subquery, with optional PARTITION. */
+struct TableRef {
+    /** Base table name (empty when subquery is set). */
+    std::string name;
+    /** Set when the reference is a parenthesised subquery. */
+    std::unique_ptr<SelectStmt> subquery;
+    /** PARTITION (expr) selector; may be null. */
+    ExprPtr partition;
+    /** Optional alias. */
+    std::string alias;
+
+    /** @return alias when set, else the base name. */
+    const std::string &effectiveName() const
+    {
+        return alias.empty() ? name : alias;
+    }
+};
+
+/** One item of a select list: expression with optional alias. */
+struct SelectItem {
+    ExprPtr expr;
+    std::string alias;
+};
+
+/** How the select projects rows. */
+enum class SelectKind {
+    Plain,       ///< SELECT items
+    PosExplode,  ///< PosExplode(col, initpos)
+    ReadExplode, ///< ReadExplode(pos, cigar, seq [, qual])
+};
+
+/** A JOIN clause attached to a select. */
+struct JoinClause {
+    JoinType type = JoinType::Inner;
+    TableRef table;
+    /** ON left = right (single equality key, as the hardware supports). */
+    ExprPtr onLeft;
+    ExprPtr onRight;
+};
+
+/** A full select statement. */
+struct SelectStmt {
+    SelectKind kind = SelectKind::Plain;
+    /** Plain: the projection list. Explodes: the function arguments. */
+    std::vector<SelectItem> items;
+    TableRef from;
+    std::vector<JoinClause> joins;
+    ExprPtr where;
+    std::vector<ExprPtr> groupBy;
+    LimitClause limit;
+};
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+/** Statement kinds. */
+enum class StatementKind {
+    CreateTableAs, ///< CREATE TABLE name AS select
+    InsertInto,    ///< INSERT INTO name select
+    Declare,       ///< DECLARE @name type
+    SetVar,        ///< SET @name = expr
+    ForLoop,       ///< FOR var IN table : body... END LOOP
+    Exec,          ///< EXEC Module In1 = t1 In2 = t2 ... [INTO name]
+    BareSelect,    ///< SELECT ... (result returned to the caller)
+};
+
+/** One statement. */
+struct Statement {
+    StatementKind kind = StatementKind::BareSelect;
+    /** Target table (CreateTableAs/InsertInto/Exec INTO) or variable. */
+    std::string target;
+    /** True when the target is a #temp table. */
+    bool targetIsTemp = false;
+    /** Select payload for CreateTableAs/InsertInto/BareSelect. */
+    std::unique_ptr<SelectStmt> select;
+    /** SetVar value / Declare type name is stored in `typeName`. */
+    ExprPtr value;
+    std::string typeName;
+    /** ForLoop: loop variable (row name) and source table. */
+    std::string loopVar;
+    std::string loopTable;
+    std::vector<StatementPtr> body;
+    /** Exec: module name + named input streams. */
+    std::string moduleName;
+    std::vector<std::pair<std::string, std::string>> execInputs;
+};
+
+/** A parsed script: an ordered list of statements. */
+struct Script {
+    std::vector<StatementPtr> statements;
+};
+
+} // namespace genesis::sql
+
+#endif // GENESIS_SQL_AST_H

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Lexer for the Genesis extended-SQL dialect.
+ *
+ * Supports line comments (-- ...), block comments, single-quoted
+ * strings, @variables, #temp-table names, and the operator set the
+ * paper's queries use (Figure 4).
+ */
+
+#ifndef GENESIS_SQL_LEXER_H
+#define GENESIS_SQL_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+
+namespace genesis::sql {
+
+/** Tokenise a full query text; throws FatalError on bad input. */
+std::vector<Token> tokenize(const std::string &text);
+
+} // namespace genesis::sql
+
+#endif // GENESIS_SQL_LEXER_H

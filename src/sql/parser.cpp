@@ -1,0 +1,540 @@
+#include "sql/parser.h"
+
+#include "base/logging.h"
+#include "sql/lexer.h"
+
+namespace genesis::sql {
+
+namespace {
+
+/**
+ * The parser proper: a hand-written recursive-descent parser over the
+ * token stream. Keywords are contextual (matched case-insensitively on
+ * Identifier tokens) so column names like "POS" never collide with them.
+ */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens))
+    {}
+
+    Script
+    parseScript()
+    {
+        Script script;
+        skipSemicolons();
+        while (!at(TokenKind::End)) {
+            script.statements.push_back(parseStatement());
+            skipSemicolons();
+        }
+        return script;
+    }
+
+    ExprPtr
+    parseSingleExpression()
+    {
+        ExprPtr e = parseExpr();
+        expect(TokenKind::End, "end of expression");
+        return e;
+    }
+
+  private:
+    // --- token plumbing -------------------------------------------------
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = pos_ + ahead;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    const Token &advance() { return tokens_[pos_++]; }
+
+    bool at(TokenKind kind) const { return peek().kind == kind; }
+
+    bool atKeyword(const char *kw) const { return peek().isKeyword(kw); }
+
+    bool
+    eat(TokenKind kind)
+    {
+        if (!at(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    bool
+    eatKeyword(const char *kw)
+    {
+        if (!atKeyword(kw))
+            return false;
+        advance();
+        return true;
+    }
+
+    const Token &
+    expect(TokenKind kind, const char *what)
+    {
+        if (!at(kind)) {
+            fatal("line %d: expected %s but found %s '%s'", peek().line,
+                  what, tokenKindName(peek().kind), peek().text.c_str());
+        }
+        return advance();
+    }
+
+    void
+    expectKeyword(const char *kw)
+    {
+        if (!eatKeyword(kw)) {
+            fatal("line %d: expected keyword %s but found '%s'",
+                  peek().line, kw, peek().text.c_str());
+        }
+    }
+
+    void
+    skipSemicolons()
+    {
+        while (eat(TokenKind::Semicolon)) {}
+    }
+
+    // --- statements -----------------------------------------------------
+    StatementPtr
+    parseStatement()
+    {
+        if (atKeyword("CREATE"))
+            return parseCreateTableAs();
+        if (atKeyword("INSERT"))
+            return parseInsertInto();
+        if (atKeyword("DECLARE"))
+            return parseDeclare();
+        if (atKeyword("SET"))
+            return parseSetVar();
+        if (atKeyword("FOR"))
+            return parseForLoop();
+        if (atKeyword("EXEC"))
+            return parseExec();
+        if (atKeyword("SELECT") || atKeyword("POSEXPLODE") ||
+            atKeyword("READEXPLODE")) {
+            auto stmt = std::make_unique<Statement>();
+            stmt->kind = StatementKind::BareSelect;
+            stmt->select = parseSelect();
+            return stmt;
+        }
+        fatal("line %d: unexpected token '%s' at statement start",
+              peek().line, peek().text.c_str());
+    }
+
+    /** Parse a table name token, flagging #temp names. */
+    std::pair<std::string, bool>
+    parseTableName()
+    {
+        if (at(TokenKind::TempName))
+            return {advance().text, true};
+        return {expect(TokenKind::Identifier, "table name").text, false};
+    }
+
+    StatementPtr
+    parseCreateTableAs()
+    {
+        expectKeyword("CREATE");
+        expectKeyword("TABLE");
+        auto stmt = std::make_unique<Statement>();
+        stmt->kind = StatementKind::CreateTableAs;
+        auto [name, is_temp] = parseTableName();
+        stmt->target = name;
+        stmt->targetIsTemp = is_temp;
+        expectKeyword("AS");
+        stmt->select = parseSelect();
+        return stmt;
+    }
+
+    StatementPtr
+    parseInsertInto()
+    {
+        expectKeyword("INSERT");
+        expectKeyword("INTO");
+        auto stmt = std::make_unique<Statement>();
+        stmt->kind = StatementKind::InsertInto;
+        auto [name, is_temp] = parseTableName();
+        stmt->target = name;
+        stmt->targetIsTemp = is_temp;
+        stmt->select = parseSelect();
+        return stmt;
+    }
+
+    StatementPtr
+    parseDeclare()
+    {
+        expectKeyword("DECLARE");
+        auto stmt = std::make_unique<Statement>();
+        stmt->kind = StatementKind::Declare;
+        stmt->target = expect(TokenKind::Variable, "@variable").text;
+        stmt->typeName =
+            expect(TokenKind::Identifier, "type name").text;
+        return stmt;
+    }
+
+    StatementPtr
+    parseSetVar()
+    {
+        expectKeyword("SET");
+        auto stmt = std::make_unique<Statement>();
+        stmt->kind = StatementKind::SetVar;
+        stmt->target = expect(TokenKind::Variable, "@variable").text;
+        expect(TokenKind::Eq, "'='");
+        stmt->value = parseExpr();
+        return stmt;
+    }
+
+    StatementPtr
+    parseForLoop()
+    {
+        expectKeyword("FOR");
+        auto stmt = std::make_unique<Statement>();
+        stmt->kind = StatementKind::ForLoop;
+        stmt->loopVar = expect(TokenKind::Identifier, "loop variable").text;
+        expectKeyword("IN");
+        stmt->loopTable =
+            expect(TokenKind::Identifier, "loop table").text;
+        expect(TokenKind::Colon, "':'");
+        skipSemicolons();
+        while (!atKeyword("END")) {
+            if (at(TokenKind::End))
+                fatal("unterminated FOR loop (missing END LOOP)");
+            stmt->body.push_back(parseStatement());
+            skipSemicolons();
+        }
+        expectKeyword("END");
+        expectKeyword("LOOP");
+        return stmt;
+    }
+
+    StatementPtr
+    parseExec()
+    {
+        expectKeyword("EXEC");
+        auto stmt = std::make_unique<Statement>();
+        stmt->kind = StatementKind::Exec;
+        stmt->moduleName =
+            expect(TokenKind::Identifier, "module name").text;
+        while (at(TokenKind::Identifier) && !atKeyword("INTO")) {
+            std::string input_name = advance().text;
+            expect(TokenKind::Eq, "'=' in EXEC input binding");
+            std::string table_name =
+                expect(TokenKind::Identifier, "table name").text;
+            stmt->execInputs.emplace_back(input_name, table_name);
+        }
+        if (eatKeyword("INTO")) {
+            auto [name, is_temp] = parseTableName();
+            stmt->target = name;
+            stmt->targetIsTemp = is_temp;
+        }
+        return stmt;
+    }
+
+    // --- selects ----------------------------------------------------
+    std::unique_ptr<SelectStmt>
+    parseSelect()
+    {
+        auto sel = std::make_unique<SelectStmt>();
+        if (eatKeyword("SELECT")) {
+            sel->kind = SelectKind::Plain;
+            do {
+                SelectItem item;
+                item.expr = parseExpr();
+                if (eatKeyword("AS")) {
+                    item.alias = expect(TokenKind::Identifier,
+                                        "alias").text;
+                }
+                sel->items.push_back(std::move(item));
+            } while (eat(TokenKind::Comma));
+        } else if (eatKeyword("POSEXPLODE")) {
+            sel->kind = SelectKind::PosExplode;
+            parseExplodeArgs(*sel, 2, 2, "PosExplode");
+        } else if (eatKeyword("READEXPLODE")) {
+            sel->kind = SelectKind::ReadExplode;
+            parseExplodeArgs(*sel, 3, 4, "ReadExplode");
+        } else {
+            fatal("line %d: expected SELECT, PosExplode or ReadExplode",
+                  peek().line);
+        }
+
+        if (eatKeyword("FROM"))
+            sel->from = parseTableRef();
+
+        while (atKeyword("INNER") || atKeyword("LEFT") ||
+               atKeyword("OUTER") || atKeyword("JOIN")) {
+            sel->joins.push_back(parseJoin());
+        }
+        if (eatKeyword("WHERE"))
+            sel->where = parseExpr();
+        if (eatKeyword("GROUP")) {
+            expectKeyword("BY");
+            do {
+                sel->groupBy.push_back(parseExpr());
+            } while (eat(TokenKind::Comma));
+        }
+        if (eatKeyword("LIMIT")) {
+            ExprPtr first = parseExpr();
+            if (eat(TokenKind::Comma)) {
+                sel->limit.offset = std::move(first);
+                sel->limit.count = parseExpr();
+            } else {
+                sel->limit.count = std::move(first);
+            }
+        }
+        return sel;
+    }
+
+    void
+    parseExplodeArgs(SelectStmt &sel, size_t min_args, size_t max_args,
+                     const char *what)
+    {
+        expect(TokenKind::LParen, "'('");
+        do {
+            SelectItem item;
+            item.expr = parseExpr();
+            sel.items.push_back(std::move(item));
+        } while (eat(TokenKind::Comma));
+        expect(TokenKind::RParen, "')'");
+        if (sel.items.size() < min_args || sel.items.size() > max_args) {
+            fatal("%s takes %zu..%zu arguments, got %zu", what, min_args,
+                  max_args, sel.items.size());
+        }
+    }
+
+    TableRef
+    parseTableRef()
+    {
+        TableRef ref;
+        if (eat(TokenKind::LParen)) {
+            ref.subquery = parseSelect();
+            expect(TokenKind::RParen, "')'");
+        } else if (at(TokenKind::TempName)) {
+            ref.name = advance().text;
+        } else {
+            ref.name = expect(TokenKind::Identifier, "table name").text;
+        }
+        if (eatKeyword("PARTITION")) {
+            expect(TokenKind::LParen, "'('");
+            ref.partition = parseExpr();
+            expect(TokenKind::RParen, "')'");
+        }
+        // Optional alias: a bare identifier that is not a clause keyword.
+        if (at(TokenKind::Identifier) && !isClauseKeyword(peek())) {
+            ref.alias = advance().text;
+        }
+        return ref;
+    }
+
+    static bool
+    isClauseKeyword(const Token &t)
+    {
+        static const char *kws[] = {
+            "INNER", "LEFT", "OUTER", "JOIN", "WHERE", "GROUP", "LIMIT",
+            "ON", "FROM", "END", "FOR", "CREATE", "INSERT", "SELECT",
+            "DECLARE", "SET", "EXEC", "AS", "PARTITION", "BY", "LOOP",
+            "INTO",
+        };
+        for (const char *kw : kws) {
+            if (t.isKeyword(kw))
+                return true;
+        }
+        return false;
+    }
+
+    JoinClause
+    parseJoin()
+    {
+        JoinClause join;
+        if (eatKeyword("INNER")) {
+            join.type = JoinType::Inner;
+        } else if (eatKeyword("LEFT")) {
+            join.type = JoinType::Left;
+        } else if (eatKeyword("OUTER")) {
+            join.type = JoinType::Outer;
+        }
+        expectKeyword("JOIN");
+        join.table = parseTableRef();
+        expectKeyword("ON");
+        ExprPtr cond = parseExpr();
+        // The hardware Joiner supports a single equality key; split the
+        // parsed ON condition into its two sides.
+        if (cond->kind != ExprKind::Binary ||
+            (cond->op != "==" && cond->op != "=")) {
+            fatal("JOIN ... ON requires a single equality condition, "
+                  "got %s", cond->str().c_str());
+        }
+        join.onLeft = std::move(cond->args[0]);
+        join.onRight = std::move(cond->args[1]);
+        return join;
+    }
+
+    // --- expressions ------------------------------------------------
+    ExprPtr
+    parseExpr()
+    {
+        return parseOr();
+    }
+
+    ExprPtr
+    parseOr()
+    {
+        ExprPtr lhs = parseAnd();
+        while (eatKeyword("OR"))
+            lhs = Expr::makeBinary("OR", std::move(lhs), parseAnd());
+        return lhs;
+    }
+
+    ExprPtr
+    parseAnd()
+    {
+        ExprPtr lhs = parseNot();
+        while (eatKeyword("AND"))
+            lhs = Expr::makeBinary("AND", std::move(lhs), parseNot());
+        return lhs;
+    }
+
+    ExprPtr
+    parseNot()
+    {
+        if (eatKeyword("NOT"))
+            return Expr::makeUnary("NOT", parseNot());
+        return parseComparison();
+    }
+
+    ExprPtr
+    parseComparison()
+    {
+        ExprPtr lhs = parseAdditive();
+        for (;;) {
+            std::string op;
+            switch (peek().kind) {
+              case TokenKind::EqEq: op = "=="; break;
+              case TokenKind::Eq: op = "=="; break; // SQL-style equality
+              case TokenKind::NotEq: op = "!="; break;
+              case TokenKind::Less: op = "<"; break;
+              case TokenKind::LessEq: op = "<="; break;
+              case TokenKind::Greater: op = ">"; break;
+              case TokenKind::GreaterEq: op = ">="; break;
+              default: return lhs;
+            }
+            advance();
+            lhs = Expr::makeBinary(op, std::move(lhs), parseAdditive());
+        }
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr lhs = parseMultiplicative();
+        for (;;) {
+            if (eat(TokenKind::Plus)) {
+                lhs = Expr::makeBinary("+", std::move(lhs),
+                                       parseMultiplicative());
+            } else if (eat(TokenKind::Minus)) {
+                lhs = Expr::makeBinary("-", std::move(lhs),
+                                       parseMultiplicative());
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr lhs = parseUnary();
+        for (;;) {
+            if (eat(TokenKind::Star)) {
+                lhs = Expr::makeBinary("*", std::move(lhs), parseUnary());
+            } else if (eat(TokenKind::Slash)) {
+                lhs = Expr::makeBinary("/", std::move(lhs), parseUnary());
+            } else if (eat(TokenKind::Percent)) {
+                lhs = Expr::makeBinary("%", std::move(lhs), parseUnary());
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (eat(TokenKind::Minus))
+            return Expr::makeUnary("-", parseUnary());
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case TokenKind::Integer: {
+            advance();
+            return Expr::makeLiteral(table::Value(t.intValue));
+          }
+          case TokenKind::String: {
+            advance();
+            return Expr::makeLiteral(table::Value(t.text));
+          }
+          case TokenKind::Variable: {
+            advance();
+            return Expr::makeVar(t.text);
+          }
+          case TokenKind::Star: {
+            advance();
+            return Expr::makeStar();
+          }
+          case TokenKind::LParen: {
+            advance();
+            ExprPtr inner = parseExpr();
+            expect(TokenKind::RParen, "')'");
+            return inner;
+          }
+          case TokenKind::TempName:
+          case TokenKind::Identifier: {
+            std::string first = advance().text;
+            if (eat(TokenKind::Dot)) {
+                std::string col =
+                    expect(TokenKind::Identifier, "column name").text;
+                return Expr::makeColumn(first, col);
+            }
+            if (eat(TokenKind::LParen)) {
+                std::vector<ExprPtr> args;
+                if (!at(TokenKind::RParen)) {
+                    do {
+                        args.push_back(parseExpr());
+                    } while (eat(TokenKind::Comma));
+                }
+                expect(TokenKind::RParen, "')'");
+                return Expr::makeCall(toUpper(first), std::move(args));
+            }
+            return Expr::makeColumn("", first);
+          }
+          default:
+            fatal("line %d: unexpected %s in expression", t.line,
+                  tokenKindName(t.kind));
+        }
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Script
+parseScript(const std::string &text)
+{
+    Parser parser(tokenize(text));
+    return parser.parseScript();
+}
+
+ExprPtr
+parseExpression(const std::string &text)
+{
+    Parser parser(tokenize(text));
+    return parser.parseSingleExpression();
+}
+
+} // namespace genesis::sql

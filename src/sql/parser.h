@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Recursive-descent parser for the Genesis extended-SQL dialect.
+ */
+
+#ifndef GENESIS_SQL_PARSER_H
+#define GENESIS_SQL_PARSER_H
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace genesis::sql {
+
+/** Parse a full script; throws FatalError with line info on bad input. */
+Script parseScript(const std::string &text);
+
+/** Parse a single expression (used by tests and the planner). */
+ExprPtr parseExpression(const std::string &text);
+
+} // namespace genesis::sql
+
+#endif // GENESIS_SQL_PARSER_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Logical query plan: the relational-operator tree a parsed select
+ * statement lowers to (Section III-D: "SQL queries can be easily parsed
+ * into a tree graph where each node represents a table or a relational/
+ * computational operator").
+ *
+ * Both back-ends consume this tree: the software executor (src/engine)
+ * interprets it, and the hardware mapper (src/pipeline) translates each
+ * node into a Genesis hardware-library module.
+ */
+
+#ifndef GENESIS_SQL_PLAN_H
+#define GENESIS_SQL_PLAN_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace genesis::sql {
+
+struct PlanNode;
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/** Plan operator kinds. */
+enum class PlanKind {
+    Scan,        ///< read a named (possibly partitioned) table
+    Project,     ///< compute output columns from input rows
+    Filter,      ///< keep rows satisfying a predicate
+    Join,        ///< single-equality-key join of two children
+    Aggregate,   ///< grouped or global aggregation
+    Limit,       ///< offset/count row window
+    PosExplode,  ///< one row per array element, with a position column
+    ReadExplode, ///< one row per read base pair (genomics-specific)
+};
+
+/** One named output column computed by Project/Aggregate. */
+struct OutputColumn {
+    ExprPtr expr;
+    std::string name;
+};
+
+/** A logical plan node. */
+struct PlanNode {
+    PlanKind kind = PlanKind::Scan;
+    /** Children: 0 for Scan, 1 for most, 2 for Join (left, right). */
+    std::vector<PlanPtr> children;
+
+    // Scan
+    std::string tableName;
+    ExprPtr partition; ///< PARTITION (expr); may be null
+    std::string alias; ///< qualifier this subtree's columns answer to
+
+    // Project / Aggregate
+    std::vector<OutputColumn> outputs;
+    std::vector<ExprPtr> groupBy;
+
+    // Filter
+    ExprPtr predicate;
+
+    // Join
+    JoinType joinType = JoinType::Inner;
+    ExprPtr leftKey;
+    ExprPtr rightKey;
+
+    // Limit
+    ExprPtr limitOffset;
+    ExprPtr limitCount;
+
+    // PosExplode: outputs[0] = array column, outputs[1] = initial position
+    // ReadExplode: outputs = POS, CIGAR, SEQ [, QUAL] argument expressions
+
+    /** Render the plan tree with indentation (for docs and debugging). */
+    std::string str(int indent = 0) const;
+};
+
+/**
+ * Lower a parsed select statement into a logical plan tree.
+ * Aggregation is detected from aggregate calls (COUNT/SUM/MIN/MAX) in the
+ * select list; joins lower to binary Join nodes left-deep.
+ */
+PlanPtr planSelect(const SelectStmt &select);
+
+/** @return true when the expression contains an aggregate call. */
+bool containsAggregate(const Expr &expr);
+
+} // namespace genesis::sql
+
+#endif // GENESIS_SQL_PLAN_H

@@ -1,0 +1,165 @@
+#include "sql/planner.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace genesis::sql {
+
+std::string
+explainSelect(const SelectStmt &select)
+{
+    return planSelect(select)->str();
+}
+
+std::string
+explainScript(const Script &script)
+{
+    std::ostringstream os;
+    std::function<void(const Statement &, int)> render =
+        [&](const Statement &stmt, int indent) {
+            std::string pad(static_cast<size_t>(indent) * 2, ' ');
+            switch (stmt.kind) {
+              case StatementKind::CreateTableAs:
+                os << pad << "CREATE TABLE " << stmt.target << " AS\n"
+                   << planSelect(*stmt.select)->str(indent + 1);
+                break;
+              case StatementKind::InsertInto:
+                os << pad << "INSERT INTO " << stmt.target << "\n"
+                   << planSelect(*stmt.select)->str(indent + 1);
+                break;
+              case StatementKind::Declare:
+                os << pad << "DECLARE @" << stmt.target << " "
+                   << stmt.typeName << "\n";
+                break;
+              case StatementKind::SetVar:
+                os << pad << "SET @" << stmt.target << " = "
+                   << stmt.value->str() << "\n";
+                break;
+              case StatementKind::ForLoop:
+                os << pad << "FOR " << stmt.loopVar << " IN "
+                   << stmt.loopTable << ":\n";
+                for (const auto &b : stmt.body)
+                    render(*b, indent + 1);
+                break;
+              case StatementKind::Exec:
+                os << pad << "EXEC " << stmt.moduleName;
+                for (const auto &[in, t] : stmt.execInputs)
+                    os << " " << in << "=" << t;
+                if (!stmt.target.empty())
+                    os << " INTO " << stmt.target;
+                os << "\n";
+                break;
+              case StatementKind::BareSelect:
+                os << pad << "SELECT\n"
+                   << planSelect(*stmt.select)->str(indent + 1);
+                break;
+            }
+        };
+    for (const auto &stmt : script.statements)
+        render(*stmt, 0);
+    return os.str();
+}
+
+namespace {
+
+void
+collectVarReads(const Expr &expr, std::set<std::string> &vars)
+{
+    if (expr.kind == ExprKind::VarRef)
+        vars.insert(expr.name);
+    for (const auto &a : expr.args)
+        collectVarReads(*a, vars);
+}
+
+void
+collectSelectVarReads(const SelectStmt &sel, std::set<std::string> &vars)
+{
+    for (const auto &item : sel.items)
+        collectVarReads(*item.expr, vars);
+    if (sel.where)
+        collectVarReads(*sel.where, vars);
+    for (const auto &g : sel.groupBy)
+        collectVarReads(*g, vars);
+    if (sel.limit.offset)
+        collectVarReads(*sel.limit.offset, vars);
+    if (sel.limit.count)
+        collectVarReads(*sel.limit.count, vars);
+    if (sel.from.partition)
+        collectVarReads(*sel.from.partition, vars);
+    if (sel.from.subquery)
+        collectSelectVarReads(*sel.from.subquery, vars);
+    for (const auto &j : sel.joins) {
+        if (j.table.subquery)
+            collectSelectVarReads(*j.table.subquery, vars);
+        if (j.table.partition)
+            collectVarReads(*j.table.partition, vars);
+        collectVarReads(*j.onLeft, vars);
+        collectVarReads(*j.onRight, vars);
+    }
+}
+
+void
+validateStatement(const Statement &stmt, std::set<std::string> &declared,
+                  std::vector<std::string> &problems)
+{
+    auto check_vars = [&](const std::set<std::string> &used,
+                          const char *where) {
+        for (const auto &v : used) {
+            if (!declared.count(v)) {
+                problems.push_back("variable @" + v + " used in " + where +
+                                   " before DECLARE");
+            }
+        }
+    };
+    switch (stmt.kind) {
+      case StatementKind::Declare:
+        declared.insert(stmt.target);
+        break;
+      case StatementKind::SetVar: {
+        if (!declared.count(stmt.target))
+            problems.push_back("SET @" + stmt.target + " before DECLARE");
+        std::set<std::string> used;
+        collectVarReads(*stmt.value, used);
+        check_vars(used, "SET");
+        break;
+      }
+      case StatementKind::CreateTableAs:
+      case StatementKind::InsertInto:
+      case StatementKind::BareSelect: {
+        std::set<std::string> used;
+        collectSelectVarReads(*stmt.select, used);
+        check_vars(used, "SELECT");
+        break;
+      }
+      case StatementKind::ForLoop: {
+        if (stmt.body.empty())
+            problems.push_back("FOR " + stmt.loopVar + " has empty body");
+        for (const auto &b : stmt.body)
+            validateStatement(*b, declared, problems);
+        break;
+      }
+      case StatementKind::Exec:
+        if (stmt.execInputs.empty()) {
+            problems.push_back("EXEC " + stmt.moduleName +
+                               " has no input streams");
+        }
+        break;
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+validateScript(const Script &script)
+{
+    std::vector<std::string> problems;
+    std::set<std::string> declared;
+    for (const auto &stmt : script.statements)
+        validateStatement(*stmt, declared, problems);
+    return problems;
+}
+
+} // namespace genesis::sql

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Script-level planning utilities: EXPLAIN output and static validation.
+ */
+
+#ifndef GENESIS_SQL_PLANNER_H
+#define GENESIS_SQL_PLANNER_H
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/plan.h"
+
+namespace genesis::sql {
+
+/** Render every statement's logical plan (EXPLAIN for a whole script). */
+std::string explainScript(const Script &script);
+
+/** Render one select's logical plan. */
+std::string explainSelect(const SelectStmt &select);
+
+/**
+ * Static validation of a script: flags undeclared variable reads, SET
+ * before DECLARE, empty FOR bodies, and aggregate misuse. @return list of
+ * human-readable problems (empty = valid).
+ */
+std::vector<std::string> validateScript(const Script &script);
+
+} // namespace genesis::sql
+
+#endif // GENESIS_SQL_PLANNER_H

@@ -1,0 +1,56 @@
+#include "sql/token.h"
+
+#include <cctype>
+
+namespace genesis::sql {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::End: return "end of input";
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Variable: return "variable";
+      case TokenKind::TempName: return "temp table name";
+      case TokenKind::Integer: return "integer";
+      case TokenKind::String: return "string";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Dot: return "'.'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::Eq: return "'='";
+      case TokenKind::EqEq: return "'=='";
+      case TokenKind::NotEq: return "'!='";
+      case TokenKind::Less: return "'<'";
+      case TokenKind::LessEq: return "'<='";
+      case TokenKind::Greater: return "'>'";
+      case TokenKind::GreaterEq: return "'>='";
+    }
+    return "?";
+}
+
+std::string
+toUpper(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c))));
+    return out;
+}
+
+bool
+Token::isKeyword(const char *kw) const
+{
+    return kind == TokenKind::Identifier && toUpper(text) == kw;
+}
+
+} // namespace genesis::sql

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Token definitions for the Genesis extended-SQL dialect.
+ */
+
+#ifndef GENESIS_SQL_TOKEN_H
+#define GENESIS_SQL_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace genesis::sql {
+
+/** Lexical token kinds. Keywords are matched case-insensitively. */
+enum class TokenKind {
+    End,        ///< end of input
+    Identifier, ///< bare identifier (may be a non-reserved keyword)
+    Variable,   ///< @name
+    TempName,   ///< #name (temporary table)
+    Integer,    ///< integer literal
+    String,     ///< 'quoted' string literal
+    // Punctuation / operators
+    LParen, RParen, Comma, Semicolon, Dot, Star, Colon,
+    Plus, Minus, Slash, Percent,
+    Eq,       ///< = (assignment / ON comparisons)
+    EqEq,     ///< ==
+    NotEq,    ///< != or <>
+    Less, LessEq, Greater, GreaterEq,
+};
+
+/** @return printable name for a token kind. */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexical token. */
+struct Token {
+    TokenKind kind = TokenKind::End;
+    /** Raw text (identifier spelled as written; keywords uppercased). */
+    std::string text;
+    /** Integer literal value. */
+    int64_t intValue = 0;
+    /** 1-based source line for diagnostics. */
+    int line = 1;
+    /** 1-based source column for diagnostics. */
+    int column = 1;
+
+    /** @return true when this is an identifier matching the keyword
+     * (case-insensitive). */
+    bool isKeyword(const char *kw) const;
+};
+
+/** Uppercase a string (ASCII). */
+std::string toUpper(const std::string &s);
+
+} // namespace genesis::sql
+
+#endif // GENESIS_SQL_TOKEN_H

@@ -1,0 +1,100 @@
+#include "table/partition.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.h"
+
+namespace genesis::table {
+
+namespace {
+/** Windows per chromosome in the PID space; ample for 250 Mbp / 1 Mbp. */
+constexpr int64_t kMaxWindowsPerChromosome = 1 << 20;
+} // namespace
+
+Partitioner::Partitioner(int64_t psize, int64_t overlap)
+    : psize_(psize), overlap_(overlap)
+{
+    if (psize_ < 1)
+        fatal("partition size must be positive (got %lld)",
+              static_cast<long long>(psize_));
+    if (overlap_ < 0)
+        fatal("partition overlap must be non-negative");
+}
+
+int64_t
+Partitioner::windowIndex(int64_t pos) const
+{
+    // Reads with a leading soft clip can have slightly negative unclipped
+    // positions; clamp those into window 0.
+    return pos <= 0 ? 0 : pos / psize_;
+}
+
+int64_t
+Partitioner::pid(uint8_t chr, int64_t pos) const
+{
+    return static_cast<int64_t>(chr) * kMaxWindowsPerChromosome +
+        windowIndex(pos);
+}
+
+std::vector<ReadPartition>
+Partitioner::partitionReads(
+    const std::vector<genome::AlignedRead> &reads) const
+{
+    std::map<int64_t, ReadPartition> buckets;
+    for (size_t i = 0; i < reads.size(); ++i) {
+        const auto &read = reads[i];
+        int64_t p = pid(read.chr, read.pos);
+        auto [it, inserted] = buckets.try_emplace(p);
+        if (inserted) {
+            it->second.pid = p;
+            it->second.chr = read.chr;
+            it->second.windowStart = windowIndex(read.pos) * psize_;
+            it->second.windowEnd = it->second.windowStart + psize_;
+        }
+        it->second.readIndices.push_back(i);
+    }
+    std::vector<ReadPartition> out;
+    out.reserve(buckets.size());
+    for (auto &[p, part] : buckets) {
+        std::sort(part.readIndices.begin(), part.readIndices.end(),
+                  [&](size_t a, size_t b) {
+                      return reads[a].pos < reads[b].pos;
+                  });
+        out.push_back(std::move(part));
+    }
+    return out;
+}
+
+std::vector<ReadPartition>
+Partitioner::partitionReadsByGroup(
+    const std::vector<genome::AlignedRead> &reads) const
+{
+    std::map<std::pair<int64_t, uint16_t>, ReadPartition> buckets;
+    for (size_t i = 0; i < reads.size(); ++i) {
+        const auto &read = reads[i];
+        int64_t p = pid(read.chr, read.pos);
+        auto key = std::make_pair(p, read.readGroup);
+        auto [it, inserted] = buckets.try_emplace(key);
+        if (inserted) {
+            it->second.pid = p;
+            it->second.chr = read.chr;
+            it->second.windowStart = windowIndex(read.pos) * psize_;
+            it->second.windowEnd = it->second.windowStart + psize_;
+            it->second.readGroup = read.readGroup;
+        }
+        it->second.readIndices.push_back(i);
+    }
+    std::vector<ReadPartition> out;
+    out.reserve(buckets.size());
+    for (auto &[key, part] : buckets) {
+        std::sort(part.readIndices.begin(), part.readIndices.end(),
+                  [&](size_t a, size_t b) {
+                      return reads[a].pos < reads[b].pos;
+                  });
+        out.push_back(std::move(part));
+    }
+    return out;
+}
+
+} // namespace genesis::table

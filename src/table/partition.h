@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Position-based partitioning of reads and reference (Section III-B).
+ *
+ * The read table is partitioned first by chromosome and then by POS so
+ * that the nth partition of a chromosome holds reads whose positions fall
+ * in [n*PSIZE, (n+1)*PSIZE). The reference table is partitioned so the nth
+ * partition covers [n*PSIZE, (n+1)*PSIZE + overlap). Both sides share a
+ * partition id (PID) so a read finds its reference fragment by PID.
+ */
+
+#ifndef GENESIS_TABLE_PARTITION_H
+#define GENESIS_TABLE_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/read.h"
+
+namespace genesis::table {
+
+/** One read partition: a (chromosome, window) bucket of read indices. */
+struct ReadPartition {
+    int64_t pid = 0;          ///< unique partition id
+    uint8_t chr = 0;          ///< chromosome id
+    int64_t windowStart = 0;  ///< inclusive start position of the window
+    int64_t windowEnd = 0;    ///< exclusive end position of the window
+    uint16_t readGroup = 0;   ///< only set for by-read-group partitioning
+    /** Indices into the caller's read vector, position-sorted. */
+    std::vector<size_t> readIndices;
+};
+
+/** Computes partition ids and groups reads into partitions. */
+class Partitioner
+{
+  public:
+    /**
+     * @param psize window size in base pairs (paper: 1 M)
+     * @param overlap reference overlap past the window end (paper: LEN)
+     */
+    explicit Partitioner(int64_t psize, int64_t overlap = 151);
+
+    int64_t psize() const { return psize_; }
+    int64_t overlap() const { return overlap_; }
+
+    /** @return PID for (chromosome, any position inside the window). */
+    int64_t pid(uint8_t chr, int64_t pos) const;
+
+    /** @return window index (0-based) containing the given position. */
+    int64_t windowIndex(int64_t pos) const;
+
+    /**
+     * Group reads into per-window partitions (by the read's POS).
+     * Partitions come back ordered by (chr, window); empty windows are
+     * not represented.
+     */
+    std::vector<ReadPartition>
+    partitionReads(const std::vector<genome::AlignedRead> &reads) const;
+
+    /**
+     * Group reads into per-(window, read-group) partitions — the BQSR
+     * layout (Section IV-D partitions by POS and again by read group).
+     */
+    std::vector<ReadPartition>
+    partitionReadsByGroup(
+        const std::vector<genome::AlignedRead> &reads) const;
+
+  private:
+    int64_t psize_;
+    int64_t overlap_;
+};
+
+} // namespace genesis::table
+
+#endif // GENESIS_TABLE_PARTITION_H

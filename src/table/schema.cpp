@@ -1,0 +1,63 @@
+#include "table/schema.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace genesis::table {
+
+Schema::Schema(std::initializer_list<FieldDef> fields)
+{
+    for (const auto &f : fields)
+        addField(f.name, f.type);
+}
+
+Schema::Schema(std::vector<FieldDef> fields)
+{
+    for (const auto &f : fields)
+        addField(f.name, f.type);
+}
+
+void
+Schema::addField(const std::string &name, DataType type)
+{
+    if (has(name))
+        fatal("duplicate field '%s' in schema", name.c_str());
+    fields_.push_back({name, type});
+}
+
+int
+Schema::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+size_t
+Schema::require(const std::string &name) const
+{
+    int idx = indexOf(name);
+    if (idx < 0)
+        fatal("no field named '%s' in schema %s", name.c_str(),
+              str().c_str());
+    return static_cast<size_t>(idx);
+}
+
+std::string
+Schema::str() const
+{
+    std::ostringstream os;
+    os << "(";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << fields_[i].name << " " << dataTypeName(fields_[i].type);
+    }
+    os << ")";
+    return os.str();
+}
+
+} // namespace genesis::table

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table schema: an ordered list of named, typed fields.
+ */
+
+#ifndef GENESIS_TABLE_SCHEMA_H
+#define GENESIS_TABLE_SCHEMA_H
+
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+
+namespace genesis::table {
+
+/** One field declaration. */
+struct FieldDef {
+    std::string name;
+    DataType type = DataType::Int64;
+
+    bool operator==(const FieldDef &other) const = default;
+};
+
+/** An ordered set of field declarations. */
+class Schema
+{
+  public:
+    Schema() = default;
+    Schema(std::initializer_list<FieldDef> fields);
+    explicit Schema(std::vector<FieldDef> fields);
+
+    const std::vector<FieldDef> &fields() const { return fields_; }
+    size_t size() const { return fields_.size(); }
+
+    /** Append a field; duplicate names are fatal. */
+    void addField(const std::string &name, DataType type);
+
+    /** @return field index by name, or -1 when absent. */
+    int indexOf(const std::string &name) const;
+
+    /** @return field index by name; throws FatalError when absent. */
+    size_t require(const std::string &name) const;
+
+    /** @return true when a field with this name exists. */
+    bool has(const std::string &name) const { return indexOf(name) >= 0; }
+
+    const FieldDef &field(size_t i) const { return fields_.at(i); }
+
+    bool operator==(const Schema &other) const = default;
+
+    /** Render as "(NAME type, ...)". */
+    std::string str() const;
+
+  private:
+    std::vector<FieldDef> fields_;
+};
+
+} // namespace genesis::table
+
+#endif // GENESIS_TABLE_SCHEMA_H

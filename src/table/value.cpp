@@ -1,0 +1,93 @@
+#include "table/value.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace genesis::table {
+
+int64_t
+Value::asInt() const
+{
+    if (const auto *v = std::get_if<int64_t>(&data_))
+        return *v;
+    fatal("Value is not an integer (got %s)", str().c_str());
+}
+
+const std::string &
+Value::asString() const
+{
+    if (const auto *v = std::get_if<std::string>(&data_))
+        return *v;
+    fatal("Value is not a string (got %s)", str().c_str());
+}
+
+const Blob &
+Value::asBlob() const
+{
+    if (const auto *v = std::get_if<Blob>(&data_))
+        return *v;
+    fatal("Value is not a blob (got %s)", str().c_str());
+}
+
+bool
+Value::truthy() const
+{
+    if (isNull())
+        return false;
+    if (isInt())
+        return asInt() != 0;
+    if (isString())
+        return !asString().empty();
+    return !asBlob().empty();
+}
+
+std::string
+Value::str() const
+{
+    if (isNull())
+        return "NULL";
+    if (isInt())
+        return std::to_string(asInt());
+    if (isString())
+        return "'" + asString() + "'";
+    std::ostringstream os;
+    os << "[";
+    const Blob &b = asBlob();
+    for (size_t i = 0; i < b.size(); ++i) {
+        if (i)
+            os << ",";
+        if (i >= 16) {
+            os << "... (" << b.size() << ")";
+            break;
+        }
+        os << b[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+bool
+Value::operator<(const Value &other) const
+{
+    auto rank = [](const Value &v) {
+        if (v.isNull())
+            return 0;
+        if (v.isInt())
+            return 1;
+        if (v.isString())
+            return 2;
+        return 3;
+    };
+    int ra = rank(*this), rb = rank(other);
+    if (ra != rb)
+        return ra < rb;
+    switch (ra) {
+      case 0: return false;
+      case 1: return asInt() < other.asInt();
+      case 2: return asString() < other.asString();
+      default: return asBlob() < other.asBlob();
+    }
+}
+
+} // namespace genesis::table

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dynamically-typed cell value used by the SQL engine.
+ *
+ * The software query engine (src/engine) interprets logical plans over
+ * tables whose cells are Values. The hardware path never sees Values —
+ * it streams raw column bytes — so this type optimises for clarity.
+ */
+
+#ifndef GENESIS_TABLE_VALUE_H
+#define GENESIS_TABLE_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace genesis::table {
+
+/** A variable-length array cell (e.g. SEQ, QUAL, CIGAR contents). */
+using Blob = std::vector<int64_t>;
+
+/**
+ * One table cell: null, a 64-bit integer, a string, or an integer array.
+ * All narrower column types widen to int64 at the Value level.
+ */
+class Value
+{
+  public:
+    Value() : data_(std::monostate{}) {}
+    Value(int64_t v) : data_(v) {}
+    Value(int v) : data_(static_cast<int64_t>(v)) {}
+    Value(bool b) : data_(static_cast<int64_t>(b ? 1 : 0)) {}
+    Value(std::string s) : data_(std::move(s)) {}
+    Value(const char *s) : data_(std::string(s)) {}
+    Value(Blob b) : data_(std::move(b)) {}
+
+    bool isNull() const
+    {
+        return std::holds_alternative<std::monostate>(data_);
+    }
+    bool isInt() const { return std::holds_alternative<int64_t>(data_); }
+    bool isString() const
+    {
+        return std::holds_alternative<std::string>(data_);
+    }
+    bool isBlob() const { return std::holds_alternative<Blob>(data_); }
+
+    /** @return integer content; throws FatalError on type mismatch. */
+    int64_t asInt() const;
+
+    /** @return string content; throws FatalError on type mismatch. */
+    const std::string &asString() const;
+
+    /** @return blob content; throws FatalError on type mismatch. */
+    const Blob &asBlob() const;
+
+    /** @return truthiness: non-zero int, non-empty string/blob. */
+    bool truthy() const;
+
+    /** Render for debugging / result printing. */
+    std::string str() const;
+
+    bool operator==(const Value &other) const { return data_ == other.data_; }
+
+    /**
+     * Total order across values for sorting/grouping: nulls first, then
+     * ints, strings, blobs (each ordered naturally).
+     */
+    bool operator<(const Value &other) const;
+
+  private:
+    std::variant<std::monostate, int64_t, std::string, Blob> data_;
+};
+
+} // namespace genesis::table
+
+#endif // GENESIS_TABLE_VALUE_H

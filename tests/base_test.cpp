@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for src/base: logging, RNG, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/stats.h"
+
+namespace genesis {
+namespace {
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("a%db%s", 7, "x"), "a7bx");
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    setQuiet(true);
+    EXPECT_THROW(panic("boom %d", 1), PanicError);
+    setQuiet(false);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad input %s", "x"), FatalError);
+}
+
+TEST(Logging, FatalMessageContainsText)
+{
+    try {
+        fatal("unique-marker-%d", 42);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("unique-marker-42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    setQuiet(true);
+    EXPECT_NO_THROW(GENESIS_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(GENESIS_ASSERT(1 == 2, "value %d", 3), PanicError);
+    setQuiet(false);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(ScalarStat, TracksMinMaxMeanCount)
+{
+    ScalarStat s;
+    s.sample(2.0);
+    s.sample(-1.0);
+    s.sample(5.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(ScalarStat, EmptyIsZero)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(ScalarStat, MergeCombines)
+{
+    ScalarStat a, b;
+    a.sample(1.0);
+    a.sample(3.0);
+    b.sample(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+}
+
+TEST(StatRegistry, AddGetSet)
+{
+    StatRegistry r;
+    EXPECT_EQ(r.get("x"), 0u);
+    r.add("x");
+    r.add("x", 4);
+    EXPECT_EQ(r.get("x"), 5u);
+    r.set("x", 2);
+    EXPECT_EQ(r.get("x"), 2u);
+}
+
+TEST(StatRegistry, MergeAddsCounters)
+{
+    StatRegistry a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 3);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 3u);
+}
+
+TEST(StatRegistry, ReportContainsEntries)
+{
+    StatRegistry r;
+    r.add("alpha", 7);
+    std::string report = r.report("pfx.");
+    EXPECT_NE(report.find("pfx.alpha = 7"), std::string::npos);
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(5 * 1024.0 * 1024.0), "5.00 MiB");
+}
+
+TEST(Format, Seconds)
+{
+    EXPECT_EQ(formatSeconds(2.5), "2.500 s");
+    EXPECT_EQ(formatSeconds(0.002), "2.000 ms");
+    EXPECT_EQ(formatSeconds(3e-6), "3.000 us");
+}
+
+} // namespace
+} // namespace genesis

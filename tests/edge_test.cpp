@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Edge-case coverage: scalar SQL builtins, arithmetic corner cases,
+ * heterogeneous pipelines sharing one FPGA image (the Figure 8 claim
+ * that "different hardware pipelines targeting different operations
+ * work together"), and runtime configuration variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "engine/executor.h"
+#include "modules/filter.h"
+#include "modules/memory_reader.h"
+#include "modules/memory_writer.h"
+#include "modules/reducer.h"
+#include "runtime/api.h"
+#include "sim_test_utils.h"
+#include "sql/parser.h"
+
+namespace genesis {
+namespace {
+
+using table::DataType;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+class EngineEdge : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Table t("t", Schema{{"A", DataType::Int64},
+                            {"S", DataType::String},
+                            {"ARR", DataType::Array8}});
+        t.appendRow({Value(-4), Value("abc"), Value(table::Blob{7, 8})});
+        t.appendRow({Value(0), Value(""), Value(table::Blob{})});
+        catalog_.put("t", std::move(t));
+    }
+
+    Value
+    scalar(const std::string &select)
+    {
+        engine::Executor executor(catalog_);
+        auto result = executor.run(select);
+        return result->at(0, 0);
+    }
+
+    engine::Catalog catalog_;
+};
+
+TEST_F(EngineEdge, AbsLenCoalesceIsNullElem)
+{
+    EXPECT_EQ(scalar("SELECT ABS(A) FROM t LIMIT 1").asInt(), 4);
+    EXPECT_EQ(scalar("SELECT LEN(S) FROM t LIMIT 1").asInt(), 3);
+    EXPECT_EQ(scalar("SELECT LEN(ARR) FROM t LIMIT 1").asInt(), 2);
+    EXPECT_EQ(scalar("SELECT COALESCE(A, 9) FROM t LIMIT 1").asInt(),
+              -4);
+    EXPECT_EQ(scalar("SELECT ISNULL(A) FROM t LIMIT 1").asInt(), 0);
+    EXPECT_EQ(scalar("SELECT ELEM(ARR, 1) FROM t LIMIT 1").asInt(), 8);
+    // Out-of-range element reads are NULL, not errors.
+    EXPECT_TRUE(scalar("SELECT ELEM(ARR, 5) FROM t LIMIT 1").isNull());
+}
+
+TEST_F(EngineEdge, DivisionAndModuloByZeroFatal)
+{
+    engine::Executor executor(catalog_);
+    EXPECT_THROW(executor.run("SELECT 1 / A FROM t LIMIT 1, 1"),
+                 FatalError);
+    EXPECT_THROW(executor.run("SELECT 1 % A FROM t LIMIT 1, 1"),
+                 FatalError);
+}
+
+TEST_F(EngineEdge, NullPropagationThroughArithmetic)
+{
+    // NULL + 1 is NULL; comparisons with NULL filter nothing in.
+    engine::Executor executor(catalog_);
+    auto r = executor.run(
+        "SELECT COUNT(*) FROM t WHERE COALESCE(ELEM(ARR, 9), 0) + 1 "
+        "== 1");
+    EXPECT_EQ(r->at(0, 0).asInt(), 2);
+    auto n = executor.run("SELECT COUNT(ELEM(ARR, 9)) FROM t");
+    EXPECT_EQ(n->at(0, 0).asInt(), 0); // COUNT skips NULLs
+}
+
+TEST_F(EngineEdge, UnknownFunctionFatal)
+{
+    engine::Executor executor(catalog_);
+    EXPECT_THROW(executor.run("SELECT FROB(A) FROM t"), FatalError);
+}
+
+TEST_F(EngineEdge, InsertWidthMismatchFatal)
+{
+    engine::Executor executor(catalog_);
+    executor.run("CREATE TABLE out AS SELECT A FROM t");
+    EXPECT_THROW(executor.run("INSERT INTO out SELECT A, S FROM t"),
+                 FatalError);
+}
+
+TEST_F(EngineEdge, NegativeLimitFatal)
+{
+    engine::Executor executor(catalog_);
+    EXPECT_THROW(executor.run("SELECT A FROM t LIMIT 0 - 1"),
+                 FatalError);
+}
+
+// --- Heterogeneous pipelines in one image ---------------------------------
+
+TEST(Heterogeneous, DifferentPipelinesShareOneImage)
+{
+    // Pipeline 0: per-row sum of an array column.
+    // Pipeline 1: drop-filter keeping values above a threshold.
+    // Both run concurrently in one simulator, sharing the memory system
+    // through their local arbiters (Figure 8's mixed configuration).
+    runtime::AcceleratorSession session{runtime::RuntimeConfig{}};
+    auto &simulator = session.sim();
+
+    modules::ColumnBuffer *qual = session.configureMem(
+        "QUAL", {10, 20, 30, 40, 50, 60}, {3, 3}, 1);
+    modules::ColumnBuffer *vals = session.configureMem(
+        "VALS", {5, 25, 15, 35}, {1, 1, 1, 1}, 4);
+    modules::ColumnBuffer *sums = session.configureOutput("SUMS", 4);
+    modules::ColumnBuffer *big = session.configureOutput("BIG", 4);
+
+    {
+        auto *q = simulator.makeQueue("p0.in");
+        auto *s = simulator.makeQueue("p0.sum");
+        modules::MemoryReaderConfig rd;
+        rd.emitBoundaries = true;
+        simulator.make<modules::MemoryReader>(
+            "p0.rd", qual, simulator.memory().makePort(0), q, rd);
+        modules::ReducerConfig red;
+        red.op = modules::ReduceOp::Sum;
+        red.granularity = modules::ReduceGranularity::PerItem;
+        simulator.make<modules::Reducer>("p0.red", q, s, red);
+        simulator.make<modules::MemoryWriter>(
+            "p0.wr", sums, simulator.memory().makePort(0), s,
+            modules::MemoryWriterConfig{});
+    }
+    {
+        auto *q = simulator.makeQueue("p1.in");
+        auto *f = simulator.makeQueue("p1.filtered");
+        simulator.make<modules::MemoryReader>(
+            "p1.rd", vals, simulator.memory().makePort(1), q,
+            modules::MemoryReaderConfig{});
+        modules::FilterConfig flt;
+        flt.lhs = modules::FilterOperand::field(0);
+        flt.op = modules::CompareOp::Gt;
+        flt.rhs = modules::FilterOperand::constant_(20);
+        simulator.make<modules::Filter>("p1.flt", q, f, flt);
+        simulator.make<modules::MemoryWriter>(
+            "p1.wr", big, simulator.memory().makePort(1), f,
+            modules::MemoryWriterConfig{});
+    }
+
+    session.start();
+    session.wait();
+    const auto *sums_out = session.flush("SUMS");
+    const auto *big_out = session.flush("BIG");
+    EXPECT_EQ(sums_out->elements, (std::vector<int64_t>{60, 150}));
+    EXPECT_EQ(big_out->elements, (std::vector<int64_t>{25, 35}));
+}
+
+// --- Runtime configuration variants -----------------------------------------
+
+TEST(RuntimeConfig, FasterDmaShrinksCommunicationTime)
+{
+    auto run_with = [](const runtime::DmaConfig &dma) {
+        runtime::RuntimeConfig cfg;
+        cfg.dma = dma;
+        runtime::AcceleratorSession session(cfg);
+        session.configureMem("X", std::vector<int64_t>(100'000, 1),
+                             std::vector<uint32_t>(100'000, 1), 4);
+        return session.timing().dmaSeconds;
+    };
+    EXPECT_LT(run_with(runtime::DmaConfig::pcie4()),
+              run_with(runtime::DmaConfig::pcie3()));
+}
+
+TEST(RuntimeConfig, SlowerClockStretchesAcceleratorTime)
+{
+    runtime::RuntimeConfig fast;
+    fast.clockHz = 250e6;
+    runtime::RuntimeConfig slow;
+    slow.clockHz = 125e6;
+    runtime::AcceleratorSession a(fast), b(slow);
+    EXPECT_DOUBLE_EQ(b.secondsForCycles(1000),
+                     2.0 * a.secondsForCycles(1000));
+}
+
+TEST(RuntimeConfig, InvalidClockFatal)
+{
+    runtime::RuntimeConfig cfg;
+    cfg.clockHz = 0;
+    EXPECT_THROW(runtime::AcceleratorSession{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace genesis

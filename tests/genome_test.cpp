@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Unit tests for src/genome: base pairs, CIGARs, read explosion
+ * (including the paper's Figure 2/3 worked examples), the synthetic
+ * reference, and SAM/FASTA round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/logging.h"
+#include "genome/basepair.h"
+#include "genome/cigar.h"
+#include "genome/fasta.h"
+#include "genome/read.h"
+#include "genome/reference.h"
+#include "genome/samlite.h"
+
+namespace genesis::genome {
+namespace {
+
+TEST(BasePair, CharRoundTrip)
+{
+    for (char c : {'A', 'C', 'G', 'T', 'N'})
+        EXPECT_EQ(baseToChar(charToBase(c)), c);
+    EXPECT_EQ(baseToChar(charToBase('a')), 'A');
+    EXPECT_EQ(baseToChar(charToBase('x')), 'N');
+}
+
+TEST(BasePair, Complement)
+{
+    EXPECT_EQ(complementBase(charToBase('A')), charToBase('T'));
+    EXPECT_EQ(complementBase(charToBase('C')), charToBase('G'));
+    EXPECT_EQ(complementBase(charToBase('N')), charToBase('N'));
+}
+
+TEST(BasePair, SequenceStringRoundTrip)
+{
+    std::string s = "ACGTNACGT";
+    EXPECT_EQ(sequenceToString(stringToSequence(s)), s);
+}
+
+TEST(BasePair, ReverseComplement)
+{
+    Sequence seq = stringToSequence("AACGT");
+    EXPECT_EQ(sequenceToString(reverseComplement(seq)), "ACGTT");
+}
+
+TEST(BasePair, PhredRoundTrip)
+{
+    EXPECT_NEAR(phredToErrorProb(10), 0.1, 1e-12);
+    EXPECT_NEAR(phredToErrorProb(30), 1e-3, 1e-12);
+    EXPECT_EQ(errorProbToPhred(0.1), 10);
+    EXPECT_EQ(errorProbToPhred(0.0), 93);
+}
+
+TEST(Cigar, ParseAndFormat)
+{
+    Cigar c = Cigar::parse("3S6M1D2M");
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.str(), "3S6M1D2M");
+    EXPECT_EQ(c.elements()[0].op, CigarOp::SoftClip);
+    EXPECT_EQ(c.elements()[2].op, CigarOp::Delete);
+}
+
+TEST(Cigar, EmptyIsStar)
+{
+    EXPECT_EQ(Cigar().str(), "*");
+    EXPECT_TRUE(Cigar::parse("*").empty());
+}
+
+TEST(Cigar, ParseRejectsMalformed)
+{
+    EXPECT_THROW(Cigar::parse("M"), FatalError);
+    EXPECT_THROW(Cigar::parse("3"), FatalError);
+    EXPECT_THROW(Cigar::parse("0M"), FatalError);
+    EXPECT_THROW(Cigar::parse("3X"), FatalError);
+}
+
+TEST(Cigar, Lengths)
+{
+    // Read 2 of paper Figure 2.
+    Cigar c = Cigar::parse("3S6M1D2M");
+    EXPECT_EQ(c.readLength(), 11u);       // 3 + 6 + 2 (D not in read)
+    EXPECT_EQ(c.referenceLength(), 9u);   // 6 + 1 + 2 (S, I not in ref)
+    EXPECT_EQ(c.leadingSoftClip(), 3u);
+    EXPECT_EQ(c.trailingSoftClip(), 0u);
+}
+
+TEST(Cigar, TrailingSoftClip)
+{
+    Cigar c = Cigar::parse("5M4S");
+    EXPECT_EQ(c.leadingSoftClip(), 0u);
+    EXPECT_EQ(c.trailingSoftClip(), 4u);
+}
+
+TEST(Cigar, AppendCoalesces)
+{
+    Cigar c;
+    c.append(3, CigarOp::Match);
+    c.append(2, CigarOp::Match);
+    c.append(1, CigarOp::Insert);
+    c.append(0, CigarOp::Delete); // zero-length appends are dropped
+    EXPECT_EQ(c.str(), "5M1I");
+}
+
+TEST(Cigar, PackUnpackRoundTrip)
+{
+    Cigar c = Cigar::parse("7M1I5M2S");
+    EXPECT_EQ(Cigar::unpackAll(c.packAll()), c);
+}
+
+TEST(Cigar, PackRejectsHugeLength)
+{
+    CigarElement e{1u << 14, CigarOp::Match};
+    EXPECT_THROW(e.pack(), PanicError);
+}
+
+TEST(ExplodeRead, Figure3Example)
+{
+    // The paper's Figure 3: POS 104, CIGAR 2S3M1I1M1D2M,
+    // SEQ AGGTAAACA, QUAL ##9>>AAB? (phred chars minus 33).
+    Cigar cigar = Cigar::parse("2S3M1I1M1D2M");
+    Sequence seq = stringToSequence("AGGTAAACA");
+    QualSequence qual;
+    for (char c : std::string("##9>>AAB?"))
+        qual.push_back(static_cast<uint8_t>(c - 33));
+
+    auto rows = explodeRead(104, cigar, seq, qual);
+    ASSERT_EQ(rows.size(), 8u); // 3M + 1I + 1M + 1D + 2M
+
+    // 104 G, 105 T, 106 A (the soft-clipped AG never appears).
+    EXPECT_EQ(rows[0].refPos, 104);
+    EXPECT_EQ(rows[0].readBase, charToBase('G'));
+    EXPECT_EQ(rows[1].refPos, 105);
+    EXPECT_EQ(rows[1].readBase, charToBase('T'));
+    EXPECT_EQ(rows[2].refPos, 106);
+    EXPECT_EQ(rows[2].readBase, charToBase('A'));
+    // Inserted A: no reference position.
+    EXPECT_TRUE(rows[3].isInsertion());
+    EXPECT_EQ(rows[3].readBase, charToBase('A'));
+    // 107 A.
+    EXPECT_EQ(rows[4].refPos, 107);
+    EXPECT_EQ(rows[4].readBase, charToBase('A'));
+    // 108 deleted: reference position present, no read base.
+    EXPECT_EQ(rows[5].refPos, 108);
+    EXPECT_TRUE(rows[5].isDeletion());
+    EXPECT_EQ(rows[5].qual, -1);
+    // 109 C, 110 A.
+    EXPECT_EQ(rows[6].refPos, 109);
+    EXPECT_EQ(rows[6].readBase, charToBase('C'));
+    EXPECT_EQ(rows[7].refPos, 110);
+    EXPECT_EQ(rows[7].readBase, charToBase('A'));
+}
+
+TEST(ExplodeRead, CycleNumbersSkipClips)
+{
+    Cigar cigar = Cigar::parse("2S3M");
+    Sequence seq = stringToSequence("AAGGG");
+    auto rows = explodeRead(10, cigar, seq, {});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].readOffset, 0);
+    EXPECT_EQ(rows[2].readOffset, 2);
+    EXPECT_EQ(rows[0].qual, -1); // no QUAL supplied
+}
+
+TEST(ExplodeRead, RejectsLengthMismatch)
+{
+    setQuiet(true);
+    Cigar cigar = Cigar::parse("5M");
+    Sequence seq = stringToSequence("AAA");
+    EXPECT_THROW(explodeRead(0, cigar, seq, {}), PanicError);
+    setQuiet(false);
+}
+
+TEST(Reference, SynthesizeShape)
+{
+    SyntheticGenomeConfig cfg;
+    cfg.numChromosomes = 3;
+    cfg.firstChromosomeLength = 10'000;
+    cfg.minChromosomeLength = 1'000;
+    cfg.seed = 3;
+    auto genome = ReferenceGenome::synthesize(cfg);
+    ASSERT_EQ(genome.numChromosomes(), 3u);
+    EXPECT_EQ(genome.chromosome(1).length(), 10'000);
+    EXPECT_LT(genome.chromosome(2).length(),
+              genome.chromosome(1).length());
+    EXPECT_EQ(genome.chromosome(1).name, "chr1");
+}
+
+TEST(Reference, SnpDensityApproximatesConfig)
+{
+    SyntheticGenomeConfig cfg;
+    cfg.numChromosomes = 1;
+    cfg.firstChromosomeLength = 50'000;
+    cfg.snpDensity = 0.02;
+    cfg.seed = 4;
+    auto genome = ReferenceGenome::synthesize(cfg);
+    int64_t snps = 0;
+    for (bool b : genome.chromosome(1).isSnp)
+        snps += b ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(snps) / 50'000.0, 0.02, 0.005);
+}
+
+TEST(Reference, DeterministicBySeed)
+{
+    SyntheticGenomeConfig cfg;
+    cfg.firstChromosomeLength = 5'000;
+    cfg.seed = 99;
+    auto a = ReferenceGenome::synthesize(cfg);
+    auto b = ReferenceGenome::synthesize(cfg);
+    EXPECT_EQ(a.chromosome(1).seq, b.chromosome(1).seq);
+}
+
+TEST(Reference, BaseAtOutOfRangeIsN)
+{
+    SyntheticGenomeConfig cfg;
+    cfg.firstChromosomeLength = 100;
+    cfg.minChromosomeLength = 100;
+    auto genome = ReferenceGenome::synthesize(cfg);
+    EXPECT_EQ(genome.baseAt(1, -1), static_cast<uint8_t>(Base::N));
+    EXPECT_EQ(genome.baseAt(1, 100), static_cast<uint8_t>(Base::N));
+}
+
+TEST(Reference, UnknownChromosomeFatal)
+{
+    ReferenceGenome genome;
+    EXPECT_THROW(genome.chromosome(5), FatalError);
+}
+
+TEST(Reference, ChromosomeNames)
+{
+    EXPECT_EQ(chromosomeName(1), "chr1");
+    EXPECT_EQ(chromosomeName(23), "chrX");
+    EXPECT_EQ(chromosomeName(24), "chrY");
+}
+
+TEST(Read, EndPosAndUnclipped)
+{
+    AlignedRead read;
+    read.chr = 1;
+    read.pos = 100;
+    read.cigar = Cigar::parse("3S6M1D2M");
+    read.seq = stringToSequence("AAACCCGGGTT");
+    EXPECT_EQ(read.endPos(), 109);
+    EXPECT_EQ(read.unclippedFivePrime(), 97); // 100 - 3S
+
+    read.flags = kFlagReverse;
+    read.cigar = Cigar::parse("6M1D2M3S");
+    EXPECT_EQ(read.unclippedFivePrime(), 112); // 109 + 3S
+}
+
+TEST(Read, DuplicateKeyEncodesOrientation)
+{
+    AlignedRead fwd, rev;
+    fwd.chr = rev.chr = 2;
+    fwd.pos = rev.pos = 500;
+    fwd.cigar = rev.cigar = Cigar::parse("10M");
+    fwd.seq = rev.seq = stringToSequence("AAAAAAAAAA");
+    rev.flags = kFlagReverse;
+    EXPECT_NE(fwd.duplicateKey(), rev.duplicateKey());
+}
+
+TEST(Read, QualSum)
+{
+    AlignedRead read;
+    read.qual = {10, 20, 30};
+    EXPECT_EQ(read.qualSum(), 60);
+}
+
+TEST(Read, DuplicateFlagSetClear)
+{
+    AlignedRead read;
+    EXPECT_FALSE(read.isDuplicate());
+    read.setDuplicate(true);
+    EXPECT_TRUE(read.isDuplicate());
+    read.setDuplicate(false);
+    EXPECT_FALSE(read.isDuplicate());
+}
+
+TEST(SamLite, LineRoundTrip)
+{
+    AlignedRead read;
+    read.name = "frag42";
+    read.chr = 3;
+    read.pos = 1234;
+    read.flags = kFlagPaired | kFlagFirstOfPair;
+    read.mapq = 60;
+    read.cigar = Cigar::parse("2S8M1I4M");
+    read.seq = stringToSequence("ACGTACGTACGTACG");
+    for (int i = 0; i < 15; ++i)
+        read.qual.push_back(static_cast<uint8_t>(20 + i));
+    read.readGroup = 2;
+    read.mateChr = 3;
+    read.matePos = 1500;
+    read.nmTag = 3;
+    read.mdTag = "4A7";
+    read.uqTag = 55;
+
+    AlignedRead parsed = samLineToRead(readToSamLine(read));
+    EXPECT_EQ(parsed.name, read.name);
+    EXPECT_EQ(parsed.chr, read.chr);
+    EXPECT_EQ(parsed.pos, read.pos);
+    EXPECT_EQ(parsed.flags, read.flags);
+    EXPECT_EQ(parsed.cigar, read.cigar);
+    EXPECT_EQ(parsed.seq, read.seq);
+    EXPECT_EQ(parsed.qual, read.qual);
+    EXPECT_EQ(parsed.readGroup, read.readGroup);
+    EXPECT_EQ(parsed.nmTag, read.nmTag);
+    EXPECT_EQ(parsed.mdTag, read.mdTag);
+    EXPECT_EQ(parsed.uqTag, read.uqTag);
+}
+
+TEST(SamLite, XandYChromosomes)
+{
+    AlignedRead read;
+    read.name = "r";
+    read.chr = 23;
+    read.pos = 10;
+    read.cigar = Cigar::parse("3M");
+    read.seq = stringToSequence("ACG");
+    read.qual = {30, 30, 30};
+    EXPECT_EQ(samLineToRead(readToSamLine(read)).chr, 23);
+    read.chr = 24;
+    EXPECT_EQ(samLineToRead(readToSamLine(read)).chr, 24);
+}
+
+TEST(SamLite, StreamRoundTrip)
+{
+    SyntheticGenomeConfig cfg;
+    cfg.firstChromosomeLength = 1000;
+    auto genome = ReferenceGenome::synthesize(cfg);
+
+    std::vector<AlignedRead> reads(2);
+    reads[0].name = "a";
+    reads[0].chr = 1;
+    reads[0].pos = 5;
+    reads[0].cigar = Cigar::parse("4M");
+    reads[0].seq = stringToSequence("ACGT");
+    reads[0].qual = {30, 30, 30, 30};
+    reads[1] = reads[0];
+    reads[1].name = "b";
+    reads[1].pos = 9;
+
+    std::ostringstream os;
+    writeSam(os, genome, reads);
+    std::istringstream is(os.str());
+    auto parsed = readSam(is);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].name, "a");
+    EXPECT_EQ(parsed[1].pos, 9);
+}
+
+TEST(SamLite, MalformedLineFatal)
+{
+    EXPECT_THROW(samLineToRead("too\tfew\tfields"), FatalError);
+}
+
+TEST(Fasta, RoundTripWithSnpSidecar)
+{
+    SyntheticGenomeConfig cfg;
+    cfg.numChromosomes = 2;
+    cfg.firstChromosomeLength = 500;
+    cfg.minChromosomeLength = 100;
+    cfg.snpDensity = 0.05;
+    cfg.seed = 21;
+    auto genome = ReferenceGenome::synthesize(cfg);
+
+    std::ostringstream os;
+    writeFasta(os, genome);
+    writeSnpSidecar(os, genome);
+
+    std::istringstream is(os.str());
+    auto parsed = readFasta(is);
+    ASSERT_EQ(parsed.numChromosomes(), genome.numChromosomes());
+    for (const auto &chrom : genome.chromosomes()) {
+        const auto &p = parsed.chromosome(chrom.id);
+        EXPECT_EQ(p.seq, chrom.seq);
+        EXPECT_EQ(p.isSnp, chrom.isSnp);
+    }
+}
+
+TEST(Fasta, WithoutSidecarSnpsAllFalse)
+{
+    SyntheticGenomeConfig cfg;
+    cfg.firstChromosomeLength = 200;
+    cfg.snpDensity = 0.5;
+    auto genome = ReferenceGenome::synthesize(cfg);
+    std::ostringstream os;
+    writeFasta(os, genome);
+    std::istringstream is(os.str());
+    auto parsed = readFasta(is);
+    for (bool b : parsed.chromosome(1).isSnp)
+        EXPECT_FALSE(b);
+}
+
+} // namespace
+} // namespace genesis::genome

@@ -1,0 +1,1091 @@
+/**
+ * @file
+ * Per-module tests for the Genesis hardware library, each driving one
+ * module in isolation with vector sources/sinks inside a Simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "genome/basepair.h"
+#include "modules/binidgen.h"
+#include "modules/custom.h"
+#include "modules/filter.h"
+#include "modules/fork.h"
+#include "modules/joiner.h"
+#include "modules/mdgen.h"
+#include "modules/memory_reader.h"
+#include "modules/memory_writer.h"
+#include "modules/read_to_bases.h"
+#include "modules/reducer.h"
+#include "modules/spm_reader.h"
+#include "modules/spm_updater.h"
+#include "modules/stream_alu.h"
+#include "sim/scheduler.h"
+#include "sim_test_utils.h"
+
+namespace genesis::modules {
+namespace {
+
+using sim::Flit;
+using sim::HardwareQueue;
+using sim::Simulator;
+using sim::makeBoundary;
+using sim::makeFlit;
+using test::VectorSink;
+using test::VectorSource;
+
+// --- MemoryReader ---------------------------------------------------------
+
+TEST(MemoryReader, StreamsScalarColumn)
+{
+    Simulator sim;
+    ColumnBuffer buf;
+    buf.elemSizeBytes = 4;
+    buf.appendRow({10});
+    buf.appendRow({20});
+    buf.appendRow({30});
+    auto *q = sim.makeQueue("out");
+    sim.make<MemoryReader>("rd", &buf, sim.memory().makePort(0), q,
+                           MemoryReaderConfig{});
+    auto *sink = sim.make<VectorSink>("sink", q);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 3u);
+    EXPECT_EQ(sink->collected()[0].key, 10);
+    EXPECT_EQ(sink->collected()[2].fieldAt(0), 30);
+}
+
+TEST(MemoryReader, EmitsRowBoundaries)
+{
+    Simulator sim;
+    ColumnBuffer buf;
+    buf.elemSizeBytes = 1;
+    buf.appendRow({1, 2});
+    buf.appendRow({});  // empty row still delimits
+    buf.appendRow({3});
+    auto *q = sim.makeQueue("out");
+    MemoryReaderConfig cfg;
+    cfg.emitBoundaries = true;
+    sim.make<MemoryReader>("rd", &buf, sim.memory().makePort(0), q, cfg);
+    auto *sink = sim.make<VectorSink>("sink", q);
+    sim.run();
+    const auto &flits = sink->collected();
+    ASSERT_EQ(flits.size(), 6u); // 1 2 B B 3 B
+    EXPECT_FALSE(sim::isBoundary(flits[0]));
+    EXPECT_TRUE(sim::isBoundary(flits[2]));
+    EXPECT_TRUE(sim::isBoundary(flits[3]));
+    EXPECT_EQ(flits[4].key, 3);
+    EXPECT_TRUE(sim::isBoundary(flits[5]));
+}
+
+TEST(MemoryReader, ThroughputBoundedByMemoryBandwidth)
+{
+    // 1 B/cycle/channel memory cannot feed a 4 B/flit stream at
+    // 1 flit/cycle: cycles must be about 4x the flit count.
+    sim::MemoryConfig mem_cfg;
+    mem_cfg.numChannels = 1;
+    mem_cfg.bytesPerCyclePerChannel = 1;
+    mem_cfg.latencyCycles = 4;
+    Simulator sim(mem_cfg);
+    ColumnBuffer buf;
+    buf.elemSizeBytes = 4;
+    for (int i = 0; i < 200; ++i)
+        buf.appendRow({i});
+    auto *q = sim.makeQueue("out");
+    sim.make<MemoryReader>("rd", &buf, sim.memory().makePort(0), q,
+                           MemoryReaderConfig{});
+    sim.make<VectorSink>("sink", q);
+    uint64_t cycles = sim.run();
+    EXPECT_GE(cycles, 200u * 4u);
+}
+
+// --- MemoryWriter ---------------------------------------------------------
+
+TEST(MemoryWriter, ScalarRows)
+{
+    Simulator sim;
+    ColumnBuffer out;
+    auto *q = sim.makeQueue("in");
+    sim.make<VectorSource>("src", q,
+                           std::vector<Flit>{makeFlit(0, 5),
+                                             makeFlit(0, 6)});
+    MemoryWriterConfig cfg;
+    cfg.fieldIndex = 0;
+    cfg.elemSizeBytes = 4;
+    sim.make<MemoryWriter>("wr", &out, sim.memory().makePort(0), q, cfg);
+    sim.run();
+    ASSERT_EQ(out.numRows(), 2u);
+    EXPECT_EQ(out.elements[0], 5);
+    EXPECT_EQ(out.elements[1], 6);
+}
+
+TEST(MemoryWriter, RowModeUsesBoundaries)
+{
+    Simulator sim;
+    ColumnBuffer out;
+    auto *q = sim.makeQueue("in");
+    sim.make<VectorSource>(
+        "src", q,
+        std::vector<Flit>{makeFlit(0, 'a'), makeFlit(0, 'b'),
+                          makeBoundary(), makeFlit(0, 'c'),
+                          makeBoundary()});
+    MemoryWriterConfig cfg;
+    cfg.elemSizeBytes = 1;
+    cfg.rowMode = true;
+    sim.make<MemoryWriter>("wr", &out, sim.memory().makePort(0), q, cfg);
+    sim.run();
+    ASSERT_EQ(out.numRows(), 2u);
+    EXPECT_EQ(out.rowLengths[0], 2u);
+    EXPECT_EQ(out.rowLengths[1], 1u);
+    EXPECT_EQ(out.elements[2], 'c');
+}
+
+TEST(MemoryWriter, KeyFieldOption)
+{
+    Simulator sim;
+    ColumnBuffer out;
+    auto *q = sim.makeQueue("in");
+    sim.make<VectorSource>("src", q,
+                           std::vector<Flit>{makeFlit(77, 1)});
+    MemoryWriterConfig cfg;
+    cfg.fieldIndex = -1; // store the key
+    sim.make<MemoryWriter>("wr", &out, sim.memory().makePort(0), q, cfg);
+    sim.run();
+    ASSERT_EQ(out.elements.size(), 1u);
+    EXPECT_EQ(out.elements[0], 77);
+}
+
+// --- SpmUpdater / SpmReader ------------------------------------------------
+
+TEST(SpmUpdater, SequentialInitialisesFromStream)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 4);
+    auto *q = sim.makeQueue("in");
+    sim.make<VectorSource>("src", q,
+                           std::vector<Flit>{makeFlit(7), makeFlit(8),
+                                             makeFlit(9)});
+    SpmUpdaterConfig cfg;
+    cfg.mode = SpmUpdateMode::Sequential;
+    cfg.startAddr = 1;
+    sim.make<SpmUpdater>("upd", spm, q, cfg);
+    sim.run();
+    EXPECT_EQ(spm->read(1), 7);
+    EXPECT_EQ(spm->read(3), 9);
+}
+
+TEST(SpmUpdater, RandomWrites)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 8);
+    auto *q = sim.makeQueue("in");
+    sim.make<VectorSource>("src", q,
+                           std::vector<Flit>{makeFlit(5, 50),
+                                             makeFlit(2, 20)});
+    SpmUpdaterConfig cfg;
+    cfg.mode = SpmUpdateMode::Random;
+    cfg.addrField = -1; // key
+    cfg.valueField = 0;
+    sim.make<SpmUpdater>("upd", spm, q, cfg);
+    sim.run();
+    EXPECT_EQ(spm->read(5), 50);
+    EXPECT_EQ(spm->read(2), 20);
+}
+
+TEST(SpmUpdater, ReadModifyWriteIncrements)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 4);
+    auto *q = sim.makeQueue("in");
+    std::vector<Flit> flits;
+    for (int i = 0; i < 10; ++i)
+        flits.push_back(makeFlit(i % 2));
+    sim.make<VectorSource>("src", q, flits);
+    SpmUpdaterConfig cfg;
+    cfg.mode = SpmUpdateMode::ReadModifyWrite;
+    sim.make<SpmUpdater>("upd", spm, q, cfg);
+    sim.run();
+    EXPECT_EQ(spm->read(0), 5);
+    EXPECT_EQ(spm->read(1), 5);
+}
+
+TEST(SpmUpdater, RmwHazardStallsButStaysCorrect)
+{
+    // Back-to-back updates to the same address exercise the three-stage
+    // hazard interlock; correctness must hold and stalls must appear.
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 2);
+    auto *q = sim.makeQueue("in");
+    std::vector<Flit> flits(20, makeFlit(0));
+    sim.make<VectorSource>("src", q, flits);
+    SpmUpdaterConfig cfg;
+    cfg.mode = SpmUpdateMode::ReadModifyWrite;
+    auto *upd = sim.make<SpmUpdater>("upd", spm, q, cfg);
+    sim.run();
+    EXPECT_EQ(spm->read(0), 20);
+    EXPECT_GT(upd->stats().get("stall.rmw_hazard"), 0u);
+}
+
+TEST(SpmUpdater, RmwSkipsNullAddresses)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 2);
+    auto *q = sim.makeQueue("in");
+    sim.make<VectorSource>(
+        "src", q,
+        std::vector<Flit>{makeFlit(0), makeFlit(Flit::kNull),
+                          makeFlit(0), makeBoundary()});
+    SpmUpdaterConfig cfg;
+    cfg.mode = SpmUpdateMode::ReadModifyWrite;
+    auto *upd = sim.make<SpmUpdater>("upd", spm, q, cfg);
+    sim.run();
+    EXPECT_EQ(spm->read(0), 2);
+    EXPECT_EQ(upd->stats().get("skipped"), 1u);
+}
+
+TEST(SpmUpdater, CustomModifyFunction)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 1);
+    auto *q = sim.makeQueue("in");
+    sim.make<VectorSource>("src", q,
+                           std::vector<Flit>{makeFlit(0, 5),
+                                             makeFlit(0, 7)});
+    SpmUpdaterConfig cfg;
+    cfg.mode = SpmUpdateMode::ReadModifyWrite;
+    cfg.modify = [](int64_t old, const Flit &f) {
+        return old + f.fieldAt(0);
+    };
+    sim.make<SpmUpdater>("upd", spm, q, cfg);
+    sim.run();
+    EXPECT_EQ(spm->read(0), 12);
+}
+
+TEST(SpmReader, AddressStreamMode)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 4);
+    spm->write(2, 22);
+    spm->write(3, 33);
+    auto *addr_q = sim.makeQueue("addr");
+    auto *out_q = sim.makeQueue("out");
+    sim.make<VectorSource>("src", addr_q,
+                           std::vector<Flit>{makeFlit(3), makeFlit(2)});
+    SpmReaderConfig cfg;
+    cfg.mode = SpmReadMode::AddressStream;
+    sim.make<SpmReader>("rd", spm, addr_q, out_q, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out_q);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 2u);
+    EXPECT_EQ(sink->collected()[0].fieldAt(0), 33);
+    EXPECT_EQ(sink->collected()[1].fieldAt(0), 22);
+}
+
+TEST(SpmReader, IntervalModeEmitsRangesWithBoundaries)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 8);
+    for (int i = 0; i < 8; ++i)
+        spm->write(static_cast<size_t>(i), 100 + i);
+    auto *start_q = sim.makeQueue("start");
+    auto *end_q = sim.makeQueue("end");
+    auto *out_q = sim.makeQueue("out");
+    sim.make<VectorSource>("s1", start_q,
+                           std::vector<Flit>{makeFlit(2), makeFlit(5)});
+    sim.make<VectorSource>("s2", end_q,
+                           std::vector<Flit>{makeFlit(4), makeFlit(5)});
+    SpmReaderConfig cfg;
+    cfg.mode = SpmReadMode::Interval;
+    sim.make<SpmReader>("rd", spm, start_q, end_q, out_q, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out_q);
+    sim.run();
+    const auto &flits = sink->collected();
+    // [2,4): 102 103 B ; [5,5): B
+    ASSERT_EQ(flits.size(), 4u);
+    EXPECT_EQ(flits[0].key, 2);
+    EXPECT_EQ(flits[0].fieldAt(0), 102);
+    EXPECT_EQ(flits[1].fieldAt(0), 103);
+    EXPECT_TRUE(sim::isBoundary(flits[2]));
+    EXPECT_TRUE(sim::isBoundary(flits[3]));
+}
+
+TEST(SpmReader, IntervalUnpackPair)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 2);
+    spm->write(0, 3 | (1 << 8));
+    auto *start_q = sim.makeQueue("start");
+    auto *end_q = sim.makeQueue("end");
+    auto *out_q = sim.makeQueue("out");
+    sim.make<VectorSource>("s1", start_q,
+                           std::vector<Flit>{makeFlit(0)});
+    sim.make<VectorSource>("s2", end_q, std::vector<Flit>{makeFlit(1)});
+    SpmReaderConfig cfg;
+    cfg.mode = SpmReadMode::Interval;
+    cfg.unpackPair = true;
+    sim.make<SpmReader>("rd", spm, start_q, end_q, out_q, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out_q);
+    sim.run();
+    ASSERT_EQ(sink->dataFlits().size(), 1u);
+    EXPECT_EQ(sink->dataFlits()[0].fieldAt(0), 3);
+    EXPECT_EQ(sink->dataFlits()[0].fieldAt(1), 1);
+}
+
+TEST(SpmReader, DrainWaitsForProducer)
+{
+    Simulator sim;
+    auto *spm = sim.makeScratchpad("s", 3);
+    auto *upd_q = sim.makeQueue("upd");
+    auto *out_q = sim.makeQueue("out");
+    sim.make<VectorSource>("src", upd_q,
+                           std::vector<Flit>{makeFlit(0, 1),
+                                             makeFlit(2, 9)});
+    SpmUpdaterConfig ucfg;
+    ucfg.mode = SpmUpdateMode::Random;
+    ucfg.addrField = -1;
+    ucfg.valueField = 0;
+    auto *upd = sim.make<SpmUpdater>("upd", spm, upd_q, ucfg);
+    SpmReaderConfig rcfg;
+    rcfg.mode = SpmReadMode::Drain;
+    sim.make<SpmReader>("rd", spm, upd, out_q, rcfg);
+    auto *sink = sim.make<VectorSink>("sink", out_q);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 3u);
+    EXPECT_EQ(sink->collected()[0].fieldAt(0), 1);
+    EXPECT_EQ(sink->collected()[2].fieldAt(0), 9);
+}
+
+// --- Joiner ---------------------------------------------------------------
+
+std::vector<Flit>
+keyedFlits(std::initializer_list<std::pair<int64_t, int64_t>> kvs,
+           bool trailing_boundary = true)
+{
+    std::vector<Flit> flits;
+    for (auto [k, v] : kvs)
+        flits.push_back(makeFlit(k, v));
+    if (trailing_boundary)
+        flits.push_back(makeBoundary());
+    return flits;
+}
+
+struct JoinerRun {
+    std::vector<Flit> out;
+};
+
+JoinerRun
+runJoiner(JoinMode mode, std::vector<Flit> left, std::vector<Flit> right,
+          int left_fields = 1, int right_fields = 1)
+{
+    Simulator sim;
+    auto *lq = sim.makeQueue("l");
+    auto *rq = sim.makeQueue("r");
+    auto *oq = sim.makeQueue("o");
+    sim.make<VectorSource>("ls", lq, std::move(left));
+    sim.make<VectorSource>("rs", rq, std::move(right));
+    JoinerConfig cfg;
+    cfg.mode = mode;
+    cfg.leftFields = left_fields;
+    cfg.rightFields = right_fields;
+    sim.make<Joiner>("join", lq, rq, oq, cfg);
+    auto *sink = sim.make<VectorSink>("sink", oq);
+    sim.run();
+    return {sink->collected()};
+}
+
+TEST(Joiner, InnerJoinMergesEqualKeys)
+{
+    auto r = runJoiner(JoinMode::Inner,
+                       keyedFlits({{1, 10}, {2, 20}, {4, 40}}),
+                       keyedFlits({{2, 200}, {3, 300}, {4, 400}}));
+    // Matching keys 2 and 4, then the item boundary.
+    ASSERT_EQ(r.out.size(), 3u);
+    EXPECT_EQ(r.out[0].key, 2);
+    EXPECT_EQ(r.out[0].fieldAt(0), 20);
+    EXPECT_EQ(r.out[0].fieldAt(1), 200);
+    EXPECT_EQ(r.out[1].key, 4);
+    EXPECT_TRUE(sim::isBoundary(r.out[2]));
+}
+
+TEST(Joiner, LeftJoinPadsUnmatched)
+{
+    auto r = runJoiner(JoinMode::Left, keyedFlits({{1, 10}, {2, 20}}),
+                       keyedFlits({{2, 200}}));
+    ASSERT_EQ(r.out.size(), 3u);
+    EXPECT_EQ(r.out[0].key, 1);
+    EXPECT_EQ(r.out[0].fieldAt(1), Flit::kNull);
+    EXPECT_EQ(r.out[1].fieldAt(1), 200);
+}
+
+TEST(Joiner, OuterJoinKeepsBothSides)
+{
+    auto r = runJoiner(JoinMode::Outer, keyedFlits({{1, 10}}),
+                       keyedFlits({{2, 200}}));
+    ASSERT_EQ(r.out.size(), 3u);
+    EXPECT_EQ(r.out[0].key, 1);
+    EXPECT_EQ(r.out[1].key, 2);
+    EXPECT_EQ(r.out[1].fieldAt(0), Flit::kNull);
+    EXPECT_EQ(r.out[1].fieldAt(1), 200);
+}
+
+TEST(Joiner, InsKeyBypassesComparison)
+{
+    // An inserted base between keys 5 and 6 must not disturb the merge:
+    // inner join drops it, left join emits it padded.
+    std::vector<Flit> left = {makeFlit(5, 50), makeFlit(Flit::kIns, 99),
+                              makeFlit(6, 60), makeBoundary()};
+    auto inner = runJoiner(JoinMode::Inner, left,
+                           keyedFlits({{5, 500}, {6, 600}}));
+    ASSERT_EQ(inner.out.size(), 3u);
+    EXPECT_EQ(inner.out[0].key, 5);
+    EXPECT_EQ(inner.out[1].key, 6);
+
+    auto lj = runJoiner(JoinMode::Left, left,
+                        keyedFlits({{5, 500}, {6, 600}}));
+    ASSERT_EQ(lj.out.size(), 4u);
+    EXPECT_EQ(lj.out[1].key, Flit::kIns);
+    EXPECT_EQ(lj.out[1].fieldAt(0), 99);
+    EXPECT_EQ(lj.out[1].fieldAt(1), Flit::kNull);
+}
+
+TEST(Joiner, ItemAlignmentResyncsAcrossBoundaries)
+{
+    // Two items whose key ranges overlap: the joiner must restart the
+    // merge at each boundary rather than treating keys globally.
+    std::vector<Flit> left, right;
+    auto append_item = [](std::vector<Flit> &v,
+                          std::initializer_list<std::pair<int64_t,
+                                                          int64_t>> kvs) {
+        for (auto [k, val] : kvs)
+            v.push_back(makeFlit(k, val));
+        v.push_back(makeBoundary());
+    };
+    append_item(left, {{10, 1}, {11, 2}});
+    append_item(left, {{5, 3}, {6, 4}}); // restarts below 10
+    append_item(right, {{10, 100}, {11, 110}});
+    append_item(right, {{5, 50}, {6, 60}});
+    auto r = runJoiner(JoinMode::Inner, left, right);
+    ASSERT_EQ(r.out.size(), 6u);
+    EXPECT_EQ(r.out[0].key, 10);
+    EXPECT_TRUE(sim::isBoundary(r.out[2]));
+    EXPECT_EQ(r.out[3].key, 5);
+    EXPECT_EQ(r.out[4].fieldAt(1), 60);
+    EXPECT_TRUE(sim::isBoundary(r.out[5]));
+}
+
+TEST(Joiner, UnevenItemLengths)
+{
+    // Right side runs past the left item: extra right flits drop (inner)
+    // while boundaries stay aligned.
+    std::vector<Flit> left = {makeFlit(1, 10), makeBoundary()};
+    std::vector<Flit> right = {makeFlit(1, 100), makeFlit(2, 200),
+                               makeFlit(3, 300), makeBoundary()};
+    auto r = runJoiner(JoinMode::Inner, left, right);
+    ASSERT_EQ(r.out.size(), 2u);
+    EXPECT_EQ(r.out[0].key, 1);
+    EXPECT_TRUE(sim::isBoundary(r.out[1]));
+}
+
+// --- Filter / Fork ----------------------------------------------------------
+
+TEST(Filter, DropModeKeepsMatchesAndBoundaries)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>(
+        "src", in,
+        std::vector<Flit>{makeFlit(0, 5, 5), makeFlit(0, 5, 6),
+                          makeBoundary(), makeFlit(0, 7, 7)});
+    FilterConfig cfg;
+    cfg.lhs = FilterOperand::field(0);
+    cfg.op = CompareOp::Eq;
+    cfg.rhs = FilterOperand::field(1);
+    sim.make<Filter>("f", in, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 3u);
+    EXPECT_TRUE(sim::isBoundary(sink->collected()[1]));
+}
+
+TEST(Filter, MaskModeAppendsMatchBit)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("src", in,
+                           std::vector<Flit>{makeFlit(0, 5, 5),
+                                             makeFlit(0, 5, 6)});
+    FilterConfig cfg;
+    cfg.lhs = FilterOperand::field(0);
+    cfg.op = CompareOp::Ne;
+    cfg.rhs = FilterOperand::field(1);
+    cfg.maskMode = true;
+    sim.make<Filter>("f", in, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 2u);
+    EXPECT_EQ(sink->collected()[0].fieldAt(2), 0);
+    EXPECT_EQ(sink->collected()[1].fieldAt(2), 1);
+}
+
+TEST(Filter, ConstantAndKeyOperands)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("src", in,
+                           std::vector<Flit>{makeFlit(3, 0),
+                                             makeFlit(9, 0)});
+    FilterConfig cfg;
+    cfg.lhs = FilterOperand::key();
+    cfg.op = CompareOp::Gt;
+    cfg.rhs = FilterOperand::constant_(5);
+    sim.make<Filter>("f", in, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 1u);
+    EXPECT_EQ(sink->collected()[0].key, 9);
+}
+
+TEST(Filter, SentinelsCompareUnequalToRealValues)
+{
+    FilterConfig cfg;
+    cfg.lhs = FilterOperand::field(0);
+    cfg.op = CompareOp::Ne;
+    cfg.rhs = FilterOperand::field(1);
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    Filter filter("f", in, out, cfg);
+    EXPECT_TRUE(filter.matches(makeFlit(0, Flit::kDel, 2)));
+    EXPECT_TRUE(filter.matches(makeFlit(0, 1, Flit::kNull)));
+    EXPECT_FALSE(filter.matches(makeFlit(0, 2, 2)));
+}
+
+TEST(Fork, ReplicatesToAllOutputs)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *o1 = sim.makeQueue("o1");
+    auto *o2 = sim.makeQueue("o2");
+    sim.make<VectorSource>("src", in,
+                           std::vector<Flit>{makeFlit(1, 10),
+                                             makeBoundary()});
+    sim.make<Fork>("fork", in,
+                   std::vector<HardwareQueue *>{o1, o2});
+    auto *s1 = sim.make<VectorSink>("s1", o1);
+    auto *s2 = sim.make<VectorSink>("s2", o2);
+    sim.run();
+    ASSERT_EQ(s1->collected().size(), 2u);
+    ASSERT_EQ(s2->collected().size(), 2u);
+    EXPECT_EQ(s1->collected()[0].fieldAt(0), 10);
+    EXPECT_EQ(s2->collected()[0].fieldAt(0), 10);
+}
+
+// --- Reducer ----------------------------------------------------------------
+
+TEST(Reducer, WholeStreamSum)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("src", in,
+                           std::vector<Flit>{makeFlit(0, 1),
+                                             makeFlit(0, 2),
+                                             makeFlit(0, 4)});
+    ReducerConfig cfg;
+    cfg.op = ReduceOp::Sum;
+    sim.make<Reducer>("red", in, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 1u);
+    EXPECT_EQ(sink->collected()[0].fieldAt(0), 7);
+}
+
+TEST(Reducer, PerItemCountAtBoundaries)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>(
+        "src", in,
+        std::vector<Flit>{makeFlit(0, 1), makeFlit(0, 1),
+                          makeBoundary(), makeBoundary(),
+                          makeFlit(0, 1), makeBoundary()});
+    ReducerConfig cfg;
+    cfg.op = ReduceOp::Count;
+    cfg.granularity = ReduceGranularity::PerItem;
+    sim.make<Reducer>("red", in, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 3u);
+    EXPECT_EQ(sink->collected()[0].fieldAt(0), 2);
+    EXPECT_EQ(sink->collected()[1].fieldAt(0), 0); // empty item
+    EXPECT_EQ(sink->collected()[2].fieldAt(0), 1);
+    // Item index rides on the key.
+    EXPECT_EQ(sink->collected()[2].key, 2);
+}
+
+TEST(Reducer, MaskedSumSkipsUnmaskedAndSentinels)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    // field0 = value, field1 = mask.
+    sim.make<VectorSource>(
+        "src", in,
+        std::vector<Flit>{makeFlit(0, 10, 1), makeFlit(0, 20, 0),
+                          makeFlit(0, Flit::kDel, 1),
+                          makeFlit(0, 5, 1)});
+    ReducerConfig cfg;
+    cfg.op = ReduceOp::Sum;
+    cfg.valueField = 0;
+    cfg.maskField = 1;
+    sim.make<Reducer>("red", in, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 1u);
+    EXPECT_EQ(sink->collected()[0].fieldAt(0), 15);
+}
+
+TEST(Reducer, MinMaxAndEmptyStream)
+{
+    auto run_op = [](ReduceOp op, std::vector<Flit> flits) {
+        Simulator sim;
+        auto *in = sim.makeQueue("in");
+        auto *out = sim.makeQueue("out");
+        sim.make<VectorSource>("src", in, std::move(flits));
+        ReducerConfig cfg;
+        cfg.op = op;
+        sim.make<Reducer>("red", in, out, cfg);
+        auto *sink = sim.make<VectorSink>("sink", out);
+        sim.run();
+        return sink->collected().at(0).fieldAt(0);
+    };
+    EXPECT_EQ(run_op(ReduceOp::Min,
+                     {makeFlit(0, 5), makeFlit(0, -3), makeFlit(0, 9)}),
+              -3);
+    EXPECT_EQ(run_op(ReduceOp::Max,
+                     {makeFlit(0, 5), makeFlit(0, -3), makeFlit(0, 9)}),
+              9);
+    EXPECT_EQ(run_op(ReduceOp::Min, {}), Flit::kNull);
+    EXPECT_EQ(run_op(ReduceOp::Sum, {}), 0);
+}
+
+// --- StreamAlu ---------------------------------------------------------------
+
+TEST(StreamAlu, BinaryTwoQueues)
+{
+    Simulator sim;
+    auto *a = sim.makeQueue("a");
+    auto *b = sim.makeQueue("b");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("sa", a,
+                           std::vector<Flit>{makeFlit(0, 3),
+                                             makeFlit(1, 4)});
+    sim.make<VectorSource>("sb", b,
+                           std::vector<Flit>{makeFlit(0, 10),
+                                             makeFlit(1, 20)});
+    StreamAluConfig cfg;
+    cfg.op = AluOp::Add;
+    sim.make<StreamAlu>("alu", a, b, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 2u);
+    EXPECT_EQ(sink->collected()[0].fieldAt(0), 13);
+    EXPECT_EQ(sink->collected()[1].fieldAt(0), 24);
+}
+
+TEST(StreamAlu, UnaryWithConstant)
+{
+    Simulator sim;
+    auto *a = sim.makeQueue("a");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("sa", a, std::vector<Flit>{makeFlit(0, 6)});
+    StreamAluConfig cfg;
+    cfg.op = AluOp::Mul;
+    cfg.constantB = 7;
+    sim.make<StreamAlu>("alu", a, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    EXPECT_EQ(sink->collected().at(0).fieldAt(0), 42);
+}
+
+TEST(StreamAlu, PackOperation)
+{
+    EXPECT_EQ(StreamAlu::apply(AluOp::Pack, 3, 1), 3 | (1 << 8));
+    EXPECT_EQ(StreamAlu::apply(AluOp::Cmp, 4, 4), 1);
+    EXPECT_EQ(StreamAlu::apply(AluOp::Cmp, 4, 5), 0);
+    EXPECT_EQ(StreamAlu::apply(AluOp::Not, 0, 0), ~0ll);
+}
+
+TEST(StreamAlu, AlignedBoundariesPass)
+{
+    Simulator sim;
+    auto *a = sim.makeQueue("a");
+    auto *b = sim.makeQueue("b");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("sa", a,
+                           std::vector<Flit>{makeFlit(0, 1),
+                                             makeBoundary()});
+    sim.make<VectorSource>("sb", b,
+                           std::vector<Flit>{makeFlit(0, 2),
+                                             makeBoundary()});
+    StreamAluConfig cfg;
+    cfg.op = AluOp::Add;
+    sim.make<StreamAlu>("alu", a, b, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 2u);
+    EXPECT_TRUE(sim::isBoundary(sink->collected()[1]));
+}
+
+// --- ReadToBases --------------------------------------------------------------
+
+TEST(ReadToBases, Figure3Example)
+{
+    using genome::charToBase;
+    Simulator sim;
+    auto *pos_q = sim.makeQueue("pos");
+    auto *cigar_q = sim.makeQueue("cigar");
+    auto *seq_q = sim.makeQueue("seq");
+    auto *qual_q = sim.makeQueue("qual");
+    auto *out_q = sim.makeQueue("out");
+
+    sim.make<VectorSource>("pos", pos_q,
+                           std::vector<Flit>{makeFlit(104)});
+    std::vector<Flit> cigar;
+    for (uint16_t raw :
+         genome::Cigar::parse("2S3M1I1M1D2M").packAll()) {
+        cigar.push_back(makeFlit(raw));
+    }
+    cigar.push_back(makeBoundary());
+    sim.make<VectorSource>("cigar", cigar_q, cigar);
+
+    std::vector<Flit> seq;
+    for (uint8_t b : genome::stringToSequence("AGGTAAACA"))
+        seq.push_back(makeFlit(b));
+    seq.push_back(makeBoundary());
+    sim.make<VectorSource>("seq", seq_q, seq);
+
+    std::vector<Flit> qual;
+    for (char c : std::string("##9>>AAB?"))
+        qual.push_back(makeFlit(c - 33));
+    qual.push_back(makeBoundary());
+    sim.make<VectorSource>("qual", qual_q, qual);
+
+    sim.make<ReadToBases>("rtb", pos_q, cigar_q, seq_q, qual_q, out_q);
+    auto *sink = sim.make<VectorSink>("sink", out_q);
+    sim.run();
+
+    auto data = sink->dataFlits();
+    ASSERT_EQ(data.size(), 8u);
+    EXPECT_EQ(data[0].key, 104);
+    EXPECT_EQ(data[0].fieldAt(0), charToBase('G'));
+    EXPECT_EQ(data[0].fieldAt(1), '9' - 33);
+    EXPECT_EQ(data[0].fieldAt(2), 0); // first unclipped cycle
+    EXPECT_EQ(data[3].key, Flit::kIns);
+    EXPECT_EQ(data[5].fieldAt(0), Flit::kDel);
+    EXPECT_EQ(data[5].key, 108);
+    EXPECT_EQ(data[7].key, 110);
+    // One boundary after the read.
+    EXPECT_EQ(sink->collected().size(), 9u);
+    EXPECT_TRUE(sim::isBoundary(sink->collected().back()));
+}
+
+TEST(ReadToBases, MultipleReadsKeepBoundaries)
+{
+    Simulator sim;
+    auto *pos_q = sim.makeQueue("pos");
+    auto *cigar_q = sim.makeQueue("cigar");
+    auto *seq_q = sim.makeQueue("seq");
+    auto *out_q = sim.makeQueue("out");
+
+    sim.make<VectorSource>("pos", pos_q,
+                           std::vector<Flit>{makeFlit(10),
+                                             makeFlit(50)});
+    std::vector<Flit> cigar;
+    for (uint16_t raw : genome::Cigar::parse("2M").packAll())
+        cigar.push_back(makeFlit(raw));
+    cigar.push_back(makeBoundary());
+    for (uint16_t raw : genome::Cigar::parse("1M1D1M").packAll())
+        cigar.push_back(makeFlit(raw));
+    cigar.push_back(makeBoundary());
+    sim.make<VectorSource>("cigar", cigar_q, cigar);
+
+    std::vector<Flit> seq = {makeFlit(0), makeFlit(1), makeBoundary(),
+                             makeFlit(2), makeFlit(3), makeBoundary()};
+    sim.make<VectorSource>("seq", seq_q, seq);
+
+    sim.make<ReadToBases>("rtb", pos_q, cigar_q, seq_q, nullptr, out_q);
+    auto *sink = sim.make<VectorSink>("sink", out_q);
+    sim.run();
+
+    const auto &flits = sink->collected();
+    // Read 1: 10,11 B ; read 2: 50, 51(del), 52 B.
+    ASSERT_EQ(flits.size(), 7u);
+    EXPECT_EQ(flits[0].key, 10);
+    EXPECT_TRUE(sim::isBoundary(flits[2]));
+    EXPECT_EQ(flits[3].key, 50);
+    EXPECT_EQ(flits[4].fieldAt(0), Flit::kDel);
+    EXPECT_EQ(flits[5].key, 52);
+    // QUAL field reads Null when no QUAL stream is attached.
+    EXPECT_EQ(flits[0].fieldAt(1), Flit::kNull);
+}
+
+// --- MDGen ---------------------------------------------------------------------
+
+std::string
+runMdGen(const std::vector<Flit> &joined)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("src", in, joined);
+    sim.make<MdGen>("md", in, out);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    std::string text;
+    for (const auto &f : sink->dataFlits())
+        text.push_back(static_cast<char>(f.key));
+    return text;
+}
+
+/** Join-output flit: key=pos, fields [bp, qual, cycle, refbase]. */
+Flit
+joinedFlit(int64_t pos, int64_t bp, int64_t ref)
+{
+    Flit f = makeFlit(pos, bp, 30, 0);
+    f.pushField(ref);
+    return f;
+}
+
+TEST(MdGen, Figure2Read1)
+{
+    // Read 1 of Figure 2: mismatches at base 2 (ref C) and 9 (ref A),
+    // the insertion invisible to MD -> "1C6A3".
+    std::vector<Flit> joined;
+    int64_t pos = 0;
+    auto match = [&](int n) {
+        for (int i = 0; i < n; ++i)
+            joined.push_back(joinedFlit(pos++, 1, 1));
+    };
+    match(1);
+    joined.push_back(joinedFlit(pos++, 2, 1)); // mismatch, ref C=1
+    match(5);
+    Flit ins = makeFlit(Flit::kIns, 0, 30, 0);
+    ins.pushField(Flit::kNull);
+    joined.push_back(ins); // the insertion never appears in MD
+    match(1);              // the match run continues across it
+    joined.push_back(joinedFlit(pos++, 2, 0)); // mismatch, ref A=0
+    match(3);
+    joined.push_back(makeBoundary());
+
+    // ref codes: C=1 -> 'C', A=0 -> 'A'.
+    EXPECT_EQ(runMdGen(joined), "1C6A3");
+}
+
+TEST(MdGen, DeletionRun)
+{
+    std::vector<Flit> joined;
+    joined.push_back(joinedFlit(0, 1, 1));
+    joined.push_back(joinedFlit(1, Flit::kDel, 0)); // ^A
+    joined.push_back(joinedFlit(2, Flit::kDel, 1)); // C
+    joined.push_back(joinedFlit(3, 2, 2));          // match G
+    joined.push_back(makeBoundary());
+    EXPECT_EQ(runMdGen(joined), "1^AC1");
+}
+
+TEST(MdGen, MismatchDirectlyAfterDeletionEmitsZero)
+{
+    std::vector<Flit> joined;
+    joined.push_back(joinedFlit(0, Flit::kDel, 0)); // ^A
+    joined.push_back(joinedFlit(1, 2, 3));          // mismatch ref T
+    joined.push_back(makeBoundary());
+    // MD strings always end with a (possibly zero) match count.
+    EXPECT_EQ(runMdGen(joined), "0^A0T0");
+}
+
+TEST(MdGen, PerReadBoundariesSeparateTags)
+{
+    std::vector<Flit> joined;
+    joined.push_back(joinedFlit(0, 1, 1));
+    joined.push_back(makeBoundary());
+    joined.push_back(joinedFlit(5, 0, 1)); // mismatch ref C
+    joined.push_back(makeBoundary());
+
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("src", in, joined);
+    sim.make<MdGen>("md", in, out);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    const auto &flits = sink->collected();
+    // "1" B "0C0" B
+    ASSERT_EQ(flits.size(), 6u);
+    EXPECT_EQ(static_cast<char>(flits[0].key), '1');
+    EXPECT_TRUE(sim::isBoundary(flits[1]));
+    EXPECT_EQ(static_cast<char>(flits[2].key), '0');
+    EXPECT_EQ(static_cast<char>(flits[3].key), 'C');
+    EXPECT_TRUE(sim::isBoundary(flits[5]));
+}
+
+// --- BinIDGen -------------------------------------------------------------------
+
+TEST(BinIdGen, ComputesBothBinIds)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *flags = sim.makeQueue("flags");
+    auto *out = sim.makeQueue("out");
+    // Two bases of a forward read: A then C, both q=30.
+    sim.make<VectorSource>("src", in,
+                           std::vector<Flit>{makeFlit(100, 0, 30, 0),
+                                             makeFlit(101, 1, 30, 1),
+                                             makeBoundary()});
+    sim.make<VectorSource>("flg", flags,
+                           std::vector<Flit>{makeFlit(0)});
+    BinIdGenConfig cfg;
+    sim.make<BinIdGen>("bin", in, flags, out, cfg);
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    auto data = sink->dataFlits();
+    ASSERT_EQ(data.size(), 2u);
+    // b1 = q*302 + cycle; first base has no context -> b2 Null.
+    EXPECT_EQ(data[0].fieldAt(2), 30 * 302 + 0);
+    EXPECT_EQ(data[0].fieldAt(3), Flit::kNull);
+    // Second base: context AC = 0*4+1 = 1 -> b2 = 30*16 + 1.
+    EXPECT_EQ(data[1].fieldAt(2), 30 * 302 + 1);
+    EXPECT_EQ(data[1].fieldAt(3), 30 * 16 + 1);
+}
+
+TEST(BinIdGen, ReverseReadsUseSecondCycleBank)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *flags = sim.makeQueue("flags");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("src", in,
+                           std::vector<Flit>{makeFlit(100, 0, 20, 3),
+                                             makeBoundary()});
+    sim.make<VectorSource>(
+        "flg", flags,
+        std::vector<Flit>{makeFlit(genome::kFlagReverse)});
+    sim.make<BinIdGen>("bin", in, flags, out, BinIdGenConfig{});
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    auto data = sink->dataFlits();
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_EQ(data[0].fieldAt(2), 20 * 302 + 151 + 3);
+}
+
+TEST(BinIdGen, DeletionsAndNBasesGetNullBins)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *flags = sim.makeQueue("flags");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>(
+        "src", in,
+        std::vector<Flit>{
+            makeFlit(100, 0, 30, 0),
+            makeFlit(101, Flit::kDel, Flit::kDel, Flit::kDel),
+            makeFlit(102, 4, 30, 1), // N base
+            makeBoundary()});
+    sim.make<VectorSource>("flg", flags,
+                           std::vector<Flit>{makeFlit(0)});
+    sim.make<BinIdGen>("bin", in, flags, out, BinIdGenConfig{});
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    auto data = sink->dataFlits();
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_NE(data[0].fieldAt(2), Flit::kNull);
+    EXPECT_EQ(data[1].fieldAt(2), Flit::kNull);
+    EXPECT_EQ(data[1].fieldAt(3), Flit::kNull);
+    EXPECT_EQ(data[2].fieldAt(2), Flit::kNull);
+}
+
+TEST(BinIdGen, ContextSurvivesDeletions)
+{
+    // Base, deletion, base: the second base's context comes from the
+    // first base (deletions provide no read base).
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *flags = sim.makeQueue("flags");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>(
+        "src", in,
+        std::vector<Flit>{
+            makeFlit(100, 2, 30, 0), // G
+            makeFlit(101, Flit::kDel, Flit::kDel, Flit::kDel),
+            makeFlit(102, 3, 30, 1), // T, context GT = 2*4+3
+            makeBoundary()});
+    sim.make<VectorSource>("flg", flags,
+                           std::vector<Flit>{makeFlit(0)});
+    sim.make<BinIdGen>("bin", in, flags, out, BinIdGenConfig{});
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    auto data = sink->dataFlits();
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_EQ(data[2].fieldAt(3), 30 * 16 + (2 * 4 + 3));
+}
+
+TEST(BinIdGen, TableSizes)
+{
+    BinIdGenConfig cfg;
+    EXPECT_EQ(BinIdGen::tableSize(cfg, true), 42u * 302u);
+    EXPECT_EQ(BinIdGen::tableSize(cfg, false), 42u * 16u);
+}
+
+// --- Custom module registry ------------------------------------------------------
+
+TEST(CustomRegistry, BuiltinsPresent)
+{
+    auto &reg = CustomModuleRegistry::global();
+    EXPECT_TRUE(reg.has("MDGen"));
+    EXPECT_TRUE(reg.has("BinIDGen"));
+    EXPECT_EQ(reg.numInputs("MDGen"), 1u);
+    EXPECT_EQ(reg.numInputs("BinIDGen"), 2u);
+}
+
+TEST(CustomRegistry, InstantiateAndRun)
+{
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    sim.make<VectorSource>("src", in,
+                           std::vector<Flit>{joinedFlit(0, 1, 1),
+                                             makeBoundary()});
+    sim.addModule(CustomModuleRegistry::global().instantiate(
+        "MDGen", "md", {in}, out));
+    auto *sink = sim.make<VectorSink>("sink", out);
+    sim.run();
+    ASSERT_EQ(sink->dataFlits().size(), 1u);
+    EXPECT_EQ(static_cast<char>(sink->dataFlits()[0].key), '1');
+}
+
+TEST(CustomRegistry, UserRegistration)
+{
+    auto &reg = CustomModuleRegistry::global();
+    reg.add("TestPassthrough",
+            [](const std::string &name,
+               const std::vector<HardwareQueue *> &inputs,
+               HardwareQueue *out) -> std::unique_ptr<sim::Module> {
+                StreamAluConfig cfg;
+                cfg.op = AluOp::Add;
+                cfg.constantB = 0;
+                return std::make_unique<StreamAlu>(name, inputs[0], out,
+                                                   cfg);
+            },
+            1);
+    EXPECT_TRUE(reg.has("TestPassthrough"));
+    EXPECT_THROW(reg.instantiate("TestPassthrough", "x", {}, nullptr),
+                 FatalError);
+    EXPECT_THROW(reg.instantiate("Missing", "x", {}, nullptr),
+                 FatalError);
+}
+
+} // namespace
+} // namespace genesis::modules

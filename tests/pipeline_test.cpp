@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Tests for the pipeline construction layer (builder, census) plus
+ * parameterized sweeps over the configurable hardware modules
+ * (comparison operators, reduction operations, join modes) and
+ * randomized round-trip properties (SAM, MD-tag generation via the
+ * hardware module vs the software baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/logging.h"
+#include "gatk/metadata.h"
+#include "genome/samlite.h"
+#include "modules/filter.h"
+#include "modules/joiner.h"
+#include "modules/mdgen.h"
+#include "modules/reducer.h"
+#include "pipeline/builder.h"
+#include "sim_test_utils.h"
+
+namespace genesis {
+namespace {
+
+using sim::Flit;
+using sim::makeBoundary;
+using sim::makeFlit;
+
+// --- PipelineBuilder / census ------------------------------------------
+
+TEST(PipelineBuilder, ScopedNamesAndCensus)
+{
+    sim::Simulator simulator;
+    pipeline::PipelineBuilder builder(simulator, 3);
+    EXPECT_EQ(builder.scopedName("foo"), "p3.foo");
+
+    auto *q1 = builder.queue("a");
+    auto *q2 = builder.queue("b");
+    EXPECT_EQ(q1->name(), "p3.a");
+    builder.add<test::VectorSource>("MemoryReader", "src", q1,
+                                    std::vector<Flit>{});
+    builder.add<test::VectorSink>("MemoryWriter", "snk", q2);
+    builder.scratchpad("spm", 128, 1, 2);
+
+    const auto &census = builder.census();
+    EXPECT_EQ(census.numPipelines, 1);
+    EXPECT_EQ(census.queueCount, 2);
+    EXPECT_EQ(census.moduleCounts.at("MemoryReader"), 1);
+    EXPECT_EQ(census.spmBits, 128u * 2u);
+}
+
+TEST(PipelineBuilder, PortsLandInPipelineGroup)
+{
+    sim::Simulator simulator;
+    pipeline::PipelineBuilder b0(simulator, 0);
+    pipeline::PipelineBuilder b5(simulator, 5);
+    EXPECT_NE(b0.port(), nullptr);
+    EXPECT_NE(b5.port(), nullptr);
+}
+
+TEST(HardwareCensus, MergeAccumulates)
+{
+    pipeline::HardwareCensus a, b;
+    a.moduleCounts["Filter"] = 2;
+    a.queueCount = 3;
+    a.spmBits = 100;
+    a.numPipelines = 1;
+    b = a;
+    a.merge(b);
+    EXPECT_EQ(a.moduleCounts["Filter"], 4);
+    EXPECT_EQ(a.queueCount, 6);
+    EXPECT_EQ(a.spmBits, 200u);
+    EXPECT_EQ(a.numPipelines, 2);
+}
+
+// --- Parameterized module sweeps -----------------------------------------
+
+/** All six comparison operators against the same operand pairs. */
+class FilterOpSweep
+    : public ::testing::TestWithParam<modules::CompareOp>
+{
+};
+
+TEST_P(FilterOpSweep, MatchesReferenceSemantics)
+{
+    modules::FilterConfig cfg;
+    cfg.lhs = modules::FilterOperand::field(0);
+    cfg.op = GetParam();
+    cfg.rhs = modules::FilterOperand::field(1);
+
+    sim::Simulator simulator;
+    auto *in = simulator.makeQueue("in");
+    auto *out = simulator.makeQueue("out");
+    modules::Filter filter("f", in, out, cfg);
+
+    auto reference = [&](int64_t a, int64_t b) {
+        switch (GetParam()) {
+          case modules::CompareOp::Eq: return a == b;
+          case modules::CompareOp::Ne: return a != b;
+          case modules::CompareOp::Lt: return a < b;
+          case modules::CompareOp::Le: return a <= b;
+          case modules::CompareOp::Gt: return a > b;
+          case modules::CompareOp::Ge: return a >= b;
+        }
+        return false;
+    };
+    for (int64_t a : {-5, 0, 3, 7}) {
+        for (int64_t b : {-5, 0, 3, 7}) {
+            EXPECT_EQ(filter.matches(makeFlit(0, a, b)),
+                      reference(a, b))
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, FilterOpSweep,
+    ::testing::Values(modules::CompareOp::Eq, modules::CompareOp::Ne,
+                      modules::CompareOp::Lt, modules::CompareOp::Le,
+                      modules::CompareOp::Gt, modules::CompareOp::Ge));
+
+/** Reduction ops over a randomized stream vs a scalar fold. */
+class ReducerOpSweep : public ::testing::TestWithParam<modules::ReduceOp>
+{
+};
+
+TEST_P(ReducerOpSweep, MatchesScalarFold)
+{
+    Rng rng(99);
+    std::vector<Flit> flits;
+    int64_t expected_sum = 0, expected_min = 0, expected_max = 0;
+    int64_t count = 0;
+    for (int i = 0; i < 200; ++i) {
+        int64_t v = rng.range(-1000, 1000);
+        flits.push_back(makeFlit(0, v));
+        if (count == 0) {
+            expected_min = expected_max = v;
+        } else {
+            expected_min = std::min(expected_min, v);
+            expected_max = std::max(expected_max, v);
+        }
+        expected_sum += v;
+        ++count;
+    }
+
+    sim::Simulator simulator;
+    auto *in = simulator.makeQueue("in");
+    auto *out = simulator.makeQueue("out");
+    simulator.make<test::VectorSource>("src", in, flits);
+    modules::ReducerConfig cfg;
+    cfg.op = GetParam();
+    simulator.make<modules::Reducer>("red", in, out, cfg);
+    auto *sink = simulator.make<test::VectorSink>("sink", out);
+    simulator.run();
+
+    ASSERT_EQ(sink->collected().size(), 1u);
+    int64_t got = sink->collected()[0].fieldAt(0);
+    switch (GetParam()) {
+      case modules::ReduceOp::Sum: EXPECT_EQ(got, expected_sum); break;
+      case modules::ReduceOp::Min: EXPECT_EQ(got, expected_min); break;
+      case modules::ReduceOp::Max: EXPECT_EQ(got, expected_max); break;
+      case modules::ReduceOp::Count: EXPECT_EQ(got, count); break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, ReducerOpSweep,
+    ::testing::Values(modules::ReduceOp::Sum, modules::ReduceOp::Min,
+                      modules::ReduceOp::Max, modules::ReduceOp::Count));
+
+/**
+ * Randomized join property: the hardware joiner over sorted keyed items
+ * agrees with a reference merge-join, for every join mode.
+ */
+class JoinModeSweep : public ::testing::TestWithParam<modules::JoinMode>
+{
+};
+
+TEST_P(JoinModeSweep, AgreesWithReferenceMergeJoin)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        // Build two sorted key sets within one item.
+        auto make_side = [&](std::vector<int64_t> &keys) {
+            int64_t k = 0;
+            int n = static_cast<int>(rng.below(12));
+            for (int i = 0; i < n; ++i) {
+                k += 1 + static_cast<int64_t>(rng.below(3));
+                keys.push_back(k);
+            }
+        };
+        std::vector<int64_t> lkeys, rkeys;
+        make_side(lkeys);
+        make_side(rkeys);
+
+        std::vector<Flit> left, right;
+        for (int64_t k : lkeys)
+            left.push_back(makeFlit(k, k * 10));
+        left.push_back(makeBoundary());
+        for (int64_t k : rkeys)
+            right.push_back(makeFlit(k, k * 100));
+        right.push_back(makeBoundary());
+
+        sim::Simulator simulator;
+        auto *lq = simulator.makeQueue("l");
+        auto *rq = simulator.makeQueue("r");
+        auto *oq = simulator.makeQueue("o");
+        simulator.make<test::VectorSource>("ls", lq, left);
+        simulator.make<test::VectorSource>("rs", rq, right);
+        modules::JoinerConfig cfg;
+        cfg.mode = GetParam();
+        simulator.make<modules::Joiner>("j", lq, rq, oq, cfg);
+        auto *sink = simulator.make<test::VectorSink>("sink", oq);
+        simulator.run();
+
+        // Reference: set-based join.
+        std::set<int64_t> lset(lkeys.begin(), lkeys.end());
+        std::set<int64_t> rset(rkeys.begin(), rkeys.end());
+        std::vector<int64_t> expected_keys;
+        for (int64_t k : lkeys) {
+            bool matched = rset.count(k) > 0;
+            if (matched || GetParam() != modules::JoinMode::Inner)
+                expected_keys.push_back(k);
+        }
+        if (GetParam() == modules::JoinMode::Outer) {
+            for (int64_t k : rkeys) {
+                if (!lset.count(k))
+                    expected_keys.push_back(k);
+            }
+        }
+
+        auto data = sink->dataFlits();
+        ASSERT_EQ(data.size(), expected_keys.size())
+            << "trial " << trial;
+        std::multiset<int64_t> got_keys;
+        for (const auto &f : data)
+            got_keys.insert(f.key);
+        std::multiset<int64_t> want_keys(expected_keys.begin(),
+                                         expected_keys.end());
+        EXPECT_EQ(got_keys, want_keys) << "trial " << trial;
+        for (const auto &f : data) {
+            if (lset.count(f.key) && rset.count(f.key)) {
+                EXPECT_EQ(f.fieldAt(0), f.key * 10);
+                EXPECT_EQ(f.fieldAt(1), f.key * 100);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, JoinModeSweep,
+                         ::testing::Values(modules::JoinMode::Inner,
+                                           modules::JoinMode::Left,
+                                           modules::JoinMode::Outer));
+
+// --- Randomized cross-validation properties -------------------------------
+
+class RandomizedRoundTrips : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomizedRoundTrips, SamLinesSurviveRoundTrip)
+{
+    auto w = test::makeSmallWorkload(GetParam(), 80);
+    gatk::setNmMdUqTags(w.reads.reads, w.genome);
+    for (const auto &read : w.reads.reads) {
+        auto parsed = genome::samLineToRead(genome::readToSamLine(read));
+        EXPECT_EQ(parsed.chr, read.chr);
+        EXPECT_EQ(parsed.pos, read.pos);
+        EXPECT_EQ(parsed.cigar, read.cigar);
+        EXPECT_EQ(parsed.seq, read.seq);
+        EXPECT_EQ(parsed.qual, read.qual);
+        EXPECT_EQ(parsed.nmTag, read.nmTag);
+        EXPECT_EQ(parsed.mdTag, read.mdTag);
+        EXPECT_EQ(parsed.uqTag, read.uqTag);
+    }
+}
+
+TEST_P(RandomizedRoundTrips, MdGenModuleMatchesSoftwareTags)
+{
+    // Drive the MDGen hardware module directly with exploded reads and
+    // compare against the software MD strings, read by read.
+    auto w = test::makeSmallWorkload(GetParam(), 60, 30'000, 1);
+    const auto &chrom = w.genome.chromosome(1);
+
+    std::vector<Flit> joined;
+    std::vector<std::string> expected;
+    for (const auto &read : w.reads.reads) {
+        expected.push_back(
+            gatk::computeMetadata(read, w.genome).md);
+        for (const auto &b : genome::explodeRead(
+                 read.pos, read.cigar, read.seq, read.qual)) {
+            Flit f;
+            f.key = b.isInsertion() ? Flit::kIns : b.refPos;
+            f.pushField(b.isDeletion() ? Flit::kDel : b.readBase);
+            f.pushField(b.isDeletion() ? Flit::kDel : b.qual);
+            f.pushField(0);
+            f.pushField(b.isInsertion()
+                        ? Flit::kNull
+                        : chrom.seq[static_cast<size_t>(b.refPos)]);
+            joined.push_back(f);
+        }
+        joined.push_back(makeBoundary());
+    }
+
+    sim::Simulator simulator;
+    auto *in = simulator.makeQueue("in");
+    auto *out = simulator.makeQueue("out");
+    simulator.make<test::VectorSource>("src", in, joined);
+    simulator.make<modules::MdGen>("md", in, out);
+    auto *sink = simulator.make<test::VectorSink>("sink", out);
+    simulator.run();
+
+    std::vector<std::string> got;
+    std::string current;
+    for (const auto &f : sink->collected()) {
+        if (sim::isBoundary(f)) {
+            got.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(static_cast<char>(f.key));
+        }
+    }
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i])
+            << "read " << i << " (" << w.reads.reads[i].name << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedRoundTrips,
+                         ::testing::Values(4u, 19u, 33u));
+
+// --- Memory fairness -------------------------------------------------------
+
+TEST(MemoryFairness, TwoPortsShareOneChannelEvenly)
+{
+    sim::MemoryConfig cfg;
+    cfg.numChannels = 1;
+    cfg.bytesPerCyclePerChannel = 16;
+    cfg.latencyCycles = 4;
+    sim::MemorySystem mem(cfg);
+    auto *a = mem.makePort(0);
+    auto *b = mem.makePort(1);
+
+    uint64_t done_a = 0, done_b = 0;
+    uint64_t issued_a = 0, issued_b = 0;
+    for (int cycle = 0; cycle < 4000; ++cycle) {
+        while (issued_a < 1'000'000 && a->canIssue()) {
+            a->issue(issued_a, 64, false);
+            issued_a += 64;
+        }
+        while (issued_b < 1'000'000 && b->canIssue()) {
+            b->issue(issued_b + 64, 64, false);
+            issued_b += 64;
+        }
+        mem.tick();
+        done_a += a->takeCompletedReadBytes();
+        done_b += b->takeCompletedReadBytes();
+    }
+    ASSERT_GT(done_a, 0u);
+    ASSERT_GT(done_b, 0u);
+    double ratio = static_cast<double>(done_a) /
+        static_cast<double>(done_b);
+    EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+} // namespace
+} // namespace genesis

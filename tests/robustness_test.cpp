@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Robustness properties: the SQL front end never crashes on malformed
+ * input (it reports FatalError), and the simulator is bit-deterministic
+ * — repeated runs of the same accelerator produce identical cycle
+ * counts and outputs regardless of wall-clock conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "core/example_accel.h"
+#include "sim_test_utils.h"
+#include "sql/parser.h"
+
+namespace genesis {
+namespace {
+
+TEST(ParserFuzz, RandomTextNeverPanics)
+{
+    // Random strings over the SQL alphabet must either parse or throw
+    // FatalError with a message — never PanicError, never a crash.
+    static const char kAlphabet[] =
+        "SELECT FROM WHERE JOIN ON GROUP BY LIMIT CREATE TABLE AS "
+        "INSERT INTO FOR IN END LOOP EXEC a b t u 0 1 42 @x #tmp "
+        "( ) , ; . * + - / % == != < > <= >= = ' '";
+    std::vector<std::string> words;
+    {
+        std::string word;
+        for (const char *p = kAlphabet;; ++p) {
+            if (*p == ' ' || *p == '\0') {
+                if (!word.empty())
+                    words.push_back(word);
+                word.clear();
+                if (*p == '\0')
+                    break;
+            } else {
+                word.push_back(*p);
+            }
+        }
+    }
+
+    Rng rng(2024);
+    int parsed_ok = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string text;
+        int len = static_cast<int>(rng.below(25));
+        for (int i = 0; i < len; ++i) {
+            text += words[rng.below(words.size())];
+            text += ' ';
+        }
+        try {
+            sql::parseScript(text);
+            ++parsed_ok;
+        } catch (const FatalError &) {
+            // expected for malformed input
+        }
+    }
+    // Some fraction should legitimately parse (e.g. empty scripts).
+    EXPECT_GT(parsed_ok, 0);
+}
+
+TEST(ParserFuzz, ByteNoiseNeverPanics)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string text;
+        int len = static_cast<int>(rng.below(64));
+        for (int i = 0; i < len; ++i) {
+            // Printable ASCII noise.
+            text.push_back(static_cast<char>(32 + rng.below(95)));
+        }
+        try {
+            sql::parseScript(text);
+        } catch (const FatalError &) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(Determinism, AcceleratorRunsAreBitIdentical)
+{
+    auto w = test::makeSmallWorkload(13, 150, 30'000, 1);
+    core::ExampleAccelConfig cfg;
+    cfg.numPipelines = 3;
+    cfg.psize = 8'192;
+
+    auto r1 = core::ExampleAccelerator(cfg).run(w.reads.reads, w.genome);
+    auto r2 = core::ExampleAccelerator(cfg).run(w.reads.reads, w.genome);
+    EXPECT_EQ(r1.counts, r2.counts);
+    EXPECT_EQ(r1.info.totalCycles, r2.info.totalCycles);
+    // Stall/flit statistics are architectural state: also identical.
+    EXPECT_EQ(r1.info.stats.get("mem.requests"),
+              r2.info.stats.get("mem.requests"));
+    EXPECT_EQ(r1.info.stats.counters(), r2.info.stats.counters());
+}
+
+TEST(Determinism, CycleCountIndependentOfModuleRegistrationOrder)
+{
+    // Two-phase queues make results independent of tick order; verify
+    // by wiring the same source/sink pair registered in both orders.
+    auto run_once = [](bool sink_first) {
+        sim::Simulator simulator;
+        auto *q = simulator.makeQueue("q", 2);
+        std::vector<sim::Flit> flits;
+        for (int i = 0; i < 40; ++i)
+            flits.push_back(sim::makeFlit(i));
+        if (sink_first) {
+            // Construct the sink before the source.
+            auto sink = std::make_unique<test::VectorSink>("sink", q);
+            auto *sink_ptr = sink.get();
+            simulator.addModule(std::move(sink));
+            simulator.make<test::VectorSource>("src", q, flits);
+            uint64_t cycles = simulator.run();
+            return std::make_pair(cycles, sink_ptr->collected().size());
+        }
+        simulator.make<test::VectorSource>("src", q, flits);
+        auto *sink = simulator.make<test::VectorSink>("sink", q);
+        uint64_t cycles = simulator.run();
+        return std::make_pair(cycles, sink->collected().size());
+    };
+    auto a = run_once(false);
+    auto b = run_once(true);
+    EXPECT_EQ(a.second, b.second);
+    // Tick order may shift completion by at most one cycle; the flit
+    // stream itself must be identical (checked via count above) and the
+    // cycle counts must agree within that single-cycle skew.
+    EXPECT_NEAR(static_cast<double>(a.first),
+                static_cast<double>(b.first), 1.0);
+}
+
+} // namespace
+} // namespace genesis

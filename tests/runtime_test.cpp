@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the host runtime: DMA model, device memory, accelerator
+ * sessions with timing accounting, and the paper-literal API
+ * (configure_mem / run_genesis / check_genesis / wait_genesis /
+ * genesis_flush).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "modules/memory_reader.h"
+#include "modules/memory_writer.h"
+#include "modules/reducer.h"
+#include "runtime/api.h"
+#include "table/column.h"
+
+namespace genesis::runtime {
+namespace {
+
+TEST(Dma, TransferTimeScalesWithBytes)
+{
+    DmaConfig cfg = DmaConfig::pcie3();
+    double one_mb = transferSeconds(cfg, 1 << 20);
+    double two_mb = transferSeconds(cfg, 2 << 20);
+    EXPECT_GT(two_mb, one_mb);
+    EXPECT_NEAR(two_mb - cfg.perTransferLatency,
+                2 * (one_mb - cfg.perTransferLatency), 1e-12);
+    EXPECT_DOUBLE_EQ(transferSeconds(cfg, 0), 0.0);
+}
+
+TEST(Dma, Pcie4IsFaster)
+{
+    uint64_t bytes = 100 << 20;
+    EXPECT_LT(transferSeconds(DmaConfig::pcie4(), bytes),
+              transferSeconds(DmaConfig::pcie3(), bytes));
+}
+
+TEST(DeviceMemory, UploadDecodesColumn)
+{
+    DeviceMemory mem;
+    table::Column col("POS", table::DataType::UInt32);
+    col.appendScalar(100);
+    col.appendScalar(258);
+    auto *buf = mem.upload("POS", col);
+    ASSERT_EQ(buf->elements.size(), 2u);
+    EXPECT_EQ(buf->elements[0], 100);
+    EXPECT_EQ(buf->elements[1], 258);
+    EXPECT_EQ(buf->elemSizeBytes, 4u);
+    EXPECT_EQ(buf->rowLengths, (std::vector<uint32_t>{1, 1}));
+    EXPECT_FALSE(buf->isOutput);
+}
+
+TEST(DeviceMemory, AllocationsGetDistinctAlignedAddresses)
+{
+    DeviceMemory mem;
+    auto *a = mem.allocate("a", 4);
+    auto *b = mem.allocate("b", 4);
+    EXPECT_NE(a->baseAddr, b->baseAddr);
+    EXPECT_EQ(a->baseAddr % DeviceMemory::kAlignment, 0u);
+    EXPECT_EQ(b->baseAddr % DeviceMemory::kAlignment, 0u);
+    EXPECT_TRUE(a->isOutput);
+}
+
+TEST(DeviceMemory, FindByName)
+{
+    DeviceMemory mem;
+    mem.allocate("x", 1);
+    EXPECT_NE(mem.find("x"), nullptr);
+    EXPECT_EQ(mem.find("y"), nullptr);
+}
+
+TEST(Session, TimingSplitsHostDmaAccel)
+{
+    RuntimeConfig cfg;
+    AcceleratorSession session(cfg);
+    // DMA in.
+    session.configureMem("in", {1, 2, 3}, {1, 1, 1}, 4);
+    EXPECT_GT(session.timing().dmaSeconds, 0.0);
+    // Host work.
+    session.addHostSeconds(0.5);
+    EXPECT_DOUBLE_EQ(session.timing().hostSeconds, 0.5);
+}
+
+TEST(Session, NonBlockingRunAndFlush)
+{
+    RuntimeConfig cfg;
+    AcceleratorSession session(cfg);
+    auto *in = session.configureMem("IN", {5, 6, 7}, {1, 1, 1}, 4);
+    auto *out = session.configureOutput("OUT", 4);
+
+    auto *q = session.sim().makeQueue("q");
+    auto *sum_q = session.sim().makeQueue("sum");
+    session.sim().make<modules::MemoryReader>(
+        "rd", in, session.sim().memory().makePort(0), q,
+        modules::MemoryReaderConfig{});
+    modules::ReducerConfig red;
+    red.op = modules::ReduceOp::Sum;
+    session.sim().make<modules::Reducer>("sum", q, sum_q, red);
+    modules::MemoryWriterConfig wr;
+    session.sim().make<modules::MemoryWriter>(
+        "wr", out, session.sim().memory().makePort(0), sum_q, wr);
+
+    session.start();
+    session.wait();
+    EXPECT_TRUE(session.check());
+    EXPECT_GT(session.timing().accelSeconds, 0.0);
+
+    const auto *flushed = session.flush("OUT");
+    ASSERT_EQ(flushed->elements.size(), 1u);
+    EXPECT_EQ(flushed->elements[0], 18);
+}
+
+TEST(Session, FlushUnknownBufferFatal)
+{
+    AcceleratorSession session{RuntimeConfig{}};
+    EXPECT_THROW(session.flush("nope"), FatalError);
+}
+
+TEST(Timing, BreakdownPercentagesAndAccumulate)
+{
+    TimingBreakdown t;
+    t.hostSeconds = 1.0;
+    t.dmaSeconds = 2.0;
+    t.accelSeconds = 1.0;
+    EXPECT_DOUBLE_EQ(t.total(), 4.0);
+    std::string s = t.str();
+    EXPECT_NE(s.find("50.00%"), std::string::npos);
+
+    TimingBreakdown u;
+    u.hostSeconds = 1.0;
+    t += u;
+    EXPECT_DOUBLE_EQ(t.hostSeconds, 2.0);
+}
+
+// --- Paper-literal API (Section III-E) ------------------------------------
+
+/**
+ * A minimal image: one reader streaming "QUAL" (uint8 scalars) into a
+ * whole-stream sum Reducer and a writer producing the "SUM" column.
+ */
+void
+sumImage(AcceleratorSession &session,
+         const std::function<modules::ColumnBuffer *(const std::string &)>
+             &input)
+{
+    auto *in = input("QUAL");
+    auto *out = session.configureOutput("SUM", 4);
+    auto *q = session.sim().makeQueue("q");
+    auto *sum_q = session.sim().makeQueue("sum");
+    session.sim().make<modules::MemoryReader>(
+        "rd", in, session.sim().memory().makePort(0), q,
+        modules::MemoryReaderConfig{});
+    modules::ReducerConfig red;
+    red.op = modules::ReduceOp::Sum;
+    session.sim().make<modules::Reducer>("red", q, sum_q, red);
+    session.sim().make<modules::MemoryWriter>(
+        "wr", out, session.sim().memory().makePort(0), sum_q,
+        modules::MemoryWriterConfig{});
+}
+
+class PaperApi : public ::testing::Test
+{
+  protected:
+    void SetUp() override { genesis_load_image(sumImage, 2); }
+    void TearDown() override { genesis_unload_image(); }
+};
+
+TEST_F(PaperApi, EndToEndFlow)
+{
+    uint8_t quals[4] = {10, 20, 30, 40};
+    uint32_t sum_out = 0;
+
+    configure_mem(quals, 1, 4, "QUAL", 0);
+    configure_mem(&sum_out, 4, 1, "SUM", 0);
+    run_genesis(0);
+    wait_genesis(0);
+    EXPECT_TRUE(check_genesis(0));
+    genesis_flush(0);
+    EXPECT_EQ(sum_out, 100u);
+
+    auto timing = genesis_timing(0);
+    EXPECT_GT(timing.dmaSeconds, 0.0);
+    EXPECT_GT(timing.accelSeconds, 0.0);
+}
+
+TEST_F(PaperApi, PipelinesAreIndependent)
+{
+    uint8_t quals0[2] = {1, 2};
+    uint8_t quals1[3] = {10, 10, 10};
+    uint32_t out0 = 0, out1 = 0;
+
+    configure_mem(quals0, 1, 2, "QUAL", 0);
+    configure_mem(&out0, 4, 1, "SUM", 0);
+    configure_mem(quals1, 1, 3, "QUAL", 1);
+    configure_mem(&out1, 4, 1, "SUM", 1);
+
+    run_genesis(0);
+    run_genesis(1);
+    genesis_flush(0);
+    genesis_flush(1);
+    EXPECT_EQ(out0, 3u);
+    EXPECT_EQ(out1, 30u);
+}
+
+TEST_F(PaperApi, ErrorsOnMisuse)
+{
+    EXPECT_THROW(run_genesis(7), FatalError);     // bad pipeline id
+    EXPECT_THROW(wait_genesis(0), FatalError);    // before run
+    uint8_t dummy = 0;
+    EXPECT_THROW(configure_mem(&dummy, 0, 1, "X", 0), FatalError);
+    // Running without the required column configured.
+    EXPECT_THROW(run_genesis(0), FatalError);
+}
+
+TEST(PaperApiUnloaded, CallsWithoutImageFatal)
+{
+    uint8_t dummy = 0;
+    EXPECT_THROW(configure_mem(&dummy, 1, 1, "X", 0), FatalError);
+    EXPECT_THROW(genesis_load_image(sumImage, 0), FatalError);
+}
+
+} // namespace
+} // namespace genesis::runtime

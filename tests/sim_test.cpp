@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the dataflow simulator core: flits, two-phase queues,
+ * round-robin arbitration, the memory timing model, scratchpads, and the
+ * scheduler (including deadlock detection).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "sim/arbiter.h"
+#include "sim/memory.h"
+#include "sim/scheduler.h"
+#include "sim_test_utils.h"
+
+namespace genesis::sim {
+namespace {
+
+TEST(Flit, FieldsAndMerge)
+{
+    Flit a = makeFlit(5, 1, 2);
+    Flit b = makeFlit(5, 3);
+    a.mergeFields(b);
+    EXPECT_EQ(a.numFields, 3);
+    EXPECT_EQ(a.fieldAt(2), 3);
+}
+
+TEST(Flit, OverflowPanics)
+{
+    setQuiet(true);
+    Flit f;
+    for (int i = 0; i < Flit::kMaxFields; ++i)
+        f.pushField(i);
+    EXPECT_THROW(f.pushField(99), PanicError);
+    EXPECT_THROW(f.fieldAt(Flit::kMaxFields), PanicError);
+    setQuiet(false);
+}
+
+TEST(Flit, BoundaryMarker)
+{
+    Flit b = makeBoundary();
+    EXPECT_TRUE(isBoundary(b));
+    EXPECT_FALSE(isBoundary(makeFlit(1, 2)));
+}
+
+TEST(Flit, StrRendersSentinels)
+{
+    Flit f = makeFlit(Flit::kIns, Flit::kDel);
+    f.pushField(Flit::kNull);
+    std::string s = f.str();
+    EXPECT_NE(s.find("Ins"), std::string::npos);
+    EXPECT_NE(s.find("Del"), std::string::npos);
+    EXPECT_NE(s.find("Null"), std::string::npos);
+}
+
+TEST(Queue, PushVisibleOnlyAfterCommit)
+{
+    HardwareQueue q("q", 4);
+    q.push(makeFlit(1));
+    EXPECT_FALSE(q.canPop());
+    q.commit();
+    ASSERT_TRUE(q.canPop());
+    EXPECT_EQ(q.front().key, 1);
+}
+
+TEST(Queue, PopFreesSlotOnlyAfterCommit)
+{
+    HardwareQueue q("q", 1);
+    q.push(makeFlit(1));
+    q.commit();
+    EXPECT_FALSE(q.canPush()); // full
+    q.pop();
+    EXPECT_FALSE(q.canPush()); // registered backpressure: still full
+    q.commit();
+    EXPECT_TRUE(q.canPush());
+}
+
+TEST(Queue, OnePushPerCyclePanicsOtherwise)
+{
+    setQuiet(true);
+    HardwareQueue q("q", 4);
+    q.push(makeFlit(1));
+    EXPECT_THROW(q.push(makeFlit(2)), PanicError);
+    setQuiet(false);
+}
+
+TEST(Queue, CloseAndDrained)
+{
+    HardwareQueue q("q", 4);
+    q.push(makeFlit(1));
+    q.commit();
+    q.close();
+    EXPECT_FALSE(q.closed()); // staged
+    q.commit();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.drained()); // flit still inside
+    q.pop();
+    q.commit();
+    EXPECT_TRUE(q.drained());
+}
+
+TEST(Queue, PushAfterClosePanics)
+{
+    setQuiet(true);
+    HardwareQueue q("q", 4);
+    q.close();
+    q.commit();
+    EXPECT_THROW(q.push(makeFlit(1)), PanicError);
+    setQuiet(false);
+}
+
+TEST(Queue, FifoOrderAndStats)
+{
+    HardwareQueue q("q", 8);
+    for (int i = 0; i < 3; ++i) {
+        q.push(makeFlit(i));
+        q.commit();
+    }
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(q.pop().key, i);
+        q.commit();
+    }
+    EXPECT_EQ(q.totalFlits(), 3u);
+    EXPECT_EQ(q.maxOccupancy(), 3u);
+}
+
+TEST(Arbiter, RoundRobinIsFair)
+{
+    RoundRobinArbiter arb(3);
+    auto all = [](size_t) { return true; };
+    EXPECT_EQ(arb.grant(all), 0);
+    EXPECT_EQ(arb.grant(all), 1);
+    EXPECT_EQ(arb.grant(all), 2);
+    EXPECT_EQ(arb.grant(all), 0);
+}
+
+TEST(Arbiter, SkipsNonRequesting)
+{
+    RoundRobinArbiter arb(3);
+    auto only2 = [](size_t i) { return i == 2; };
+    EXPECT_EQ(arb.grant(only2), 2);
+    EXPECT_EQ(arb.grant(only2), 2);
+    auto none = [](size_t) { return false; };
+    EXPECT_EQ(arb.grant(none), -1);
+}
+
+TEST(Memory, ReadCompletesAfterLatency)
+{
+    MemoryConfig cfg;
+    cfg.numChannels = 1;
+    cfg.bytesPerCyclePerChannel = 16;
+    cfg.latencyCycles = 10;
+    MemorySystem mem(cfg);
+    MemoryPort *port = mem.makePort(0);
+    port->issue(0, 64, false);
+    uint64_t total = 0;
+    int cycles = 0;
+    while (total < 64 && cycles < 100) {
+        mem.tick();
+        total += port->takeCompletedReadBytes();
+        ++cycles;
+    }
+    EXPECT_EQ(total, 64u);
+    // 1 schedule cycle + 10 latency + 4 transfer cycles.
+    EXPECT_GE(cycles, 14);
+    EXPECT_LE(cycles, 16);
+}
+
+TEST(Memory, ChannelBandwidthBoundsThroughput)
+{
+    MemoryConfig cfg;
+    cfg.numChannels = 1;
+    cfg.bytesPerCyclePerChannel = 8;
+    cfg.latencyCycles = 2;
+    MemorySystem mem(cfg);
+    MemoryPort *port = mem.makePort(0);
+
+    uint64_t issued = 0, completed = 0;
+    const uint64_t goal = 64 * 20;
+    uint64_t cycles = 0;
+    while (completed < goal && cycles < 10'000) {
+        while (issued < goal && port->canIssue()) {
+            port->issue(issued, 64, false);
+            issued += 64;
+        }
+        mem.tick();
+        completed += port->takeCompletedReadBytes();
+        ++cycles;
+    }
+    ASSERT_EQ(completed, goal);
+    // At 8 B/cycle, 1280 bytes need at least 160 cycles; allow slack
+    // for latency and the port-queue refill pattern.
+    EXPECT_GE(cycles, goal / 8);
+    EXPECT_LE(cycles, goal / 8 + 80);
+}
+
+TEST(Memory, MultipleChannelsServeInParallel)
+{
+    // Two ports hitting different channels should roughly double the
+    // throughput of one port on one channel.
+    auto run_case = [](int nports) {
+        MemoryConfig cfg;
+        cfg.numChannels = 4;
+        cfg.bytesPerCyclePerChannel = 8;
+        cfg.latencyCycles = 2;
+        MemorySystem mem(cfg);
+        std::vector<MemoryPort *> ports;
+        for (int p = 0; p < nports; ++p)
+            ports.push_back(mem.makePort(p));
+        const uint64_t per_port = 64 * 40;
+        std::vector<uint64_t> issued(static_cast<size_t>(nports), 0);
+        std::vector<uint64_t> done(static_cast<size_t>(nports), 0);
+        uint64_t cycles = 0;
+        for (;;) {
+            bool all_done = true;
+            for (int p = 0; p < nports; ++p) {
+                auto pi = static_cast<size_t>(p);
+                while (issued[pi] < per_port && ports[pi]->canIssue()) {
+                    // Stride across channels.
+                    ports[pi]->issue(issued[pi] * 64 + pi * 64, 64,
+                                     false);
+                    issued[pi] += 64;
+                }
+                if (done[pi] < per_port)
+                    all_done = false;
+            }
+            if (all_done || cycles > 100'000)
+                break;
+            mem.tick();
+            for (int p = 0; p < nports; ++p) {
+                done[static_cast<size_t>(p)] +=
+                    ports[static_cast<size_t>(p)]
+                        ->takeCompletedReadBytes();
+            }
+            ++cycles;
+        }
+        return cycles;
+    };
+    uint64_t one = run_case(1);
+    uint64_t four = run_case(4);
+    // 4 ports move 4x the data; with 4 channels it should take well
+    // under 4x the time of the single-port case.
+    EXPECT_LT(four, one * 3);
+}
+
+TEST(Memory, WritesRetire)
+{
+    MemorySystem mem{MemoryConfig{}};
+    MemoryPort *port = mem.makePort(0);
+    port->issue(128, 64, true);
+    for (int i = 0; i < 100 && !port->idle(); ++i)
+        mem.tick();
+    EXPECT_TRUE(port->idle());
+    EXPECT_EQ(port->retiredWriteBytes(), 64u);
+}
+
+TEST(Memory, PortQueueDepthEnforced)
+{
+    setQuiet(true);
+    MemoryConfig cfg;
+    cfg.portQueueDepth = 2;
+    MemorySystem mem(cfg);
+    MemoryPort *port = mem.makePort(0);
+    port->issue(0, 64, false);
+    port->issue(64, 64, false);
+    EXPECT_FALSE(port->canIssue());
+    EXPECT_THROW(port->issue(128, 64, false), PanicError);
+    setQuiet(false);
+}
+
+TEST(Scratchpad, ReadWriteClear)
+{
+    Scratchpad spm("s", 16, 4);
+    spm.write(3, 42);
+    EXPECT_EQ(spm.read(3), 42);
+    EXPECT_EQ(spm.sizeBytes(), 64u);
+    spm.clear();
+    EXPECT_EQ(spm.read(3), 0);
+}
+
+TEST(Scratchpad, OutOfRangePanics)
+{
+    setQuiet(true);
+    Scratchpad spm("s", 4);
+    EXPECT_THROW(spm.read(4), PanicError);
+    EXPECT_THROW(spm.write(4, 1), PanicError);
+    setQuiet(false);
+}
+
+TEST(Simulator, SourceToSinkDelivery)
+{
+    Simulator sim;
+    auto *q = sim.makeQueue("q");
+    std::vector<Flit> flits = {makeFlit(1, 10), makeFlit(2, 20),
+                               makeBoundary(), makeFlit(3, 30)};
+    sim.make<test::VectorSource>("src", q, flits);
+    auto *sink = sim.make<test::VectorSink>("sink", q);
+    sim.run();
+    ASSERT_EQ(sink->collected().size(), 4u);
+    EXPECT_EQ(sink->collected()[0].key, 1);
+    EXPECT_TRUE(isBoundary(sink->collected()[2]));
+    EXPECT_EQ(sink->dataFlits().size(), 3u);
+}
+
+TEST(Simulator, BackpressureThroughTinyQueue)
+{
+    Simulator sim;
+    auto *q = sim.makeQueue("q", 1);
+    std::vector<Flit> flits;
+    for (int i = 0; i < 50; ++i)
+        flits.push_back(makeFlit(i));
+    sim.make<test::VectorSource>("src", q, flits);
+    auto *sink = sim.make<test::VectorSink>("sink", q);
+    uint64_t cycles = sim.run();
+    EXPECT_EQ(sink->collected().size(), 50u);
+    // Capacity-1 registered queue sustains at most one flit per two
+    // cycles.
+    EXPECT_GE(cycles, 100u);
+}
+
+TEST(Simulator, DeadlockDetected)
+{
+    setQuiet(true);
+    // A sink waiting on a queue nobody ever closes is a deadlock.
+    Simulator sim;
+    auto *q = sim.makeQueue("q");
+    sim.make<test::VectorSink>("sink", q);
+    EXPECT_THROW(sim.run(), PanicError);
+    setQuiet(false);
+}
+
+TEST(Simulator, CollectStatsAggregates)
+{
+    Simulator sim;
+    auto *q = sim.makeQueue("q");
+    sim.make<test::VectorSource>("src", q,
+                                 std::vector<Flit>{makeFlit(1)});
+    sim.make<test::VectorSink>("sink", q);
+    sim.run();
+    StatRegistry stats = sim.collectStats();
+    EXPECT_GT(stats.get("cycles"), 0u);
+    EXPECT_EQ(stats.get("queue.q.flits"), 1u);
+}
+
+} // namespace
+} // namespace genesis::sim
