@@ -6,7 +6,8 @@
  * The workload approximates the paper's evaluation input in miniature: a
  * multi-chromosome reference with dbSNP-like known sites and paired
  * 151 bp Illumina-like reads with duplicates, indels, clips and biased
- * errors. Scale with GENESIS_BENCH_PAIRS (default 8000 pairs).
+ * errors. Scale with GENESIS_BENCH_PAIRS (default 20'000 pairs, see
+ * envPairs()).
  */
 
 #ifndef GENESIS_BENCH_BENCH_COMMON_H

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Simulator-core throughput bench.
+ *
+ * Measures how many simulated cycles the event-aware core retires per
+ * host second, in two regimes:
+ *
+ *  - "synthetic": a pure-sim producer/worker/sink chain with a long
+ *    memory-bound tail, exercising the hot loop (interned counters,
+ *    dirty-queue commit, idle-cycle fast-forward) without any genomics
+ *    payload work;
+ *  - "example_accel": the match-count ExampleAccelerator on the shared
+ *    bench workload, i.e. a full design the other benches run.
+ *
+ * Output is one JSON object per line so CI and scripts can trend the
+ * numbers (host Mcycles/s and simulated cycles per wall second).
+ */
+
+#include <cinttypes>
+
+#include "bench_common.h"
+#include "core/example_accel.h"
+#include "sim/scheduler.h"
+
+using namespace genesis;
+
+namespace {
+
+/** Streams `count` flits into its output queue, one per cycle. */
+class Producer final : public sim::Module
+{
+  public:
+    Producer(std::string name, sim::HardwareQueue *out, uint64_t count)
+        : Module(std::move(name)), out_(out), remaining_(count)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (closed_)
+            return;
+        if (!out_->canPush()) {
+            countStall(stallBackpressure_);
+            return;
+        }
+        if (remaining_ == 0) {
+            out_->close();
+            closed_ = true;
+            return;
+        }
+        out_->push(sim::makeFlit(static_cast<int64_t>(remaining_)));
+        countFlit();
+        --remaining_;
+    }
+
+    bool done() const override { return closed_; }
+
+  private:
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    sim::HardwareQueue *out_;
+    uint64_t remaining_;
+    bool closed_ = false;
+};
+
+/**
+ * Forwards flits while issuing a memory read for every `stride`-th one,
+ * stalling until the read retires — the memory-latency-bound pattern the
+ * idle-cycle fast-forward targets.
+ */
+class MemoryBoundWorker final : public sim::Module
+{
+  public:
+    MemoryBoundWorker(std::string name, sim::MemoryPort *port,
+                      sim::HardwareQueue *in, sim::HardwareQueue *out,
+                      uint64_t stride)
+        : Module(std::move(name)), port_(port), in_(in), out_(out),
+          stride_(stride)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (closed_)
+            return;
+        if (waitingBytes_ > 0) {
+            uint64_t got = port_->takeCompletedReadBytes();
+            if (got) {
+                waitingBytes_ -= std::min(waitingBytes_, got);
+                noteProgress();
+            }
+            if (waitingBytes_ > 0) {
+                countStall(stallMemory_);
+                return;
+            }
+        }
+        if (!in_->canPop()) {
+            if (in_->drained() && port_->idle()) {
+                out_->close();
+                closed_ = true;
+            } else if (!in_->drained()) {
+                countStall(stallStarved_);
+            }
+            return;
+        }
+        if (!out_->canPush()) {
+            countStall(stallBackpressure_);
+            return;
+        }
+        sim::Flit flit = in_->pop();
+        out_->push(flit);
+        countFlit();
+        if (++seen_ % stride_ == 0 && port_->canIssue()) {
+            port_->issue(seen_ * 64, 64, false);
+            waitingBytes_ += 64;
+        }
+    }
+
+    bool done() const override { return closed_; }
+
+  private:
+    StatHandle stallMemory_ = stallCounter("memory");
+    StatHandle stallStarved_ = stallCounter("starved");
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    sim::MemoryPort *port_;
+    sim::HardwareQueue *in_;
+    sim::HardwareQueue *out_;
+    uint64_t stride_;
+    uint64_t seen_ = 0;
+    uint64_t waitingBytes_ = 0;
+    bool closed_ = false;
+};
+
+/** Drains its input queue. */
+class Sink final : public sim::Module
+{
+  public:
+    Sink(std::string name, sim::HardwareQueue *in)
+        : Module(std::move(name)), in_(in)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (in_->canPop()) {
+            in_->pop();
+            countFlit();
+        }
+    }
+
+    bool done() const override { return in_->drained(); }
+
+  private:
+    sim::HardwareQueue *in_;
+};
+
+void
+printResult(const char *scenario, uint64_t cycles, double seconds)
+{
+    double mcycles_per_s = seconds > 0
+        ? static_cast<double>(cycles) / seconds / 1e6 : 0.0;
+    std::printf("{\"bench\": \"sim_throughput\", "
+                "\"scenario\": \"%s\", "
+                "\"sim_cycles\": %" PRIu64 ", "
+                "\"host_seconds\": %.6f, "
+                "\"host_mcycles_per_s\": %.3f, "
+                "\"sim_cycles_per_wall_s\": %.1f}\n",
+                scenario, cycles, seconds, mcycles_per_s,
+                seconds > 0 ? static_cast<double>(cycles) / seconds
+                            : 0.0);
+}
+
+uint64_t
+runSynthetic(uint64_t flits, uint64_t stride)
+{
+    sim::MemoryConfig mem;
+    mem.latencyCycles = 400; // long tail: fast-forward territory
+    sim::Simulator simulator(mem);
+    auto *a = simulator.makeQueue("a", 8);
+    auto *b = simulator.makeQueue("b", 8);
+    auto *port = simulator.memory().makePort(0);
+    simulator.make<Producer>("producer", a, flits);
+    simulator.make<MemoryBoundWorker>("worker", port, a, b, stride);
+    simulator.make<Sink>("sink", b);
+    return simulator.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    // Pure simulator-core throughput, no genomics payload.
+    {
+        constexpr uint64_t kFlits = 200'000;
+        constexpr uint64_t kStride = 4;
+        uint64_t cycles = 0;
+        double seconds = bench::timeIt(
+            [&] { cycles = runSynthetic(kFlits, kStride); });
+        printResult("synthetic", cycles, seconds);
+    }
+
+    // A full accelerator design, same workload the other benches use.
+    {
+        auto workload = bench::makeBenchWorkload(bench::envPairs() / 4);
+        core::ExampleAccelConfig cfg;
+        cfg.numPipelines = 8;
+        cfg.psize = 16'384;
+        uint64_t cycles = 0;
+        double seconds = bench::timeIt([&] {
+            auto result = core::ExampleAccelerator(cfg).run(
+                workload.reads, workload.genome);
+            cycles = result.info.totalCycles;
+        });
+        printResult("example_accel", cycles, seconds);
+    }
+    return 0;
+}

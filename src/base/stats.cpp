@@ -48,6 +48,14 @@ ScalarStat::mean() const
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
+StatRegistry::Counter
+StatRegistry::counter(const std::string &name)
+{
+    // std::map nodes are address-stable, so the handle is simply a
+    // pointer to the mapped value.
+    return &counters_[name];
+}
+
 void
 StatRegistry::add(const std::string &name, uint64_t delta)
 {
@@ -72,6 +80,16 @@ StatRegistry::merge(const StatRegistry &other)
 {
     for (const auto &[name, value] : other.counters_)
         counters_[name] += value;
+}
+
+void
+StatRegistry::creditDelta(const StatRegistry &snapshot, uint64_t times)
+{
+    for (auto &[name, value] : counters_) {
+        uint64_t before = snapshot.get(name);
+        if (value > before)
+            value += (value - before) * times;
+    }
 }
 
 std::string

@@ -49,6 +49,21 @@ class ScalarStat
 class StatRegistry
 {
   public:
+    /**
+     * Interned handle to one counter: bumping it (`++*h`) is a single
+     * indirect increment, with no string hashing or map lookup. Handles
+     * alias the counters visible through add()/get()/counters().
+     */
+    using Counter = uint64_t *;
+
+    /**
+     * Intern a counter and return a stable handle to it (creating it at
+     * zero). Handles stay valid for the registry's lifetime; only
+     * clear() invalidates them. Hot-path code should intern once at
+     * construction and bump through the handle.
+     */
+    Counter counter(const std::string &name);
+
     /** Add the given delta to a named counter (creating it at zero). */
     void add(const std::string &name, uint64_t delta = 1);
 
@@ -67,10 +82,18 @@ class StatRegistry
     /** Merge all counters from another registry into this one. */
     void merge(const StatRegistry &other);
 
+    /**
+     * Credit `times` extra repetitions of the per-cycle deltas observed
+     * since `snapshot` was copied from this registry: every counter grows
+     * by (current - snapshot) * times. Used by the simulator's idle-cycle
+     * fast-forward to account skipped cycles in bulk.
+     */
+    void creditDelta(const StatRegistry &snapshot, uint64_t times);
+
     /** Render a human-readable multi-line report. */
     std::string report(const std::string &prefix = "") const;
 
-    /** Drop every counter. */
+    /** Drop every counter. Invalidates all interned handles. */
     void clear() { counters_.clear(); }
 
   private:

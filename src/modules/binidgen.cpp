@@ -32,7 +32,7 @@ BinIdGen::tick()
     if (closed_)
         return;
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
     if (!in_->canPop()) {
@@ -54,7 +54,7 @@ BinIdGen::tick()
             // entry is still queued and must be discarded to stay in
             // lockstep with subsequent reads.
             if (!flagsIn_->canPop()) {
-                countStall("starved");
+                countStall(stallStarved_);
                 return;
             }
             flagsIn_->pop();
@@ -68,7 +68,7 @@ BinIdGen::tick()
     // First base of a read: latch the strand from the FLAGS stream.
     if (needFlags_) {
         if (!flagsIn_->canPop()) {
-            countStall("starved");
+            countStall(stallStarved_);
             return;
         }
         int64_t flags = flagsIn_->pop().key;

@@ -59,6 +59,10 @@ class BinIdGen : public sim::Module
     static size_t tableSize(const BinIdGenConfig &config, bool cycle_table);
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    StatHandle stallStarved_ = stallCounter("starved");
+
     sim::HardwareQueue *in_;
     sim::HardwareQueue *flagsIn_;
     sim::HardwareQueue *out_;

@@ -73,7 +73,7 @@ Filter::tick()
     if (closed_)
         return;
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
     if (!in_->canPop()) {

@@ -59,6 +59,9 @@ class Filter : public sim::Module
     bool matches(const sim::Flit &flit) const;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+
     int64_t operandValue(const FilterOperand &operand,
                          const sim::Flit &flit) const;
 

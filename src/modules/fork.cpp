@@ -20,7 +20,7 @@ Fork::tick()
         return;
     for (auto *out : outs_) {
         if (!out->canPush()) {
-            countStall("backpressure");
+            countStall(stallBackpressure_);
             return;
         }
     }

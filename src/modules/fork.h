@@ -29,6 +29,9 @@ class Fork : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+
     sim::HardwareQueue *in_;
     std::vector<sim::HardwareQueue *> outs_;
     bool closed_ = false;

@@ -43,10 +43,16 @@ GatherReader::tick()
             bytesRequested_ += chunk;
         }
     }
-    bytesArrived_ += port_->takeCompletedReadBytes();
+    // Byte collection mutates internal state without touching a queue,
+    // so report it as progress.
+    uint64_t got = port_->takeCompletedReadBytes();
+    if (got) {
+        bytesArrived_ += got;
+        noteProgress();
+    }
 
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
     if (pendingBoundary_) {
@@ -62,10 +68,11 @@ GatherReader::tick()
                 out_->push(sim::makeBoundary());
                 return;
             }
+            noteProgress(); // silent deactivation: no boundary flit
         } else {
             uint64_t next = bytesConsumed_ + buffer_->elemSizeBytes;
             if (next > bytesArrived_) {
-                countStall("memory");
+                countStall(stallMemory_);
                 return;
             }
             size_t idx = static_cast<size_t>(cursor_ - config_.addrBase);

@@ -41,6 +41,10 @@ class GatherReader : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    StatHandle stallMemory_ = stallCounter("memory");
+
     const ColumnBuffer *buffer_;
     sim::MemoryPort *port_;
     sim::HardwareQueue *startIn_;

@@ -43,7 +43,7 @@ Joiner::tick()
     if (closed_)
         return;
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
 
@@ -107,7 +107,7 @@ Joiner::tick()
 
     if (!left_data || !right_data) {
         // Waiting for an upstream module to produce.
-        countStall("starved");
+        countStall(stallStarved_);
         return;
     }
 

@@ -51,6 +51,10 @@ class Joiner : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    StatHandle stallStarved_ = stallCounter("starved");
+
     /** Emit a left-side flit padded with right-side nulls. */
     void emitLeftOnly(const sim::Flit &flit);
     /** Emit a right-side flit padded with left-side nulls. */

@@ -37,6 +37,9 @@ class MdGen : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+
     /** Append the current match count's decimal digits to pending. */
     void flushCount();
 

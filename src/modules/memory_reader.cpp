@@ -43,12 +43,17 @@ MemoryReader::tick()
         bytesRequested_ += chunk;
     }
 
-    // 2. Collect arrived bytes.
-    bytesArrived_ += port_->takeCompletedReadBytes();
+    // 2. Collect arrived bytes. Collection mutates internal state
+    //    without touching a queue, so report it as progress.
+    uint64_t got = port_->takeCompletedReadBytes();
+    if (got) {
+        bytesArrived_ += got;
+        noteProgress();
+    }
 
     // 3. Emit at most one flit per cycle.
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
     if (pendingBoundary_) {
@@ -56,11 +61,14 @@ MemoryReader::tick()
         pendingBoundary_ = false;
         return;
     }
-    // Rows with zero elements contribute only a boundary flit.
+    // Rows with zero elements contribute only a boundary flit. Without
+    // boundaries the row advance is invisible to the queues, so note it.
     if (rowLoaded_ && rowRemaining_ == 0) {
         advanceRow();
         if (config_.emitBoundaries)
             out_->push(sim::makeBoundary());
+        else
+            noteProgress();
         return;
     }
     if (elemCursor_ >= buffer_->elements.size()) {
@@ -72,7 +80,7 @@ MemoryReader::tick()
     }
     uint64_t next_consumed = bytesConsumed_ + buffer_->elemSizeBytes;
     if (next_consumed > bytesArrived_) {
-        countStall("memory");
+        countStall(stallMemory_);
         return;
     }
     int64_t value = buffer_->elements[elemCursor_];

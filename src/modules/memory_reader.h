@@ -39,6 +39,10 @@ class MemoryReader : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    StatHandle stallMemory_ = stallCounter("memory");
+
     /** Move the row cursor to the next row (if any). */
     void advanceRow();
 

@@ -48,11 +48,14 @@ MemoryWriter::tick()
                 bytesAccumulated_ += config_.elemSizeBytes;
                 countFlit();
             } else {
-                countStall("write_backlog");
+                countStall(stallWriteBacklog_);
             }
         }
     } else if (in_->drained() && !inputDrained_) {
+        // One-shot latch that feeds done(): report it as progress since
+        // it mutates state without touching a queue or port.
         inputDrained_ = true;
+        noteProgress();
         if (config_.rowMode && !currentRow_.empty()) {
             // Stream ended without a trailing boundary: flush the row.
             buffer_->appendRow(currentRow_);

@@ -44,6 +44,9 @@ class MemoryWriter : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallWriteBacklog_ = stallCounter("write_backlog");
+
     ColumnBuffer *buffer_;
     sim::MemoryPort *port_;
     sim::HardwareQueue *in_;

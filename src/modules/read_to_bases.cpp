@@ -39,7 +39,7 @@ ReadToBases::tick()
     if (closed_)
         return;
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
 
@@ -58,13 +58,13 @@ ReadToBases::tick()
             closed_ = true;
             return;
         }
-        countStall("starved");
+        countStall(stallStarved_);
         return;
     }
 
     if (!haveElem_) {
         if (!cigarIn_->canPop()) {
-            countStall("starved");
+            countStall(stallStarved_);
             return;
         }
         if (sim::isBoundary(cigarIn_->front())) {
@@ -75,7 +75,7 @@ ReadToBases::tick()
             bool qual_at_boundary = !qualIn_ ||
                 (qualIn_->canPop() && sim::isBoundary(qualIn_->front()));
             if (!seq_at_boundary || !qual_at_boundary) {
-                countStall("starved");
+                countStall(stallStarved_);
                 return;
             }
             cigarIn_->pop();
@@ -98,13 +98,13 @@ ReadToBases::tick()
       case CigarOp::SoftClip:
         // Clipped bases are consumed without producing output.
         if (!consumeBase(bp, qual)) {
-            countStall("starved");
+            countStall(stallStarved_);
             return;
         }
         break;
       case CigarOp::Match:
         if (!consumeBase(bp, qual)) {
-            countStall("starved");
+            countStall(stallStarved_);
             return;
         }
         out_->push(sim::makeFlit(refPos_, bp, qual, cycle_));
@@ -114,7 +114,7 @@ ReadToBases::tick()
         break;
       case CigarOp::Insert:
         if (!consumeBase(bp, qual)) {
-            countStall("starved");
+            countStall(stallStarved_);
             return;
         }
         out_->push(sim::makeFlit(Flit::kIns, bp, qual, cycle_));

@@ -39,6 +39,10 @@ class ReadToBases : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    StatHandle stallStarved_ = stallCounter("starved");
+
     /** @return true when a base (and qual) flit could be consumed. */
     bool consumeBase(int64_t &bp, int64_t &qual);
 

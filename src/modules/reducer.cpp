@@ -88,7 +88,7 @@ Reducer::tick()
     if (closed_)
         return;
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
     if (pendingBoundary_) {

@@ -54,6 +54,9 @@ class Reducer : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+
     void accumulate(const sim::Flit &flit);
     sim::Flit resultFlit();
     void resetAccumulator();

@@ -63,11 +63,11 @@ SpmReader::tick()
     if (closed_)
         return;
     if (config_.waitFor && !config_.waitFor->done()) {
-        countStall("spm_init");
+        countStall(stallSpmInit_);
         return;
     }
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
 

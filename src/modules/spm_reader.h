@@ -70,6 +70,10 @@ class SpmReader : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallSpmInit_ = stallCounter("spm_init");
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+
     void pushWord(int64_t key, int64_t word);
 
     const sim::Scratchpad *spm_;

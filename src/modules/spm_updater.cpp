@@ -26,7 +26,10 @@ SpmUpdater::tick()
 {
     if (config_.mode == SpmUpdateMode::ReadModifyWrite) {
         // Advance the RMW pipeline back to front. The write stage
-        // commits; modify computes; read samples the SPM.
+        // commits; modify computes; read samples the SPM. Any occupied
+        // stage means this tick mutates state without a queue op.
+        if (stages_[0] || stages_[1] || stages_[2])
+            noteProgress();
         if (stages_[2]) {
             spm_->write(stages_[2]->addr, stages_[2]->value);
             stages_[2].reset();
@@ -64,7 +67,7 @@ SpmUpdater::tick()
         // operates on the same address (RAW avoidance, Section III-C).
         for (const auto &stage : stages_) {
             if (stage && stage->addr == addr) {
-                countStall("rmw_hazard");
+                countStall(stallRmwHazard_);
                 return;
             }
         }

@@ -63,6 +63,9 @@ class SpmUpdater : public sim::Module
     bool done() const override;
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallRmwHazard_ = stallCounter("rmw_hazard");
+
     struct Stage {
         size_t addr = 0;
         int64_t value = 0; ///< read result flowing to modify/write

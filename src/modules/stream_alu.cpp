@@ -51,7 +51,7 @@ StreamAlu::tick()
     if (closed_)
         return;
     if (!out_->canPush()) {
-        countStall("backpressure");
+        countStall(stallBackpressure_);
         return;
     }
 
@@ -91,7 +91,7 @@ StreamAlu::tick()
             closed_ = true;
             return;
         }
-        countStall("starved");
+        countStall(stallStarved_);
         return;
     }
 

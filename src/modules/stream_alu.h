@@ -57,6 +57,10 @@ class StreamAlu : public sim::Module
     static int64_t apply(AluOp op, int64_t a, int64_t b);
 
   private:
+    /** Interned stall-reason counters (see Module). */
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    StatHandle stallStarved_ = stallCounter("starved");
+
     sim::HardwareQueue *inA_;
     sim::HardwareQueue *inB_; ///< may be null (constant operand)
     sim::HardwareQueue *out_;

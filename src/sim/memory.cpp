@@ -22,6 +22,8 @@ MemoryPort::issue(uint64_t addr, uint32_t bytes, bool is_write)
     req.bytes = bytes;
     req.isWrite = is_write;
     pending_.push_back(req);
+    if (progress_)
+        ++*progress_;
 }
 
 uint64_t
@@ -43,6 +45,14 @@ MemorySystem::MemorySystem(const MemoryConfig &config) : config_(config)
                            RoundRobinArbiter());
 }
 
+void
+MemorySystem::attachProgress(uint64_t *counter)
+{
+    progress_ = counter;
+    for (auto &port : ports_)
+        port->progress_ = counter;
+}
+
 MemoryPort *
 MemorySystem::makePort(int local_group)
 {
@@ -52,6 +62,7 @@ MemorySystem::makePort(int local_group)
     auto port =
         std::unique_ptr<MemoryPort>(new MemoryPort(id, local_group));
     port->queueDepth_ = config_.portQueueDepth;
+    port->progress_ = progress_;
     ports_.push_back(std::move(port));
 
     size_t num_groups = static_cast<size_t>(local_group) + 1;
@@ -82,7 +93,8 @@ MemorySystem::tick()
 
     // Each local arbiter forwards at most one request per cycle; each
     // channel's global arbiter accepts at most one request per cycle.
-    std::vector<bool> group_used(localArbiters_.size(), false);
+    groupUsedScratch_.assign(localArbiters_.size(), 0);
+    auto &group_used = groupUsedScratch_;
 
     for (int ch = 0; ch < config_.numChannels; ++ch) {
         if (channelBusyUntil_[static_cast<size_t>(ch)] > cycle_)
@@ -113,10 +125,10 @@ MemorySystem::tick()
                 return false;
             });
         if (group < 0) {
-            stats_.add("channel_idle_cycles");
+            ++*channelIdleCycles_;
             continue;
         }
-        group_used[static_cast<size_t>(group)] = true;
+        group_used[static_cast<size_t>(group)] = 1;
 
         int slot = localArbiters_[static_cast<size_t>(group)].grant(
             [&](size_t s) {
@@ -137,9 +149,10 @@ MemorySystem::tick()
         channelBusyUntil_[static_cast<size_t>(ch)] =
             cycle_ + transfer_cycles;
 
-        stats_.add("requests");
-        stats_.add(req.isWrite ? "write_bytes" : "read_bytes", req.bytes);
-        stats_.add("channel_busy_cycles", transfer_cycles);
+        ++*requests_;
+        *(req.isWrite ? writeBytes_ : readBytes_) += req.bytes;
+        *channelBusyCycles_ += transfer_cycles;
+        ++*progress_; // scheduling is architectural progress
     }
 
     // Retire completions in issue order per port.
@@ -153,8 +166,38 @@ MemorySystem::tick()
             else
                 port->completedReadBytes_ += head.bytes;
             port->pending_.pop_front();
+            ++*progress_; // retiring is architectural progress
         }
     }
+}
+
+uint64_t
+MemorySystem::nextEventCycle() const
+{
+    uint64_t next = kNoEvent;
+    auto consider = [&next](uint64_t c) {
+        if (c < next)
+            next = c;
+    };
+    // Head completions: the retire loop stops at each port's head, so a
+    // port's next retirement happens at its head's completeCycle. An
+    // unscheduled head waits for its channel to free, which the
+    // channel-expiry scan below covers (a free channel with an eligible
+    // head never survives a tick unscheduled).
+    for (const auto &port : ports_) {
+        if (port->pending_.empty())
+            continue;
+        const auto &head = port->pending_.front();
+        if (head.scheduled)
+            consider(std::max(head.completeCycle, cycle_ + 1));
+    }
+    // Busy channels freeing up: enables scheduling of waiting requests
+    // and changes the per-cycle idle-stat accrual.
+    for (uint64_t busy_until : channelBusyUntil_) {
+        if (busy_until > cycle_)
+            consider(busy_until);
+    }
+    return next;
 }
 
 bool

@@ -66,6 +66,12 @@ class MemoryPort
     /** @return true when no requests are outstanding. */
     bool idle() const { return pending_.empty(); }
 
+    /** @return requests queued or in flight (deadlock diagnostics). */
+    size_t outstanding() const { return pending_.size(); }
+
+    int id() const { return id_; }
+    int group() const { return group_; }
+
     /** @return total write bytes fully retired so far. */
     uint64_t retiredWriteBytes() const { return retiredWriteBytes_; }
 
@@ -88,6 +94,8 @@ class MemoryPort
     std::deque<Request> pending_;
     uint64_t completedReadBytes_ = 0;
     uint64_t retiredWriteBytes_ = 0;
+    /** Owning MemorySystem's progress counter (issue() bumps it). */
+    uint64_t *progress_ = nullptr;
 };
 
 /** The timing model proper. */
@@ -113,6 +121,33 @@ class MemorySystem
 
     uint64_t cycle() const { return cycle_; }
 
+    /** Sentinel for nextEventCycle(): no future event is pending. */
+    static constexpr uint64_t kNoEvent = ~0ull;
+
+    /**
+     * @return the earliest future cycle at which this memory system can
+     * change state or change its per-cycle stat accrual: the head
+     * completion of any port, or a busy channel freeing up (which both
+     * enables scheduling of waiting requests and starts idle-cycle
+     * accounting). Between now and that cycle every tick() is a no-op
+     * apart from uniform idle-stat counting, so the simulator may skip
+     * the span. kNoEvent when nothing is pending.
+     */
+    uint64_t nextEventCycle() const;
+
+    /**
+     * Jump the clock forward over a span that nextEventCycle() proved
+     * event-free. Stat accrual for the skipped ticks is credited by the
+     * caller (Simulator::run's bulk-crediting), not here.
+     */
+    void fastForward(uint64_t cycles) { cycle_ += cycles; }
+
+    /** Redirect progress reporting to a simulator-owned counter. */
+    void attachProgress(uint64_t *counter);
+
+    size_t numPorts() const { return ports_.size(); }
+    const MemoryPort &port(size_t i) const { return *ports_[i]; }
+
     StatRegistry &stats() { return stats_; }
     const StatRegistry &stats() const { return stats_; }
 
@@ -129,8 +164,21 @@ class MemorySystem
     std::vector<RoundRobinArbiter> globalArbiters_;
     /** One local arbiter per port group, selecting among its ports. */
     std::vector<RoundRobinArbiter> localArbiters_;
+    /** Per-tick scratch: groups already granted a channel this cycle. */
+    std::vector<char> groupUsedScratch_;
     uint64_t cycle_ = 0;
     StatRegistry stats_;
+    /** Interned hot-path stat handles. */
+    StatRegistry::Counter requests_ = stats_.counter("requests");
+    StatRegistry::Counter readBytes_ = stats_.counter("read_bytes");
+    StatRegistry::Counter writeBytes_ = stats_.counter("write_bytes");
+    StatRegistry::Counter channelBusyCycles_ =
+        stats_.counter("channel_busy_cycles");
+    StatRegistry::Counter channelIdleCycles_ =
+        stats_.counter("channel_idle_cycles");
+    /** Fallback target so standalone systems work without a Simulator. */
+    uint64_t localProgress_ = 0;
+    uint64_t *progress_ = &localProgress_;
 };
 
 } // namespace genesis::sim

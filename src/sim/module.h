@@ -7,6 +7,19 @@
  * flit (Section III-C). Modules never call each other — all communication
  * flows through HardwareQueues, and the Simulator ticks every module once
  * per cycle.
+ *
+ * Statistics are counted through interned handles (StatRegistry::Counter)
+ * that modules intern once at construction, so a stall cycle costs one
+ * indirect increment instead of a string allocation plus map lookup.
+ *
+ * Progress contract (idle-cycle fast-forward): the Simulator detects
+ * cycles in which nothing happened and skips runs of them wholesale. A
+ * cycle counts as active when any queue commits a staged push/pop/close,
+ * the memory system issues/schedules/retires a request, or a module calls
+ * noteProgress(). A tick that mutates module-internal state WITHOUT
+ * staging a queue/port operation must therefore call noteProgress(), or
+ * the fast-forward may treat the design as idle while it is silently
+ * advancing. Pure waiting (only bumping stall counters) needs no call.
  */
 
 #ifndef GENESIS_SIM_MODULE_H
@@ -23,6 +36,9 @@ namespace genesis::sim {
 class Module
 {
   public:
+    /** Interned per-module counter handle (see StatRegistry::Counter). */
+    using StatHandle = StatRegistry::Counter;
+
     explicit Module(std::string name) : name_(std::move(name)) {}
     virtual ~Module() = default;
 
@@ -43,20 +59,44 @@ class Module
     StatRegistry &stats() { return stats_; }
     const StatRegistry &stats() const { return stats_; }
 
+    /** Redirect progress reporting to a simulator-owned counter. */
+    void attachProgress(uint64_t *counter) { progress_ = counter; }
+
   protected:
-    /** Record one stall cycle with a reason bucket. */
-    void
-    countStall(const char *reason)
+    /** Intern the counter for one stall-reason bucket ("stall.<reason>").
+     *  Call once at construction and keep the handle. */
+    StatHandle
+    stallCounter(const char *reason)
     {
-        stats_.add(std::string("stall.") + reason);
+        return stats_.counter(std::string("stall.") + reason);
     }
 
+    /** Intern an arbitrary per-module counter. */
+    StatHandle statCounter(const std::string &name)
+    {
+        return stats_.counter(name);
+    }
+
+    /** Record one stall cycle against an interned reason bucket. */
+    static void countStall(StatHandle stall) { ++*stall; }
+
     /** Record one processed flit. */
-    void countFlit() { stats_.add("flits"); }
+    void countFlit() { ++*flits_; }
+
+    /**
+     * Mark this cycle as having made progress. Required whenever tick()
+     * changes internal state without staging a queue push/pop/close or a
+     * memory-port request (see the progress contract above).
+     */
+    void noteProgress() { ++*progress_; }
 
   private:
     std::string name_;
     StatRegistry stats_;
+    StatHandle flits_ = stats_.counter("flits");
+    /** Fallback target so standalone modules work without a Simulator. */
+    uint64_t localProgress_ = 0;
+    uint64_t *progress_ = &localProgress_;
 };
 
 } // namespace genesis::sim

@@ -31,6 +31,7 @@ HardwareQueue::push(const Flit &flit)
         panic("push to closed queue '%s'", name_.c_str());
     stagedPush_ = flit;
     stagedPushValid_ = true;
+    markDirty();
 }
 
 bool
@@ -53,6 +54,7 @@ HardwareQueue::pop()
     if (!canPop())
         panic("pop from empty queue '%s'", name_.c_str());
     stagedPop_ = true;
+    markDirty();
     return buffer_.front();
 }
 
@@ -62,6 +64,7 @@ HardwareQueue::close()
     if (closed_ || stagedClose_)
         panic("double close of queue '%s'", name_.c_str());
     stagedClose_ = true;
+    markDirty();
 }
 
 bool
@@ -73,6 +76,7 @@ HardwareQueue::drained() const
 void
 HardwareQueue::commit()
 {
+    const bool staged = stagedPop_ || stagedPushValid_ || stagedClose_;
     if (stagedPop_) {
         buffer_.pop_front();
         stagedPop_ = false;
@@ -86,7 +90,11 @@ HardwareQueue::commit()
         closed_ = true;
         stagedClose_ = false;
     }
-    maxOccupancy_ = std::max(maxOccupancy_, buffer_.size());
+    dirty_ = false;
+    if (staged) {
+        ++*progress_;
+        maxOccupancy_ = std::max(maxOccupancy_, buffer_.size());
+    }
 }
 
 } // namespace genesis::sim

@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/flit.h"
 
@@ -64,11 +65,37 @@ class HardwareQueue
     /** Make this cycle's staged operations visible. */
     void commit();
 
+    /**
+     * Wire this queue into its owning Simulator: commits with staged work
+     * bump *progress (the simulator's monotonic progress counter used for
+     * deadlock detection and idle fast-forward), and the first staged
+     * operation each cycle registers the queue on *dirty_list so the
+     * simulator commits only active queues. Standalone queues (unit
+     * tests) work without attachment.
+     */
+    void
+    attachSimulator(uint64_t *progress,
+                    std::vector<HardwareQueue *> *dirty_list)
+    {
+        progress_ = progress;
+        dirtyList_ = dirty_list;
+    }
+
     // --- statistics ---
     uint64_t totalFlits() const { return totalFlits_; }
     size_t maxOccupancy() const { return maxOccupancy_; }
 
   private:
+    /** Register on the owning simulator's dirty list (once per cycle). */
+    void
+    markDirty()
+    {
+        if (!dirty_ && dirtyList_) {
+            dirtyList_->push_back(this);
+            dirty_ = true;
+        }
+    }
+
     std::string name_;
     size_t capacity_;
     std::deque<Flit> buffer_;
@@ -78,6 +105,12 @@ class HardwareQueue
     bool stagedPop_ = false;
     bool stagedClose_ = false;
     bool closed_ = false;
+    bool dirty_ = false;
+
+    /** Fallback target so standalone queues work without a Simulator. */
+    uint64_t localProgress_ = 0;
+    uint64_t *progress_ = &localProgress_;
+    std::vector<HardwareQueue *> *dirtyList_ = nullptr;
 
     uint64_t totalFlits_ = 0;
     size_t maxOccupancy_ = 0;

@@ -1,6 +1,9 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <vector>
 
 #include "base/logging.h"
 
@@ -8,12 +11,16 @@ namespace genesis::sim {
 
 Simulator::Simulator(const MemoryConfig &mem_config) : memory_(mem_config)
 {
+    memory_.attachProgress(&progress_);
+    fastForwardEnabled_ = std::getenv("GENESIS_SIM_NO_FASTFORWARD") ==
+        nullptr;
 }
 
 HardwareQueue *
 Simulator::makeQueue(const std::string &name, size_t capacity)
 {
     queues_.push_back(std::make_unique<HardwareQueue>(name, capacity));
+    queues_.back()->attachSimulator(&progress_, &dirtyQueues_);
     return queues_.back().get();
 }
 
@@ -41,29 +48,36 @@ Simulator::step()
 {
     for (auto &m : modules_)
         m->tick();
-    for (auto &q : queues_)
+    // Commit only queues that staged work this cycle; the rest are
+    // untouched by construction.
+    for (auto *q : dirtyQueues_)
         q->commit();
+    dirtyQueues_.clear();
     memory_.tick();
     ++cycle_;
 }
 
-uint64_t
-Simulator::stateFingerprint() const
+void
+Simulator::snapshotStats()
 {
-    // Any push, pop, close, or memory event perturbs this fingerprint;
-    // a constant fingerprint over many cycles means the design is stuck.
-    uint64_t fp = 0xcbf29ce484222325ull;
-    auto mix = [&fp](uint64_t v) {
-        fp ^= v;
-        fp *= 0x100000001b3ull;
-    };
-    for (const auto &q : queues_) {
-        mix(q->totalFlits());
-        mix(q->size());
-        mix(q->closed() ? 1 : 0);
-    }
-    mix(memory_.stats().get("requests"));
-    return fp;
+    statSnapshots_.clear();
+    statSnapshots_.reserve(modules_.size() + scratchpads_.size() + 1);
+    for (const auto &m : modules_)
+        statSnapshots_.push_back(m->stats());
+    for (const auto &s : scratchpads_)
+        statSnapshots_.push_back(s->stats());
+    statSnapshots_.push_back(memory_.stats());
+}
+
+void
+Simulator::creditSkippedCycles(uint64_t times)
+{
+    size_t i = 0;
+    for (auto &m : modules_)
+        m->stats().creditDelta(statSnapshots_[i++], times);
+    for (auto &s : scratchpads_)
+        s->stats().creditDelta(statSnapshots_[i++], times);
+    memory_.stats().creditDelta(statSnapshots_[i++], times);
 }
 
 uint64_t
@@ -74,7 +88,7 @@ Simulator::run(uint64_t max_cycles)
     const uint64_t deadlock_horizon =
         10'000 + 100ull * memory_.config().latencyCycles;
 
-    uint64_t last_fp = stateFingerprint();
+    uint64_t last_progress = progress_;
     uint64_t quiet_cycles = 0;
     while (!allDone()) {
         if (cycle_ >= max_cycles) {
@@ -83,16 +97,61 @@ Simulator::run(uint64_t max_cycles)
                   dumpState().c_str());
         }
         step();
-        uint64_t fp = stateFingerprint();
-        if (fp == last_fp) {
-            if (++quiet_cycles > deadlock_horizon) {
-                panic("deadlock: no progress for %llu cycles\n%s",
-                      static_cast<unsigned long long>(quiet_cycles),
-                      dumpState().c_str());
-            }
-        } else {
+        if (progress_ != last_progress) {
+            last_progress = progress_;
             quiet_cycles = 0;
-            last_fp = fp;
+            continue;
+        }
+        if (++quiet_cycles > deadlock_horizon) {
+            panic("deadlock: no progress for %llu cycles\n%s",
+                  static_cast<unsigned long long>(quiet_cycles),
+                  dumpState().c_str());
+        }
+        if (!fastForwardEnabled_)
+            continue;
+
+        // The cycle was idle: nothing committed, issued, scheduled,
+        // retired, or self-reported progress, so every module is purely
+        // stalled and each following cycle is an identical no-op until
+        // the memory system's next event. Skip the span in one jump.
+        uint64_t next_event = memory_.nextEventCycle();
+        if (next_event == MemorySystem::kNoEvent)
+            continue; // frozen design: let the deadlock horizon fire
+        if (next_event < cycle_ + 3 || cycle_ + 1 >= max_cycles)
+            continue; // nothing worth batching before the event
+        // Execute one more (provably idle) cycle normally to sample the
+        // exact per-cycle stat deltas — each module's stall buckets and
+        // the memory system's idle-channel accrual.
+        snapshotStats();
+        step();
+        if (progress_ != last_progress) {
+            // Defensive: a module made silent progress without honoring
+            // the noteProgress() contract. Fall back to cycle-by-cycle.
+            last_progress = progress_;
+            quiet_cycles = 0;
+            continue;
+        }
+        if (++quiet_cycles > deadlock_horizon) {
+            panic("deadlock: no progress for %llu cycles\n%s",
+                  static_cast<unsigned long long>(quiet_cycles),
+                  dumpState().c_str());
+        }
+        // Skip to the cycle just before the event, clamped so the
+        // runaway and deadlock panics still fire at the exact same
+        // cycle as a cycle-by-cycle run.
+        uint64_t skip = next_event - cycle_ - 1;
+        skip = std::min(skip, max_cycles - cycle_);
+        skip = std::min(skip, deadlock_horizon + 1 - quiet_cycles);
+        if (skip == 0)
+            continue;
+        creditSkippedCycles(skip);
+        cycle_ += skip;
+        memory_.fastForward(skip);
+        quiet_cycles += skip;
+        if (quiet_cycles > deadlock_horizon) {
+            panic("deadlock: no progress for %llu cycles\n%s",
+                  static_cast<unsigned long long>(quiet_cycles),
+                  dumpState().c_str());
         }
     }
     return cycle_;
@@ -103,20 +162,28 @@ Simulator::collectStats() const
 {
     StatRegistry all;
     all.set("cycles", cycle_);
+    // Interned handles pre-create counters at zero; skip those so the
+    // aggregate matches what lazily created counters would produce.
     for (const auto &m : modules_) {
-        for (const auto &[name, value] : m->stats().counters())
-            all.add(m->name() + "." + name, value);
+        for (const auto &[name, value] : m->stats().counters()) {
+            if (value)
+                all.add(m->name() + "." + name, value);
+        }
     }
     for (const auto &q : queues_) {
         all.set("queue." + q->name() + ".flits", q->totalFlits());
         all.set("queue." + q->name() + ".max_occupancy",
                 q->maxOccupancy());
     }
-    for (const auto &[name, value] : memory_.stats().counters())
-        all.add("mem." + name, value);
+    for (const auto &[name, value] : memory_.stats().counters()) {
+        if (value)
+            all.add("mem." + name, value);
+    }
     for (const auto &s : scratchpads_) {
-        for (const auto &[name, value] : s->stats().counters())
-            all.add("spm." + s->name() + "." + name, value);
+        for (const auto &[name, value] : s->stats().counters()) {
+            if (value)
+                all.add("spm." + s->name() + "." + name, value);
+        }
     }
     return all;
 }
@@ -128,11 +195,38 @@ Simulator::dumpState() const
     os << "cycle " << cycle_ << "\n";
     for (const auto &m : modules_) {
         os << "  module " << m->name()
-           << (m->done() ? " done" : " BUSY") << "\n";
+           << (m->done() ? " done" : " BUSY");
+        // Name the blocked resource: top stall-reason buckets.
+        std::vector<std::pair<std::string, uint64_t>> stalls;
+        for (const auto &[name, value] : m->stats().counters()) {
+            if (value && name.rfind("stall.", 0) == 0)
+                stalls.emplace_back(name.substr(6), value);
+        }
+        std::sort(stalls.begin(), stalls.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        if (!stalls.empty()) {
+            os << "  stalls:";
+            size_t shown = 0;
+            for (const auto &[reason, count] : stalls) {
+                if (shown++ == 3)
+                    break;
+                os << " " << reason << "=" << count;
+            }
+        }
+        os << "\n";
     }
     for (const auto &q : queues_) {
         os << "  queue " << q->name() << " size=" << q->size()
            << (q->closed() ? " closed" : " open") << "\n";
+    }
+    for (size_t i = 0; i < memory_.numPorts(); ++i) {
+        const MemoryPort &p = memory_.port(i);
+        if (p.outstanding() == 0)
+            continue;
+        os << "  mem port " << p.id() << " (group " << p.group()
+           << "): " << p.outstanding() << " outstanding\n";
     }
     return os.str();
 }

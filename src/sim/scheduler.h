@@ -22,11 +22,30 @@
 
 namespace genesis::sim {
 
-/** Owns and runs one simulated accelerator design. */
+/**
+ * Owns and runs one simulated accelerator design.
+ *
+ * The hot loop keeps per-cycle cost proportional to activity, not design
+ * size:
+ *  - a monotonic progress counter (bumped by queue commits, memory
+ *    issue/schedule/retire, and Module::noteProgress) replaces the old
+ *    per-cycle state fingerprint for deadlock detection;
+ *  - step() commits only queues that staged an operation this cycle;
+ *  - runs of provably idle cycles (every module stalled, the memory
+ *    system waiting on a completion) are fast-forwarded to the next
+ *    memory event, with the skipped cycles' stall/idle statistics
+ *    credited in bulk so all counters stay bit-identical to a
+ *    cycle-by-cycle run. Set GENESIS_SIM_NO_FASTFORWARD=1 to disable
+ *    the fast-forward (escape hatch; simulated results are identical
+ *    either way).
+ */
 class Simulator
 {
   public:
     explicit Simulator(const MemoryConfig &mem_config = MemoryConfig());
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
 
     /** Create a queue owned by the simulator. */
     HardwareQueue *makeQueue(const std::string &name,
@@ -43,6 +62,7 @@ class Simulator
     addModule(std::unique_ptr<T> module)
     {
         T *raw = module.get();
+        raw->attachProgress(&progress_);
         modules_.push_back(std::move(module));
         return raw;
     }
@@ -81,11 +101,21 @@ class Simulator
         return modules_;
     }
 
-  private:
-    /** @return a fingerprint of architectural state for deadlock checks. */
-    uint64_t stateFingerprint() const;
+    /**
+     * Monotonic count of architectural events (queue commits, memory
+     * issue/schedule/retire, module noteProgress). Constant across a
+     * cycle means the design made no progress that cycle.
+     */
+    uint64_t progress() const { return progress_; }
 
-    /** Render queue/module state for deadlock diagnostics. */
+  private:
+    /** Snapshot all stat registries (modules, memory, scratchpads). */
+    void snapshotStats();
+
+    /** Credit `times` repeats of the deltas since snapshotStats(). */
+    void creditSkippedCycles(uint64_t times);
+
+    /** Render queue/module/memory state for deadlock diagnostics. */
     std::string dumpState() const;
 
     MemorySystem memory_;
@@ -93,6 +123,14 @@ class Simulator
     std::vector<std::unique_ptr<Scratchpad>> scratchpads_;
     std::vector<std::unique_ptr<Module>> modules_;
     uint64_t cycle_ = 0;
+    /** See progress(). */
+    uint64_t progress_ = 0;
+    /** Queues with operations staged this cycle (commit work list). */
+    std::vector<HardwareQueue *> dirtyQueues_;
+    /** GENESIS_SIM_NO_FASTFORWARD escape hatch (read at construction). */
+    bool fastForwardEnabled_ = true;
+    /** Scratch buffers for idle-cycle stat sampling. */
+    std::vector<StatRegistry> statSnapshots_;
 };
 
 } // namespace genesis::sim

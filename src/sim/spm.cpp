@@ -20,7 +20,7 @@ Scratchpad::read(size_t addr) const
         panic("scratchpad '%s': read of %zu beyond size %zu",
               name_.c_str(), addr, words_.size());
     }
-    stats_.add("reads");
+    ++*reads_;
     return words_[addr];
 }
 
@@ -31,7 +31,7 @@ Scratchpad::write(size_t addr, int64_t value)
         panic("scratchpad '%s': write of %zu beyond size %zu",
               name_.c_str(), addr, words_.size());
     }
-    stats_.add("writes");
+    ++*writes_;
     words_[addr] = value;
 }
 

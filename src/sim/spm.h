@@ -60,6 +60,9 @@ class Scratchpad
     uint32_t wordBytes_;
     std::vector<int64_t> words_;
     mutable StatRegistry stats_;
+    /** Interned hot-path stat handles. */
+    StatRegistry::Counter reads_ = stats_.counter("reads");
+    StatRegistry::Counter writes_ = stats_.counter("writes");
 };
 
 } // namespace genesis::sim

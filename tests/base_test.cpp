@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "base/logging.h"
 #include "base/rng.h"
@@ -176,6 +178,45 @@ TEST(StatRegistry, MergeAddsCounters)
     a.merge(b);
     EXPECT_EQ(a.get("x"), 3u);
     EXPECT_EQ(a.get("y"), 3u);
+}
+
+TEST(StatRegistry, CounterHandleAliasesNamedCounter)
+{
+    StatRegistry r;
+    StatRegistry::Counter h = r.counter("x");
+    EXPECT_EQ(r.get("x"), 0u); // interning creates the counter at zero
+    ++*h;
+    *h += 3;
+    EXPECT_EQ(r.get("x"), 4u);
+    r.add("x", 6);
+    EXPECT_EQ(*h, 10u); // add() and the handle hit the same slot
+    EXPECT_EQ(r.counter("x"), h); // re-interning returns the same handle
+}
+
+TEST(StatRegistry, CounterKeepsIterationOrder)
+{
+    StatRegistry r;
+    r.counter("b");
+    r.add("a");
+    r.counter("c");
+    std::vector<std::string> names;
+    for (const auto &[name, value] : r.counters())
+        names.push_back(name);
+    EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StatRegistry, CreditDeltaMultipliesGrowth)
+{
+    StatRegistry r;
+    r.add("grew", 5);
+    r.add("steady", 7);
+    StatRegistry snapshot = r;
+    r.add("grew", 2);
+    r.add("fresh", 1); // created after the snapshot: full value grew
+    r.creditDelta(snapshot, 10);
+    EXPECT_EQ(r.get("grew"), 5u + 2u + 2u * 10u);
+    EXPECT_EQ(r.get("steady"), 7u);
+    EXPECT_EQ(r.get("fresh"), 1u + 1u * 10u);
 }
 
 TEST(StatRegistry, ReportContainsEntries)

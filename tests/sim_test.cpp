@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+
 #include "base/logging.h"
 #include "sim/arbiter.h"
 #include "sim/memory.h"
@@ -327,6 +330,133 @@ TEST(Simulator, DeadlockDetected)
     sim.make<test::VectorSink>("sink", q);
     EXPECT_THROW(sim.run(), PanicError);
     setQuiet(false);
+}
+
+// Pops a flit, round-trips it through a memory read, then forwards it.
+// With a long memory latency this leaves the design provably idle for
+// most cycles — the idle-cycle fast-forward's target pattern.
+class EchoThroughMemory final : public Module
+{
+  public:
+    EchoThroughMemory(std::string name, MemoryPort *port,
+                      HardwareQueue *in, HardwareQueue *out)
+        : Module(std::move(name)), port_(port), in_(in), out_(out)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (closed_)
+            return;
+        if (waiting_) {
+            if (port_->takeCompletedReadBytes() == 0) {
+                countStall(stallMemory_);
+                return;
+            }
+            noteProgress();
+            waiting_ = false;
+        }
+        if (held_) {
+            if (!out_->canPush()) {
+                countStall(stallBackpressure_);
+                return;
+            }
+            out_->push(*held_);
+            held_.reset();
+            countFlit();
+            return;
+        }
+        if (!in_->canPop()) {
+            if (in_->drained()) {
+                out_->close();
+                closed_ = true;
+            }
+            return;
+        }
+        held_ = in_->pop();
+        port_->issue(static_cast<uint64_t>(held_->key) * 64, 64, false);
+        waiting_ = true;
+    }
+
+    bool done() const override { return closed_; }
+
+  private:
+    StatHandle stallMemory_ = stallCounter("memory");
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    MemoryPort *port_;
+    HardwareQueue *in_;
+    HardwareQueue *out_;
+    std::optional<Flit> held_;
+    bool waiting_ = false;
+    bool closed_ = false;
+};
+
+TEST(Simulator, WedgedDesignPanicsWithinHorizon)
+{
+    setQuiet(true);
+    // A sink waiting on a queue nobody feeds or closes must hit the
+    // deadlock horizon (10'000 + 100 * latency = 14'000 at the default
+    // latency of 40), not spin to the runaway max_cycles bound.
+    Simulator sim;
+    auto *q = sim.makeQueue("q");
+    sim.make<test::VectorSink>("sink", q);
+    try {
+        sim.run();
+        FAIL() << "expected a deadlock panic";
+    } catch (const PanicError &) {
+        EXPECT_GE(sim.cycle(), 14'000u);
+        EXPECT_LE(sim.cycle(), 15'000u);
+    }
+    setQuiet(false);
+}
+
+TEST(Simulator, LongQuietButLegalDesignCompletes)
+{
+    // A memory latency far above the base horizon produces legal quiet
+    // spans of ~60k cycles; the latency-scaled horizon (and the
+    // fast-forward's progress accounting) must not misfire on them.
+    MemoryConfig cfg;
+    cfg.latencyCycles = 60'000;
+    Simulator sim(cfg);
+    auto *a = sim.makeQueue("a");
+    auto *b = sim.makeQueue("b");
+    auto *port = sim.memory().makePort(0);
+    sim.make<test::VectorSource>(
+        "src", a, std::vector<Flit>{makeFlit(1), makeFlit(2)});
+    sim.make<EchoThroughMemory>("echo", port, a, b);
+    auto *sink = sim.make<test::VectorSink>("sink", b);
+    uint64_t cycles = sim.run();
+    EXPECT_EQ(sink->collected().size(), 2u);
+    EXPECT_GT(cycles, 120'000u); // two sequential 60k-cycle reads
+}
+
+TEST(Simulator, FastForwardMatchesCycleByCycle)
+{
+    // Same design, fast-forward on vs off: simulated cycle counts and
+    // every aggregated statistic must be bit-identical.
+    auto run_once = [] {
+        MemoryConfig cfg;
+        cfg.latencyCycles = 300;
+        Simulator sim(cfg);
+        auto *a = sim.makeQueue("a", 2);
+        auto *b = sim.makeQueue("b", 2);
+        auto *port = sim.memory().makePort(0);
+        std::vector<Flit> flits;
+        for (int i = 0; i < 20; ++i)
+            flits.push_back(makeFlit(i));
+        sim.make<test::VectorSource>("src", a, flits);
+        sim.make<EchoThroughMemory>("echo", port, a, b);
+        sim.make<test::VectorSink>("sink", b);
+        sim.run();
+        return sim.collectStats().counters();
+    };
+    auto fast = run_once();
+    ::setenv("GENESIS_SIM_NO_FASTFORWARD", "1", 1);
+    auto slow = run_once();
+    ::unsetenv("GENESIS_SIM_NO_FASTFORWARD");
+    EXPECT_EQ(fast, slow);
+    EXPECT_GT(fast.at("cycles"), 6'000u); // 20 reads x 300+ cycles
 }
 
 TEST(Simulator, CollectStatsAggregates)
