@@ -14,10 +14,16 @@
  *
  * Output is one JSON object per line so CI and scripts can trend the
  * numbers (host Mcycles/s and simulated cycles per wall second).
+ *
+ * Pass `--trace out.json` to also capture a cycle trace of the
+ * synthetic scenario (Chrome trace-event JSON for Perfetto). The traced
+ * run is timed separately so the untraced numbers stay comparable.
  */
 
 #include <cinttypes>
+#include <cstring>
 
+#include "base/trace.h"
 #include "bench_common.h"
 #include "core/example_accel.h"
 #include "sim/scheduler.h"
@@ -173,11 +179,14 @@ printResult(const char *scenario, uint64_t cycles, double seconds)
 }
 
 uint64_t
-runSynthetic(uint64_t flits, uint64_t stride)
+runSynthetic(uint64_t flits, uint64_t stride,
+             TraceSink *trace = nullptr)
 {
     sim::MemoryConfig mem;
     mem.latencyCycles = 400; // long tail: fast-forward territory
     sim::Simulator simulator(mem);
+    if (trace)
+        simulator.attachTrace(trace, "synthetic");
     auto *a = simulator.makeQueue("a", 8);
     auto *b = simulator.makeQueue("b", 8);
     auto *port = simulator.memory().makePort(0);
@@ -190,16 +199,46 @@ runSynthetic(uint64_t flits, uint64_t stride)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace out.json]\n", argv[0]);
+            return 2;
+        }
+    }
+
     // Pure simulator-core throughput, no genomics payload.
+    constexpr uint64_t kFlits = 200'000;
+    constexpr uint64_t kStride = 4;
     {
-        constexpr uint64_t kFlits = 200'000;
-        constexpr uint64_t kStride = 4;
         uint64_t cycles = 0;
         double seconds = bench::timeIt(
             [&] { cycles = runSynthetic(kFlits, kStride); });
         printResult("synthetic", cycles, seconds);
+    }
+
+    // Same scenario with tracing enabled: quantifies observer cost and
+    // produces a trace file for Perfetto.
+    if (trace_path) {
+        TraceSink trace;
+        uint64_t cycles = 0;
+        double seconds = bench::timeIt([&] {
+            cycles = runSynthetic(kFlits, kStride, &trace);
+        });
+        printResult("synthetic_traced", cycles, seconds);
+        trace.finish();
+        if (!trace.writeJsonFile(trace_path)) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         trace_path);
+            return 1;
+        }
+        std::fprintf(stderr, "trace written to %s\n%s", trace_path,
+                     trace.utilizationSummary().c_str());
     }
 
     // A full accelerator design, same workload the other benches use.

@@ -9,11 +9,17 @@
  * accelerator's host/communication/accelerator timing split.
  *
  * Build and run:  ./build/examples/preprocess_pipeline
+ *
+ * Pass `--trace out.json` to capture a cycle-accurate activity trace of
+ * the three accelerators (Chrome trace-event JSON, loadable in Perfetto
+ * or chrome://tracing) and print a per-module utilization summary.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
+#include "base/trace.h"
 #include "core/bqsr_accel.h"
 #include "core/markdup_accel.h"
 #include "core/metadata_accel.h"
@@ -24,8 +30,20 @@
 using namespace genesis;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace out.json]\n", argv[0]);
+            return 2;
+        }
+    }
+    TraceSink trace;
+
     // A small whole "genome" with two chromosomes.
     genome::SyntheticGenomeConfig gcfg;
     gcfg.numChromosomes = 2;
@@ -52,6 +70,10 @@ main()
 
     core::MarkDupAccelConfig md_cfg;
     md_cfg.numPipelines = 8;
+    if (trace_path) {
+        md_cfg.runtime.trace = &trace;
+        md_cfg.runtime.traceLabel = "markdup";
+    }
     auto md = core::MarkDupAccelerator(md_cfg).run(hw_reads);
     std::printf("\nMark Duplicates accelerator\n  %s\n  %lld duplicates "
                 "marked across %lld sets\n",
@@ -62,6 +84,10 @@ main()
     core::MetadataAccelConfig mu_cfg;
     mu_cfg.numPipelines = 8;
     mu_cfg.psize = 65'536;
+    if (trace_path) {
+        mu_cfg.runtime.trace = &trace;
+        mu_cfg.runtime.traceLabel = "metadata";
+    }
     auto mu = core::MetadataAccelerator(mu_cfg).run(hw_reads, genome);
     std::printf("\nMetadata Update accelerator\n  %s\n  %lld reads "
                 "tagged over %llu batches (%llu cycles)\n",
@@ -73,6 +99,10 @@ main()
     core::BqsrAccelConfig bq_cfg;
     bq_cfg.numPipelines = 8;
     bq_cfg.psize = 65'536;
+    if (trace_path) {
+        bq_cfg.runtime.trace = &trace;
+        bq_cfg.runtime.traceLabel = "bqsr";
+    }
     auto bq = core::BqsrAccelerator(bq_cfg).run(hw_reads, genome);
     std::printf("\nBQSR (covariate construction) accelerator\n  %s\n"
                 "  %lld observations, %lld empirical errors\n",
@@ -97,6 +127,18 @@ main()
     }
     std::printf("\naccelerated vs software outputs: %s\n",
                 ok ? "identical" : "MISMATCH");
+
+    if (trace_path) {
+        trace.finish();
+        if (!trace.writeJsonFile(trace_path)) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         trace_path);
+            return 1;
+        }
+        std::printf("\ntrace written to %s "
+                    "(load in https://ui.perfetto.dev)\n%s",
+                    trace_path, trace.utilizationSummary().c_str());
+    }
 
     // A taste of the final SAM output.
     std::ostringstream sam;

@@ -1,0 +1,505 @@
+#include "base/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace genesis {
+
+namespace {
+
+/** Escape a string for inclusion inside a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+traceArgs(const char *k0, uint64_t v0)
+{
+    return strfmt("{\"%s\":%llu}", k0,
+                  static_cast<unsigned long long>(v0));
+}
+
+std::string
+traceArgs(const char *k0, uint64_t v0, const char *k1, uint64_t v1)
+{
+    return strfmt("{\"%s\":%llu,\"%s\":%llu}", k0,
+                  static_cast<unsigned long long>(v0), k1,
+                  static_cast<unsigned long long>(v1));
+}
+
+std::string
+traceArgs(const char *k0, uint64_t v0, const char *k1, uint64_t v1,
+          const char *k2, uint64_t v2)
+{
+    return strfmt("{\"%s\":%llu,\"%s\":%llu,\"%s\":%llu}", k0,
+                  static_cast<unsigned long long>(v0), k1,
+                  static_cast<unsigned long long>(v1), k2,
+                  static_cast<unsigned long long>(v2));
+}
+
+TraceSink::TraceSink()
+{
+    // Pre-intern the fixed states so their ids are compile-time known.
+    StateId idle = internState("idle");
+    StateId busy = internState("busy");
+    GENESIS_ASSERT(idle == kStateIdle && busy == kStateBusy,
+                   "state table must start with idle, busy");
+}
+
+int
+TraceSink::beginProcess(const std::string &name)
+{
+    int count = ++processNameCounts_[name];
+    std::string unique =
+        count == 1 ? name : name + "#" + std::to_string(count);
+    processes_.push_back(unique);
+    tracksPerProcess_.push_back(0);
+    return static_cast<int>(processes_.size()) - 1;
+}
+
+int
+TraceSink::addTrack(int pid, const std::string &name, TrackKind kind)
+{
+    GENESIS_ASSERT(pid >= 0 &&
+                       static_cast<size_t>(pid) < processes_.size(),
+                   "track added to unknown process %d", pid);
+    Track track;
+    track.pid = pid;
+    track.tid = tracksPerProcess_[static_cast<size_t>(pid)]++;
+    track.name = name;
+    track.kind = kind;
+    tracks_.push_back(std::move(track));
+    return static_cast<int>(tracks_.size()) - 1;
+}
+
+int
+TraceSink::addSpanTrack(int pid, const std::string &name)
+{
+    return addTrack(pid, name, TrackKind::Span);
+}
+
+int
+TraceSink::addCounterTrack(int pid, const std::string &name)
+{
+    return addTrack(pid, name, TrackKind::CounterTrack);
+}
+
+int
+TraceSink::addAsyncTrack(int pid, const std::string &name)
+{
+    return addTrack(pid, name, TrackKind::Async);
+}
+
+TraceSink::StateId
+TraceSink::internState(const std::string &name)
+{
+    auto it = stateIds_.find(name);
+    if (it != stateIds_.end())
+        return it->second;
+    StateId id = static_cast<StateId>(states_.size());
+    states_.push_back(name);
+    stateIds_.emplace(name, id);
+    return id;
+}
+
+const std::string &
+TraceSink::stateName(StateId id) const
+{
+    GENESIS_ASSERT(id < states_.size(), "unknown state id %u", id);
+    return states_[id];
+}
+
+const std::string &
+TraceSink::trackName(int track) const
+{
+    GENESIS_ASSERT(track >= 0 &&
+                       static_cast<size_t>(track) < tracks_.size(),
+                   "unknown track %d", track);
+    return tracks_[static_cast<size_t>(track)].name;
+}
+
+const std::string &
+TraceSink::trackProcess(int track) const
+{
+    GENESIS_ASSERT(track >= 0 &&
+                       static_cast<size_t>(track) < tracks_.size(),
+                   "unknown track %d", track);
+    return processes_[static_cast<size_t>(
+        tracks_[static_cast<size_t>(track)].pid)];
+}
+
+int
+TraceSink::statePriority(StateId s)
+{
+    if (s == kStateBusy)
+        return 2;
+    if (s == kStateIdle)
+        return 0;
+    return 1; // stall reasons
+}
+
+void
+TraceSink::openSpan(Track &track, uint64_t cycle, StateId state)
+{
+    // Materialize the idle gap since the previous span (or since cycle
+    // 0 for a track that was idle from the start).
+    if (cycle > track.lastEnd) {
+        spans_.push_back(Span{
+            static_cast<int>(&track - tracks_.data()), kStateIdle,
+            track.lastEnd, cycle});
+    }
+    track.open = true;
+    track.state = state;
+    track.spanBegin = cycle;
+    track.spanEnd = cycle + 1;
+}
+
+void
+TraceSink::closeSpan(int track_index)
+{
+    Track &track = tracks_[static_cast<size_t>(track_index)];
+    spans_.push_back(
+        Span{track_index, track.state, track.spanBegin, track.spanEnd});
+    track.lastEnd = track.spanEnd;
+    track.open = false;
+}
+
+void
+TraceSink::mark(int track_index, uint64_t cycle, StateId state)
+{
+    Track &track = tracks_[static_cast<size_t>(track_index)];
+    if (!track.open) {
+        openSpan(track, cycle, state);
+        return;
+    }
+    if (cycle >= track.spanEnd) {
+        if (state == track.state && cycle == track.spanEnd) {
+            track.spanEnd = cycle + 1; // contiguous same-state cycle
+            return;
+        }
+        closeSpan(track_index);
+        openSpan(track, cycle, state);
+        return;
+    }
+    // Re-mark of the cycle already covered by the open span: keep the
+    // most significant state (busy > stall > idle).
+    if (statePriority(state) <= statePriority(track.state))
+        return;
+    if (track.spanBegin == track.spanEnd - 1) {
+        track.state = state; // single-cycle span: relabel in place
+        return;
+    }
+    // Split: earlier cycles keep the old state, this cycle upgrades.
+    uint64_t end = track.spanEnd;
+    track.spanEnd = end - 1;
+    closeSpan(track_index);
+    track.open = true;
+    track.state = state;
+    track.spanBegin = end - 1;
+    track.spanEnd = end;
+}
+
+void
+TraceSink::span(int track_index, StateId state, uint64_t begin,
+                uint64_t end)
+{
+    if (end <= begin)
+        return;
+    spans_.push_back(Span{track_index, state, begin, end});
+    Track &track = tracks_[static_cast<size_t>(track_index)];
+    track.lastEnd = std::max(track.lastEnd, end);
+}
+
+void
+TraceSink::counter(int track_index, uint64_t cycle, uint64_t value)
+{
+    Track &track = tracks_[static_cast<size_t>(track_index)];
+    if (track.lastValue == value)
+        return;
+    track.lastValue = value;
+    if (track.lastSampleCycle != ~0ull &&
+        cycle < track.lastSampleCycle + counterInterval_) {
+        // Within the sampling interval: hold the newest value back; the
+        // next due sample or finish() flushes it.
+        track.pendingValue = value;
+        track.pendingCycle = cycle;
+        track.pendingDirty = true;
+        return;
+    }
+    track.lastSampleCycle = cycle;
+    track.pendingDirty = false;
+    Event ev;
+    ev.kind = EventKind::Counter;
+    ev.track = track_index;
+    ev.cycle = cycle;
+    ev.value = value;
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceSink::asyncBegin(int track, uint64_t id, uint64_t cycle, StateId name,
+                      std::string args)
+{
+    events_.push_back(Event{EventKind::AsyncBegin, track, cycle, id, 0,
+                            name, std::move(args)});
+}
+
+void
+TraceSink::asyncInstant(int track, uint64_t id, uint64_t cycle,
+                        StateId name, std::string args)
+{
+    events_.push_back(Event{EventKind::AsyncInstant, track, cycle, id, 0,
+                            name, std::move(args)});
+}
+
+void
+TraceSink::asyncEnd(int track, uint64_t id, uint64_t cycle, StateId name)
+{
+    events_.push_back(
+        Event{EventKind::AsyncEnd, track, cycle, id, 0, name, {}});
+}
+
+void
+TraceSink::instant(int track, uint64_t cycle, StateId name,
+                   std::string args)
+{
+    events_.push_back(Event{EventKind::Instant, track, cycle, 0, 0, name,
+                            std::move(args)});
+}
+
+void
+TraceSink::creditSkipped(uint64_t open_end, uint64_t extra)
+{
+    for (auto &track : tracks_) {
+        if (track.open && track.spanEnd == open_end)
+            track.spanEnd += extra;
+    }
+}
+
+void
+TraceSink::finish()
+{
+    for (size_t i = 0; i < tracks_.size(); ++i) {
+        Track &track = tracks_[i];
+        if (track.open)
+            closeSpan(static_cast<int>(i));
+        if (track.pendingDirty) {
+            // Flush the last counter value held back by the sampling
+            // interval so every track ends on its true final value.
+            track.pendingDirty = false;
+            Event ev;
+            ev.kind = EventKind::Counter;
+            ev.track = static_cast<int>(i);
+            ev.cycle = track.pendingCycle;
+            ev.value = track.pendingValue;
+            events_.push_back(std::move(ev));
+        }
+    }
+    finished_ = true;
+}
+
+uint64_t
+TraceSink::stateCycles(int track, StateId state) const
+{
+    uint64_t total = 0;
+    for (const auto &span : spans_) {
+        if (span.track == track && span.state == state)
+            total += span.end - span.begin;
+    }
+    return total;
+}
+
+void
+TraceSink::writeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Metadata: process and thread names.
+    for (size_t pid = 0; pid < processes_.size(); ++pid) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+           << ",\"args\":{\"name\":\"" << jsonEscape(processes_[pid])
+           << "\"}}";
+    }
+    for (const auto &track : tracks_) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
+           << track.pid << ",\"tid\":" << track.tid
+           << ",\"args\":{\"name\":\"" << jsonEscape(track.name)
+           << "\"}}";
+    }
+
+    for (const auto &span : spans_) {
+        // Idle is the absence of a span in the viewer; emitting the
+        // synthesized idle spans would only bloat the file.
+        if (span.state == kStateIdle)
+            continue;
+        const Track &track = tracks_[static_cast<size_t>(span.track)];
+        sep();
+        os << "{\"ph\":\"X\",\"name\":\""
+           << jsonEscape(states_[span.state]) << "\",\"pid\":"
+           << track.pid << ",\"tid\":" << track.tid << ",\"ts\":"
+           << span.begin << ",\"dur\":" << span.end - span.begin << "}";
+    }
+
+    for (const auto &ev : events_) {
+        const Track &track = tracks_[static_cast<size_t>(ev.track)];
+        sep();
+        switch (ev.kind) {
+          case EventKind::Counter:
+            os << "{\"ph\":\"C\",\"name\":\"" << jsonEscape(track.name)
+               << "\",\"pid\":" << track.pid << ",\"tid\":" << track.tid
+               << ",\"ts\":" << ev.cycle << ",\"args\":{\"value\":"
+               << ev.value << "}}";
+            break;
+          case EventKind::AsyncBegin:
+          case EventKind::AsyncInstant:
+          case EventKind::AsyncEnd: {
+            const char *ph = ev.kind == EventKind::AsyncBegin ? "b"
+                : ev.kind == EventKind::AsyncInstant            ? "n"
+                                                                : "e";
+            os << "{\"ph\":\"" << ph << "\",\"cat\":\""
+               << jsonEscape(track.name) << "\",\"id\":" << ev.id
+               << ",\"name\":\"" << jsonEscape(states_[ev.name])
+               << "\",\"pid\":" << track.pid << ",\"tid\":" << track.tid
+               << ",\"ts\":" << ev.cycle;
+            if (!ev.args.empty())
+                os << ",\"args\":" << ev.args;
+            os << "}";
+            break;
+          }
+          case EventKind::Instant:
+            os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+               << jsonEscape(states_[ev.name]) << "\",\"pid\":"
+               << track.pid << ",\"tid\":" << track.tid << ",\"ts\":"
+               << ev.cycle;
+            if (!ev.args.empty())
+                os << ",\"args\":" << ev.args;
+            os << "}";
+            break;
+        }
+    }
+    os << "\n]}\n";
+}
+
+bool
+TraceSink::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeJson(out);
+    return static_cast<bool>(out);
+}
+
+std::string
+TraceSink::utilizationSummary() const
+{
+    // Per-track accumulation over closed spans.
+    struct Util {
+        uint64_t busy = 0;
+        std::map<StateId, uint64_t> stalls;
+        bool any = false;
+    };
+    std::vector<Util> utils(tracks_.size());
+    std::vector<uint64_t> horizon(processes_.size(), 0);
+    for (const auto &span : spans_) {
+        Util &u = utils[static_cast<size_t>(span.track)];
+        uint64_t cycles = span.end - span.begin;
+        u.any = true;
+        if (span.state == kStateBusy)
+            u.busy += cycles;
+        else if (span.state != kStateIdle)
+            u.stalls[span.state] += cycles;
+        size_t pid = static_cast<size_t>(
+            tracks_[static_cast<size_t>(span.track)].pid);
+        horizon[pid] = std::max(horizon[pid], span.end);
+    }
+
+    std::ostringstream os;
+    os << strfmt("%-38s %8s %7s %7s %7s  %s\n", "module", "cycles",
+                 "busy%", "stall%", "idle%", "top stall");
+    for (size_t pid = 0; pid < processes_.size(); ++pid) {
+        uint64_t h = horizon[pid];
+        if (h == 0)
+            continue;
+        os << processes_[pid] << ": (" << h << " cycles)\n";
+        for (size_t t = 0; t < tracks_.size(); ++t) {
+            const Track &track = tracks_[t];
+            if (track.pid != static_cast<int>(pid) ||
+                track.kind != TrackKind::Span || !utils[t].any) {
+                continue;
+            }
+            const Util &u = utils[t];
+            uint64_t stall_total = 0;
+            StateId top_stall = kStateIdle;
+            uint64_t top_cycles = 0;
+            for (const auto &[state, cycles] : u.stalls) {
+                stall_total += cycles;
+                if (cycles > top_cycles) {
+                    top_cycles = cycles;
+                    top_stall = state;
+                }
+            }
+            // Everything not spent busy or stalled within the process
+            // horizon is idle — whether recorded as an explicit idle
+            // span or left as a gap (bulk-recorded channel tracks).
+            uint64_t covered = u.busy + stall_total;
+            uint64_t idle = h > covered ? h - covered : 0;
+            auto pct = [h](uint64_t c) {
+                return 100.0 * static_cast<double>(c) /
+                    static_cast<double>(h);
+            };
+            std::string top = top_cycles
+                ? strfmt("%s (%llu)", states_[top_stall].c_str(),
+                         static_cast<unsigned long long>(top_cycles))
+                : std::string("-");
+            os << strfmt("  %-36s %8llu %6.1f%% %6.1f%% %6.1f%%  %s\n",
+                         track.name.c_str(),
+                         static_cast<unsigned long long>(h), pct(u.busy),
+                         pct(stall_total), pct(idle), top.c_str());
+        }
+    }
+    if (spans_.empty())
+        os << "  (no activity recorded)\n";
+    return os.str();
+}
+
+} // namespace genesis

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Cycle-accurate tracing sink for the simulator.
+ *
+ * A TraceSink collects three kinds of timeline data from one or more
+ * simulated designs:
+ *
+ *  - activity spans: per-module busy / stall-reason / idle intervals,
+ *    coalesced from per-cycle marks (consecutive same-state cycles become
+ *    one span; gaps between spans are synthesized as explicit idle
+ *    spans, which is also how fast-forwarded cycle ranges appear);
+ *  - counter samples: e.g. hardware-queue occupancy and cumulative
+ *    scratchpad accesses, recorded only when the value changes;
+ *  - async request lifetimes: memory requests from issue through
+ *    arbitration (schedule) to retirement, matched by id.
+ *
+ * The collected data exports as Chrome trace-event JSON, loadable in
+ * Perfetto (https://ui.perfetto.dev) or chrome://tracing, with one
+ * "process" per traced design and one "thread" per module, channel or
+ * queue. Timestamps are simulated cycles (displayed as microseconds).
+ * utilizationSummary() renders the same data as a per-module table of
+ * busy / stall / idle shares.
+ *
+ * Tracing never feeds back into simulation: instrumentation points only
+ * read simulator state, so cycle counts and statistics are bit-identical
+ * with tracing on or off. All hooks sit behind an inlined null-pointer
+ * check, so a disabled trace costs one predictable branch.
+ *
+ * A TraceSink is single-writer: at most one running simulator may record
+ * into it at a time (sequential sessions may share one sink).
+ */
+
+#ifndef GENESIS_BASE_TRACE_H
+#define GENESIS_BASE_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace genesis {
+
+/** Collects activity spans, counter samples and async event lifetimes. */
+class TraceSink
+{
+  public:
+    /** Interned id of one span state ("busy", "stall.memory", ...). */
+    using StateId = uint32_t;
+    /** The synthesized between-activity state. */
+    static constexpr StateId kStateIdle = 0;
+    /** The state marked by productive module cycles. */
+    static constexpr StateId kStateBusy = 1;
+
+    /** One closed activity span on a track, in cycles [begin, end). */
+    struct Span {
+        int track = 0;
+        StateId state = kStateIdle;
+        uint64_t begin = 0;
+        uint64_t end = 0;
+    };
+
+    TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    // --- setup ----------------------------------------------------------
+
+    /**
+     * Register a traced design ("process" in the trace). Duplicate names
+     * get a "#<n>" suffix so sequential batches stay distinguishable.
+     * @return the process id for addXxxTrack calls
+     */
+    int beginProcess(const std::string &name);
+
+    /** Create a span track (one module's activity timeline). */
+    int addSpanTrack(int pid, const std::string &name);
+
+    /** Create a counter track (occupancy / cumulative-count samples). */
+    int addCounterTrack(int pid, const std::string &name);
+
+    /** Create a track hosting async (id-matched) events. */
+    int addAsyncTrack(int pid, const std::string &name);
+
+    /** Intern a state / event-name string. Stable for the sink's life. */
+    StateId internState(const std::string &name);
+
+    const std::string &stateName(StateId id) const;
+    const std::string &trackName(int track) const;
+    /** @return the process name a track belongs to. */
+    const std::string &trackProcess(int track) const;
+
+    // --- recording (hot path) -------------------------------------------
+
+    /**
+     * Mark that `track` spent `cycle` in `state`. Consecutive same-state
+     * cycles coalesce; a gap since the previous span synthesizes an idle
+     * span. When several states are marked for the same cycle the most
+     * significant wins (busy > stall reasons > idle).
+     */
+    void mark(int track, uint64_t cycle, StateId state);
+
+    /** Record a whole span [begin, end) directly (bulk recording). */
+    void span(int track, StateId state, uint64_t begin, uint64_t end);
+
+    /**
+     * Record a counter sample. Consecutive equal values are dropped,
+     * and each track emits at most one sample per counterInterval()
+     * cycles (the newest value in between is held back and flushed by
+     * the next due sample or by finish()), which keeps high-frequency
+     * counters — queue occupancy, SPM accesses — from dominating the
+     * trace file.
+     */
+    void counter(int track, uint64_t cycle, uint64_t value);
+
+    /** Minimum cycles between samples on one counter track. */
+    uint64_t counterInterval() const { return counterInterval_; }
+
+    /** Set the counter sampling interval (1 = record every change). */
+    void setCounterInterval(uint64_t cycles)
+    {
+        counterInterval_ = cycles ? cycles : 1;
+    }
+
+    /** @return a fresh id for one async lifetime (issue..retire). */
+    uint64_t newAsyncId() { return nextAsyncId_++; }
+
+    /** Open an async lifetime. `args` is a rendered JSON object or "". */
+    void asyncBegin(int track, uint64_t id, uint64_t cycle, StateId name,
+                    std::string args = std::string());
+
+    /** Record a point within an async lifetime. */
+    void asyncInstant(int track, uint64_t id, uint64_t cycle, StateId name,
+                      std::string args = std::string());
+
+    /** Close an async lifetime (name must match asyncBegin's). */
+    void asyncEnd(int track, uint64_t id, uint64_t cycle, StateId name);
+
+    /** Record a free-standing instant event on a track. */
+    void instant(int track, uint64_t cycle, StateId name,
+                 std::string args = std::string());
+
+    /**
+     * Extend every span still open through cycle `open_end` (exclusive)
+     * by `extra` cycles. The simulator calls this when fast-forwarding a
+     * provably idle region after sampling one representative cycle: the
+     * sampled cycle's states repeat verbatim, so open spans grow in bulk
+     * and tracks that were idle keep accumulating (implicit) idle time.
+     */
+    void creditSkipped(uint64_t open_end, uint64_t extra);
+
+    // --- export ---------------------------------------------------------
+
+    /** Close all open spans. Call once after the last simulation. */
+    void finish();
+
+    /** Write Chrome trace-event JSON (finish() first). */
+    void writeJson(std::ostream &os) const;
+
+    /** Write JSON to a file. @return false when the file can't open. */
+    bool writeJsonFile(const std::string &path) const;
+
+    /**
+     * Render the per-module utilization table: busy / stall / idle
+     * percentages (of the owning process's traced horizon) and the
+     * dominant stall reason. Spans only; call finish() first.
+     */
+    std::string utilizationSummary() const;
+
+    // --- introspection (tests, summaries) -------------------------------
+
+    const std::vector<Span> &spans() const { return spans_; }
+    size_t numEvents() const { return events_.size(); }
+    size_t numProcesses() const { return processes_.size(); }
+
+    /** @return total cycles a track spent in a state (closed spans). */
+    uint64_t stateCycles(int track, StateId state) const;
+
+  private:
+    enum class EventKind : uint8_t {
+        Counter,
+        AsyncBegin,
+        AsyncInstant,
+        AsyncEnd,
+        Instant,
+    };
+
+    struct Event {
+        EventKind kind = EventKind::Counter;
+        int track = 0;
+        uint64_t cycle = 0;
+        uint64_t id = 0;
+        uint64_t value = 0;
+        StateId name = 0;
+        std::string args;
+    };
+
+    enum class TrackKind : uint8_t { Span, CounterTrack, Async };
+
+    struct Track {
+        int pid = 0;
+        int tid = 0;
+        std::string name;
+        TrackKind kind = TrackKind::Span;
+        // Open-span state (span tracks only).
+        bool open = false;
+        StateId state = kStateIdle;
+        uint64_t spanBegin = 0;
+        uint64_t spanEnd = 0; ///< exclusive; last marked cycle + 1
+        /** End of the last recorded span (for idle-gap synthesis). */
+        uint64_t lastEnd = 0;
+        /** Last counter value (counter tracks; sentinel = none yet). */
+        uint64_t lastValue = ~0ull;
+        /** Cycle of the last emitted sample (sentinel = none yet). */
+        uint64_t lastSampleCycle = ~0ull;
+        /** Newest value held back by the sampling interval. */
+        uint64_t pendingValue = 0;
+        uint64_t pendingCycle = 0;
+        bool pendingDirty = false;
+    };
+
+    /** Significance order for same-cycle re-marks. */
+    static int statePriority(StateId s);
+
+    int addTrack(int pid, const std::string &name, TrackKind kind);
+    void openSpan(Track &track, uint64_t cycle, StateId state);
+    void closeSpan(int track_index);
+
+    std::vector<std::string> processes_;
+    std::map<std::string, int> processNameCounts_;
+    std::vector<Track> tracks_;
+    std::vector<int> tracksPerProcess_; ///< next tid per pid
+    std::vector<std::string> states_;
+    std::map<std::string, StateId> stateIds_;
+    std::vector<Span> spans_;
+    std::vector<Event> events_;
+    uint64_t nextAsyncId_ = 1;
+    uint64_t counterInterval_ = 64;
+    bool finished_ = false;
+};
+
+/** Render {"k0":v0} / {"k0":v0,"k1":v1} argument objects for events. */
+std::string traceArgs(const char *k0, uint64_t v0);
+std::string traceArgs(const char *k0, uint64_t v0, const char *k1,
+                      uint64_t v1);
+std::string traceArgs(const char *k0, uint64_t v0, const char *k1,
+                      uint64_t v1, const char *k2, uint64_t v2);
+
+} // namespace genesis
+
+#endif // GENESIS_BASE_TRACE_H

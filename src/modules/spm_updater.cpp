@@ -68,11 +68,22 @@ SpmUpdater::tick()
         for (const auto &stage : stages_) {
             if (stage && stage->addr == addr) {
                 countStall(stallRmwHazard_);
+                // One instant per held flit, tagged with the conflicting
+                // address, so traces show each interlock engagement.
+                if (!hazardTraced_ && traceSink()) {
+                    if (hazardState_ == 0) {
+                        hazardState_ =
+                            traceSink()->internState("rmw_hazard");
+                    }
+                    traceInstant(hazardState_, traceArgs("addr", addr));
+                    hazardTraced_ = true;
+                }
                 return;
             }
         }
         Flit flit = in_->pop();
         stages_[0] = Stage{addr, 0, flit};
+        hazardTraced_ = false;
         countFlit();
         return;
     }

@@ -65,6 +65,10 @@ class SpmUpdater : public sim::Module
   private:
     /** Interned stall-reason counters (see Module). */
     StatHandle stallRmwHazard_ = stallCounter("rmw_hazard");
+    /** Interned trace state for hazard instants (0 = not yet). */
+    TraceSink::StateId hazardState_ = 0;
+    /** One trace instant per held flit, not per stalled cycle. */
+    bool hazardTraced_ = false;
 
     struct Stage {
         size_t addr = 0;

@@ -45,6 +45,8 @@ AcceleratorSession::AcceleratorSession(const RuntimeConfig &config)
 {
     if (config_.clockHz <= 0)
         fatal("accelerator clock must be positive");
+    if (config_.trace)
+        sim_->attachTrace(config_.trace, config_.traceLabel);
 }
 
 AcceleratorSession::~AcceleratorSession()
@@ -160,6 +162,7 @@ struct ImageState {
     RuntimeConfig config;
     std::vector<PipelineSlot> slots;
     bool loaded = false;
+    TraceSink *trace = nullptr;
 };
 
 ImageState &
@@ -231,6 +234,7 @@ genesis_unload_image()
     state.slots.clear();
     state.builder = nullptr;
     state.loaded = false;
+    state.trace = nullptr;
 }
 
 void
@@ -250,6 +254,10 @@ run_genesis(int pipelineID)
     ImageState &state = imageState();
     PipelineSlot &slot = slotFor(pipelineID);
     slot.session = std::make_unique<AcceleratorSession>(state.config);
+    if (state.trace) {
+        slot.session->attachTrace(
+            state.trace, "pipeline" + std::to_string(pipelineID));
+    }
 
     auto input = [&slot](const std::string &colname)
         -> modules::ColumnBuffer * {
@@ -318,6 +326,12 @@ genesis_flush(int pipelineID)
             }
         }
     }
+}
+
+void
+genesis_trace(TraceSink *sink)
+{
+    imageState().trace = sink;
 }
 
 TimingBreakdown

@@ -37,6 +37,17 @@ struct RuntimeConfig {
     double clockHz = 250e6;
     DmaConfig dma = DmaConfig::pcie3();
     sim::MemoryConfig memory;
+    /**
+     * When set, every session built from this config records its
+     * simulation into this sink (one trace process per session, named
+     * `traceLabel`). The sink must outlive the sessions and is written
+     * by at most one running session at a time — sequential batches
+     * are fine, concurrent sessions need separate sinks. Tracing never
+     * changes simulated cycles or statistics.
+     */
+    TraceSink *trace = nullptr;
+    /** Trace process label for sessions built from this config. */
+    std::string traceLabel = "accel";
 };
 
 /** Host / communication / accelerator runtime split (Figure 13(b)). */
@@ -95,6 +106,16 @@ class AcceleratorSession
 
     /** genesis_flush: DMA an output buffer back; returns it. */
     const modules::ColumnBuffer *flush(const std::string &colname);
+
+    /**
+     * Record this session's simulation into `sink` as one trace process
+     * named `label`. Call before start(); overrides any sink inherited
+     * from RuntimeConfig::trace.
+     */
+    void attachTrace(TraceSink *sink, const std::string &label)
+    {
+        sim_->attachTrace(sink, label);
+    }
 
     /** Account host-side work time explicitly. */
     void addHostSeconds(double seconds) { timing_.hostSeconds += seconds; }
@@ -174,6 +195,14 @@ void genesis_flush(int pipelineID);
 
 /** @return the timing ledger of a pipeline (for reporting). */
 TimingBreakdown genesis_timing(int pipelineID);
+
+/**
+ * Record every subsequently run pipeline into `sink` (one trace process
+ * per run_genesis call, named "pipeline<id>"). Pass nullptr to disable.
+ * The sink must outlive the loaded image; export it after genesis_flush
+ * / wait_genesis via TraceSink::finish() + writeJsonFile().
+ */
+void genesis_trace(TraceSink *sink);
 
 } // namespace genesis::runtime
 

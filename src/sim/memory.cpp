@@ -21,6 +21,12 @@ MemoryPort::issue(uint64_t addr, uint32_t bytes, bool is_write)
     req.addr = addr;
     req.bytes = bytes;
     req.isWrite = is_write;
+    if (trace_) {
+        req.traceId = trace_->newAsyncId();
+        trace_->asyncBegin(traceTrack_, req.traceId, *traceCycle_,
+                           is_write ? stateWrite_ : stateRead_,
+                           traceArgs("addr", addr, "bytes", bytes));
+    }
     pending_.push_back(req);
     if (progress_)
         ++*progress_;
@@ -53,6 +59,32 @@ MemorySystem::attachProgress(uint64_t *counter)
         port->progress_ = counter;
 }
 
+void
+MemorySystem::attachPortTrace(MemoryPort &port)
+{
+    port.trace_ = trace_;
+    port.traceCycle_ = &cycle_;
+    port.traceTrack_ = trace_->addAsyncTrack(
+        tracePid_, "mem.port" + std::to_string(port.id_));
+    port.stateRead_ = trace_->internState("read");
+    port.stateWrite_ = trace_->internState("write");
+}
+
+void
+MemorySystem::attachTrace(TraceSink *sink, int pid)
+{
+    trace_ = sink;
+    tracePid_ = pid;
+    stateSchedule_ = sink->internState("schedule");
+    channelTracks_.clear();
+    for (int ch = 0; ch < config_.numChannels; ++ch) {
+        channelTracks_.push_back(
+            sink->addSpanTrack(pid, "mem.ch" + std::to_string(ch)));
+    }
+    for (auto &port : ports_)
+        attachPortTrace(*port);
+}
+
 MemoryPort *
 MemorySystem::makePort(int local_group)
 {
@@ -63,6 +95,8 @@ MemorySystem::makePort(int local_group)
         std::unique_ptr<MemoryPort>(new MemoryPort(id, local_group));
     port->queueDepth_ = config_.portQueueDepth;
     port->progress_ = progress_;
+    if (trace_)
+        attachPortTrace(*port);
     ports_.push_back(std::move(port));
 
     size_t num_groups = static_cast<size_t>(local_group) + 1;
@@ -153,6 +187,16 @@ MemorySystem::tick()
         *(req.isWrite ? writeBytes_ : readBytes_) += req.bytes;
         *channelBusyCycles_ += transfer_cycles;
         ++*progress_; // scheduling is architectural progress
+        if (trace_) {
+            trace_->asyncInstant(
+                ports_[port_idx]->traceTrack_, req.traceId, cycle_,
+                stateSchedule_,
+                traceArgs("channel", static_cast<uint64_t>(ch),
+                          "transfer_cycles", transfer_cycles));
+            trace_->span(channelTracks_[static_cast<size_t>(ch)],
+                         TraceSink::kStateBusy, cycle_,
+                         cycle_ + transfer_cycles);
+        }
     }
 
     // Retire completions in issue order per port.
@@ -165,6 +209,11 @@ MemorySystem::tick()
                 port->retiredWriteBytes_ += head.bytes;
             else
                 port->completedReadBytes_ += head.bytes;
+            if (trace_) {
+                trace_->asyncEnd(port->traceTrack_, head.traceId, cycle_,
+                                 head.isWrite ? port->stateWrite_
+                                              : port->stateRead_);
+            }
             port->pending_.pop_front();
             ++*progress_; // retiring is architectural progress
         }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "base/stats.h"
+#include "base/trace.h"
 #include "sim/arbiter.h"
 
 namespace genesis::sim {
@@ -84,6 +85,8 @@ class MemoryPort
         bool isWrite = false;
         bool scheduled = false;
         uint64_t completeCycle = 0;
+        /** Async-lifetime id when tracing (0 = untraced). */
+        uint64_t traceId = 0;
     };
 
     MemoryPort(int id, int group) : id_(id), group_(group) {}
@@ -96,6 +99,12 @@ class MemoryPort
     uint64_t retiredWriteBytes_ = 0;
     /** Owning MemorySystem's progress counter (issue() bumps it). */
     uint64_t *progress_ = nullptr;
+    /** Tracing attachment (set by MemorySystem::attachTrace). */
+    TraceSink *trace_ = nullptr;
+    const uint64_t *traceCycle_ = nullptr;
+    int traceTrack_ = -1;
+    TraceSink::StateId stateRead_ = 0;
+    TraceSink::StateId stateWrite_ = 0;
 };
 
 /** The timing model proper. */
@@ -145,6 +154,14 @@ class MemorySystem
     /** Redirect progress reporting to a simulator-owned counter. */
     void attachProgress(uint64_t *counter);
 
+    /**
+     * Record memory activity into `sink` under process `pid`: one async
+     * track per port carrying each request's issue -> schedule -> retire
+     * lifetime, and one span track per channel showing data-bus busy
+     * intervals. Covers existing and subsequently created ports.
+     */
+    void attachTrace(TraceSink *sink, int pid);
+
     size_t numPorts() const { return ports_.size(); }
     const MemoryPort &port(size_t i) const { return *ports_[i]; }
 
@@ -153,6 +170,7 @@ class MemorySystem
 
   private:
     int channelOf(uint64_t addr) const;
+    void attachPortTrace(MemoryPort &port);
 
     MemoryConfig config_;
     std::vector<std::unique_ptr<MemoryPort>> ports_;
@@ -179,6 +197,11 @@ class MemorySystem
     /** Fallback target so standalone systems work without a Simulator. */
     uint64_t localProgress_ = 0;
     uint64_t *progress_ = &localProgress_;
+    /** Tracing attachment (null = disabled; see attachTrace). */
+    TraceSink *trace_ = nullptr;
+    int tracePid_ = -1;
+    std::vector<int> channelTracks_;
+    TraceSink::StateId stateSchedule_ = 0;
 };
 
 } // namespace genesis::sim

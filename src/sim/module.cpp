@@ -1,0 +1,37 @@
+#include "sim/module.h"
+
+namespace genesis::sim {
+
+void
+Module::attachTrace(TraceSink *sink, const uint64_t *cycle, int pid)
+{
+    trace_ = sink;
+    traceCycle_ = cycle;
+    traceTrack_ = sink->addSpanTrack(pid, name_);
+    stallStates_.clear();
+}
+
+void
+Module::traceStall(StatHandle stall)
+{
+    for (const auto &[handle, state] : stallStates_) {
+        if (handle == stall) {
+            trace_->mark(traceTrack_, *traceCycle_, state);
+            return;
+        }
+    }
+    // First stall through this handle since tracing attached: recover the
+    // counter's name from the registry and intern it as a trace state.
+    std::string name = "stall";
+    for (const auto &[counter_name, value] : stats_.counters()) {
+        if (&value == stall) {
+            name = counter_name;
+            break;
+        }
+    }
+    TraceSink::StateId state = trace_->internState(name);
+    stallStates_.emplace_back(stall, state);
+    trace_->mark(traceTrack_, *traceCycle_, state);
+}
+
+} // namespace genesis::sim

@@ -26,8 +26,11 @@
 #define GENESIS_SIM_MODULE_H
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/stats.h"
+#include "base/trace.h"
 #include "sim/queue.h"
 
 namespace genesis::sim {
@@ -62,6 +65,13 @@ class Module
     /** Redirect progress reporting to a simulator-owned counter. */
     void attachProgress(uint64_t *counter) { progress_ = counter; }
 
+    /**
+     * Start recording this module's activity spans into `sink` (one span
+     * track under process `pid`; `cycle` is the owning simulator's clock).
+     * Tracing hooks cost one inlined null check when never attached.
+     */
+    void attachTrace(TraceSink *sink, const uint64_t *cycle, int pid);
+
   protected:
     /** Intern the counter for one stall-reason bucket ("stall.<reason>").
      *  Call once at construction and keep the handle. */
@@ -78,25 +88,76 @@ class Module
     }
 
     /** Record one stall cycle against an interned reason bucket. */
-    static void countStall(StatHandle stall) { ++*stall; }
+    void
+    countStall(StatHandle stall)
+    {
+        ++*stall;
+        if (trace_)
+            traceStall(stall);
+    }
 
     /** Record one processed flit. */
-    void countFlit() { ++*flits_; }
+    void
+    countFlit()
+    {
+        ++*flits_;
+        if (trace_)
+            trace_->mark(traceTrack_, *traceCycle_, TraceSink::kStateBusy);
+    }
 
     /**
      * Mark this cycle as having made progress. Required whenever tick()
      * changes internal state without staging a queue push/pop/close or a
      * memory-port request (see the progress contract above).
      */
-    void noteProgress() { ++*progress_; }
+    void
+    noteProgress()
+    {
+        ++*progress_;
+        if (trace_)
+            trace_->mark(traceTrack_, *traceCycle_, TraceSink::kStateBusy);
+    }
+
+    /**
+     * Trace-only busy mark for productive cycles that neither process a
+     * flit nor self-report progress (e.g. draining an in-band boundary).
+     * A no-op when tracing is disabled; never affects simulation.
+     */
+    void
+    traceBusy()
+    {
+        if (trace_)
+            trace_->mark(traceTrack_, *traceCycle_, TraceSink::kStateBusy);
+    }
+
+    /** Trace-only instant marker on this module's track. */
+    void
+    traceInstant(TraceSink::StateId name, std::string args)
+    {
+        if (trace_)
+            trace_->instant(traceTrack_, *traceCycle_, name,
+                            std::move(args));
+    }
+
+    /** @return the attached sink (null when tracing is disabled). */
+    TraceSink *traceSink() { return trace_; }
 
   private:
+    /** Slow path: resolve a stall handle to a trace state and mark it. */
+    void traceStall(StatHandle stall);
+
     std::string name_;
     StatRegistry stats_;
     StatHandle flits_ = stats_.counter("flits");
     /** Fallback target so standalone modules work without a Simulator. */
     uint64_t localProgress_ = 0;
     uint64_t *progress_ = &localProgress_;
+    /** Tracing attachment (null = disabled; see attachTrace). */
+    TraceSink *trace_ = nullptr;
+    const uint64_t *traceCycle_ = nullptr;
+    int traceTrack_ = -1;
+    /** Cached stall-handle -> trace-state resolutions. */
+    std::vector<std::pair<StatHandle, TraceSink::StateId>> stallStates_;
 };
 
 } // namespace genesis::sim

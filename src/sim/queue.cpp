@@ -94,6 +94,8 @@ HardwareQueue::commit()
     if (staged) {
         ++*progress_;
         maxOccupancy_ = std::max(maxOccupancy_, buffer_.size());
+        if (trace_)
+            trace_->counter(traceTrack_, *traceCycle_, buffer_.size());
     }
 }
 

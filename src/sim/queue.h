@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "base/trace.h"
 #include "sim/flit.h"
 
 namespace genesis::sim {
@@ -81,6 +82,19 @@ class HardwareQueue
         dirtyList_ = dirty_list;
     }
 
+    /**
+     * Record this queue's occupancy as a counter track under process
+     * `pid` in `sink`, sampled on every committed operation (`cycle` is
+     * the owning simulator's clock). One inlined null check when unused.
+     */
+    void
+    attachTrace(TraceSink *sink, const uint64_t *cycle, int pid)
+    {
+        trace_ = sink;
+        traceCycle_ = cycle;
+        traceTrack_ = sink->addCounterTrack(pid, "queue." + name_);
+    }
+
     // --- statistics ---
     uint64_t totalFlits() const { return totalFlits_; }
     size_t maxOccupancy() const { return maxOccupancy_; }
@@ -114,6 +128,11 @@ class HardwareQueue
 
     uint64_t totalFlits_ = 0;
     size_t maxOccupancy_ = 0;
+
+    /** Tracing attachment (null = disabled; see attachTrace). */
+    TraceSink *trace_ = nullptr;
+    const uint64_t *traceCycle_ = nullptr;
+    int traceTrack_ = -1;
 };
 
 } // namespace genesis::sim

@@ -21,6 +21,8 @@ Simulator::makeQueue(const std::string &name, size_t capacity)
 {
     queues_.push_back(std::make_unique<HardwareQueue>(name, capacity));
     queues_.back()->attachSimulator(&progress_, &dirtyQueues_);
+    if (trace_)
+        queues_.back()->attachTrace(trace_, &cycle_, tracePid_);
     return queues_.back().get();
 }
 
@@ -30,7 +32,23 @@ Simulator::makeScratchpad(const std::string &name, size_t size_words,
 {
     scratchpads_.push_back(
         std::make_unique<Scratchpad>(name, size_words, word_bytes));
+    if (trace_)
+        scratchpads_.back()->attachTrace(trace_, &cycle_, tracePid_);
     return scratchpads_.back().get();
+}
+
+void
+Simulator::attachTrace(TraceSink *sink, const std::string &label)
+{
+    trace_ = sink;
+    tracePid_ = sink->beginProcess(label);
+    for (auto &m : modules_)
+        m->attachTrace(sink, &cycle_, tracePid_);
+    for (auto &q : queues_)
+        q->attachTrace(sink, &cycle_, tracePid_);
+    for (auto &s : scratchpads_)
+        s->attachTrace(sink, &cycle_, tracePid_);
+    memory_.attachTrace(sink, tracePid_);
 }
 
 bool
@@ -145,6 +163,11 @@ Simulator::run(uint64_t max_cycles)
         if (skip == 0)
             continue;
         creditSkippedCycles(skip);
+        // The sampled cycle's trace spans repeat verbatim across the
+        // skipped range: grow them in bulk (cycle_ here is one past the
+        // sampled cycle, i.e. the open spans' exclusive end).
+        if (trace_)
+            trace_->creditSkipped(cycle_, skip);
         cycle_ += skip;
         memory_.fastForward(skip);
         quiet_cycles += skip;

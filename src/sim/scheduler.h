@@ -63,6 +63,8 @@ class Simulator
     {
         T *raw = module.get();
         raw->attachProgress(&progress_);
+        if (trace_)
+            raw->attachTrace(trace_, &cycle_, tracePid_);
         modules_.push_back(std::move(module));
         return raw;
     }
@@ -108,6 +110,20 @@ class Simulator
      */
     uint64_t progress() const { return progress_; }
 
+    /**
+     * Start recording this design's activity into `sink` as one trace
+     * process named `label`: a span track per module, a counter track
+     * per queue and scratchpad, async request lifetimes per memory port
+     * and busy spans per channel. Covers existing and subsequently
+     * created components, and composes with the idle-cycle fast-forward
+     * (skipped spans are credited in bulk). The sink must outlive the
+     * simulator; tracing never changes simulated cycles or statistics.
+     */
+    void attachTrace(TraceSink *sink, const std::string &label);
+
+    /** @return the attached sink (null when tracing is disabled). */
+    TraceSink *trace() { return trace_; }
+
   private:
     /** Snapshot all stat registries (modules, memory, scratchpads). */
     void snapshotStats();
@@ -131,6 +147,9 @@ class Simulator
     bool fastForwardEnabled_ = true;
     /** Scratch buffers for idle-cycle stat sampling. */
     std::vector<StatRegistry> statSnapshots_;
+    /** Tracing attachment (null = disabled; see attachTrace). */
+    TraceSink *trace_ = nullptr;
+    int tracePid_ = -1;
 };
 
 } // namespace genesis::sim

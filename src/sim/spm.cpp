@@ -21,6 +21,8 @@ Scratchpad::read(size_t addr) const
               name_.c_str(), addr, words_.size());
     }
     ++*reads_;
+    if (trace_)
+        traceAccess();
     return words_[addr];
 }
 
@@ -32,6 +34,8 @@ Scratchpad::write(size_t addr, int64_t value)
               name_.c_str(), addr, words_.size());
     }
     ++*writes_;
+    if (trace_)
+        traceAccess();
     words_[addr] = value;
 }
 

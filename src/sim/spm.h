@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "base/stats.h"
+#include "base/trace.h"
 
 namespace genesis::sim {
 
@@ -55,7 +56,32 @@ class Scratchpad
     StatRegistry &stats() { return stats_; }
     const StatRegistry &stats() const { return stats_; }
 
+    /**
+     * Record this scratchpad's cumulative access count as a counter
+     * track under process `pid` in `sink`, sampled at the first access
+     * of each active cycle (`cycle` is the owning simulator's clock).
+     */
+    void
+    attachTrace(TraceSink *sink, const uint64_t *cycle, int pid)
+    {
+        trace_ = sink;
+        traceCycle_ = cycle;
+        traceTrack_ =
+            sink->addCounterTrack(pid, "spm." + name_ + ".accesses");
+        lastTraceCycle_ = ~0ull;
+    }
+
   private:
+    /** Sample the cumulative access counter (at most once per cycle). */
+    void
+    traceAccess() const
+    {
+        if (*traceCycle_ == lastTraceCycle_)
+            return;
+        lastTraceCycle_ = *traceCycle_;
+        trace_->counter(traceTrack_, *traceCycle_, *reads_ + *writes_);
+    }
+
     std::string name_;
     uint32_t wordBytes_;
     std::vector<int64_t> words_;
@@ -63,6 +89,11 @@ class Scratchpad
     /** Interned hot-path stat handles. */
     StatRegistry::Counter reads_ = stats_.counter("reads");
     StatRegistry::Counter writes_ = stats_.counter("writes");
+    /** Tracing attachment (null = disabled; see attachTrace). */
+    TraceSink *trace_ = nullptr;
+    const uint64_t *traceCycle_ = nullptr;
+    int traceTrack_ = -1;
+    mutable uint64_t lastTraceCycle_ = ~0ull;
 };
 
 } // namespace genesis::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Differential golden-model battery: every accelerator pipeline must
+ * agree exactly with its software (src/gatk) implementation on seeded
+ * read_simulator inputs across several workload sizes and seeds, with
+ * the pipeline/batch geometry varied by size. This widens the seed
+ * coverage of accel_test.cpp into a size x seed grid, so partition
+ * boundaries, batch counts and SPM window positions all shift between
+ * cases while the outputs must stay bit-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/bqsr_accel.h"
+#include "core/markdup_accel.h"
+#include "core/metadata_accel.h"
+#include "gatk/bqsr.h"
+#include "gatk/markdup.h"
+#include "gatk/metadata.h"
+#include "sim_test_utils.h"
+
+namespace genesis::core {
+namespace {
+
+/** (read pairs, seed) — the grid axes. */
+using DiffParam = std::tuple<int64_t, uint64_t>;
+
+class DifferentialGoldenModel
+    : public ::testing::TestWithParam<DiffParam>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        pairs_ = std::get<0>(GetParam());
+        seed_ = std::get<1>(GetParam());
+        // Chromosome length scales with the workload so coverage stays
+        // comparable; two chromosomes exercise reference partitioning.
+        workload_ = test::makeSmallWorkload(seed_, pairs_,
+                                            40'000 + 80 * pairs_, 2);
+    }
+
+    /** Vary the hardware geometry with the workload so batch splits
+     *  differ between grid points. */
+    int
+    pipelinesForSize() const
+    {
+        return pairs_ < 200 ? 1 : pairs_ < 500 ? 3 : 5;
+    }
+
+    int64_t pairs_ = 0;
+    uint64_t seed_ = 0;
+    test::SmallWorkload workload_;
+};
+
+TEST_P(DifferentialGoldenModel, MarkDupMatchesSoftwareExactly)
+{
+    auto hw_reads = workload_.reads.reads;
+    auto sw_reads = workload_.reads.reads;
+
+    MarkDupAccelConfig cfg;
+    cfg.numPipelines = pipelinesForSize();
+    auto hw = MarkDupAccelerator(cfg).run(hw_reads);
+
+    auto sw_sums = gatk::computeQualSums(sw_reads);
+    auto sw_stats = gatk::markDuplicatesWithQualSums(sw_reads, sw_sums);
+
+    EXPECT_EQ(hw.qualSums, sw_sums);
+    EXPECT_EQ(hw.stats.duplicatesMarked, sw_stats.duplicatesMarked);
+    EXPECT_EQ(hw.stats.duplicateSets, sw_stats.duplicateSets);
+    ASSERT_EQ(hw_reads.size(), sw_reads.size());
+    for (size_t i = 0; i < hw_reads.size(); ++i) {
+        ASSERT_EQ(hw_reads[i].isDuplicate(), sw_reads[i].isDuplicate())
+            << "duplicate flag of read " << i << " ("
+            << hw_reads[i].name << "), pairs=" << pairs_
+            << " seed=" << seed_;
+    }
+}
+
+TEST_P(DifferentialGoldenModel, MetadataTagsMatchSoftwareExactly)
+{
+    auto hw_reads = workload_.reads.reads;
+    auto sw_reads = workload_.reads.reads;
+
+    MetadataAccelConfig cfg;
+    cfg.numPipelines = pipelinesForSize();
+    cfg.psize = 8'192;
+    auto result = MetadataAccelerator(cfg).run(hw_reads,
+                                               workload_.genome);
+    EXPECT_EQ(result.readsTagged, static_cast<int64_t>(hw_reads.size()));
+
+    gatk::setNmMdUqTags(sw_reads, workload_.genome);
+    ASSERT_EQ(hw_reads.size(), sw_reads.size());
+    for (size_t i = 0; i < hw_reads.size(); ++i) {
+        ASSERT_EQ(hw_reads[i].nmTag, sw_reads[i].nmTag)
+            << "NM of read " << i << ", pairs=" << pairs_
+            << " seed=" << seed_;
+        ASSERT_EQ(hw_reads[i].mdTag, sw_reads[i].mdTag)
+            << "MD of read " << i;
+        ASSERT_EQ(hw_reads[i].uqTag, sw_reads[i].uqTag)
+            << "UQ of read " << i;
+    }
+}
+
+TEST_P(DifferentialGoldenModel, BqsrTableMatchesSoftwareExactly)
+{
+    BqsrAccelConfig cfg;
+    cfg.numPipelines = pipelinesForSize();
+    cfg.psize = 8'192;
+    auto hw = BqsrAccelerator(cfg).run(workload_.reads.reads,
+                                       workload_.genome);
+
+    auto sw = gatk::buildCovariateTable(workload_.reads.reads,
+                                        workload_.genome, cfg.bqsr);
+    EXPECT_EQ(hw.table.totalObservations(), sw.totalObservations());
+    EXPECT_EQ(hw.table.totalErrors(), sw.totalErrors());
+    EXPECT_TRUE(hw.table == sw)
+        << "covariate tables differ, pairs=" << pairs_
+        << " seed=" << seed_;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSeedGrid, DifferentialGoldenModel,
+    ::testing::Combine(::testing::Values<int64_t>(60, 300, 700),
+                       ::testing::Values<uint64_t>(5u, 17u)),
+    [](const ::testing::TestParamInfo<DiffParam> &info) {
+        return "pairs" + std::to_string(std::get<0>(info.param)) +
+            "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace genesis::core

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Adversarial SPM read-modify-write hazard tests.
+ *
+ * The SpmUpdater's three-stage RMW pipeline must never lose an update,
+ * no matter how hostile the address stream: every pattern below is
+ * checked word-for-word against a serial software reference, and the
+ * interlock's stall statistics are cross-checked against what the
+ * pattern provably requires (conflict-free streams stall zero cycles;
+ * a single hot bin serializes the pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "base/rng.h"
+#include "modules/spm_updater.h"
+#include "sim/scheduler.h"
+#include "sim_test_utils.h"
+
+namespace genesis::modules {
+namespace {
+
+struct HazardRun {
+    uint64_t cycles = 0;
+    uint64_t hazardStalls = 0;
+    uint64_t flits = 0;
+    uint64_t spmReads = 0;
+    uint64_t spmWrites = 0;
+    std::vector<int64_t> words;
+};
+
+/** Drive one address stream through an RMW updater and collect stats. */
+HazardRun
+runRmw(const std::vector<int64_t> &addrs, size_t spm_words)
+{
+    sim::Simulator simulator;
+    auto *spm = simulator.makeScratchpad("bins", spm_words, 4);
+    auto *q = simulator.makeQueue("updates", 8);
+
+    std::vector<sim::Flit> flits;
+    flits.reserve(addrs.size());
+    for (int64_t addr : addrs)
+        flits.push_back(sim::makeFlit(addr));
+    simulator.make<test::VectorSource>("src", q, std::move(flits));
+
+    SpmUpdaterConfig cfg;
+    cfg.mode = SpmUpdateMode::ReadModifyWrite;
+    auto *updater = simulator.make<SpmUpdater>("rmw", spm, q, cfg);
+
+    HazardRun r;
+    r.cycles = simulator.run();
+    r.hazardStalls = updater->stats().get("stall.rmw_hazard");
+    r.flits = updater->stats().get("flits");
+    // Capture access statistics before the verification reads below
+    // bump the read counter.
+    r.spmReads = spm->stats().get("reads");
+    r.spmWrites = spm->stats().get("writes");
+    r.words.resize(spm_words);
+    for (size_t i = 0; i < spm_words; ++i)
+        r.words[i] = spm->read(i);
+    return r;
+}
+
+/** The serial reference: one increment per address occurrence. */
+std::vector<int64_t>
+serialReference(const std::vector<int64_t> &addrs, size_t spm_words)
+{
+    std::vector<int64_t> words(spm_words, 0);
+    for (int64_t addr : addrs)
+        ++words[static_cast<size_t>(addr)];
+    return words;
+}
+
+void
+expectMatchesSerial(const std::vector<int64_t> &addrs, size_t spm_words,
+                    const HazardRun &r)
+{
+    auto expected = serialReference(addrs, spm_words);
+    ASSERT_EQ(r.words.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(r.words[i], expected[i])
+            << "lost or duplicated update at bin " << i;
+    }
+    EXPECT_EQ(r.flits, addrs.size());
+    // Every accepted flit performs exactly one SPM read and one write.
+    EXPECT_EQ(r.spmReads, addrs.size());
+    EXPECT_EQ(r.spmWrites, addrs.size());
+}
+
+TEST(SpmHazard, SingleHotBinSerializesButLosesNothing)
+{
+    // Worst case: every update hits the same bin, so each flit must
+    // wait for the previous one to clear all three pipeline stages.
+    const size_t kWords = 16;
+    std::vector<int64_t> addrs(300, 7);
+    auto r = runRmw(addrs, kWords);
+    expectMatchesSerial(addrs, kWords, r);
+    EXPECT_GT(r.hazardStalls, addrs.size())
+        << "a fully conflicting stream must stall repeatedly";
+    // Serialized throughput: roughly one update per pipeline depth.
+    EXPECT_GT(r.cycles, 2 * addrs.size());
+}
+
+TEST(SpmHazard, AlternatingPairStillConflicts)
+{
+    // Two addresses alternating at distance 2 — inside the 3-deep
+    // pipeline window, so the interlock must still engage.
+    const size_t kWords = 8;
+    std::vector<int64_t> addrs;
+    for (int i = 0; i < 200; ++i)
+        addrs.push_back(i % 2);
+    auto r = runRmw(addrs, kWords);
+    expectMatchesSerial(addrs, kWords, r);
+    EXPECT_GT(r.hazardStalls, 0u);
+}
+
+TEST(SpmHazard, BurstsOfThreeMaximizeStageOverlap)
+{
+    // Runs of identical addresses sized exactly to the pipeline depth.
+    const size_t kWords = 32;
+    std::vector<int64_t> addrs;
+    for (int i = 0; i < 300; ++i)
+        addrs.push_back((i / 3) % static_cast<int>(kWords));
+    auto r = runRmw(addrs, kWords);
+    expectMatchesSerial(addrs, kWords, r);
+    EXPECT_GT(r.hazardStalls, 0u);
+}
+
+TEST(SpmHazard, ConflictFreeStreamNeverStalls)
+{
+    // Strictly increasing addresses: no two updates within the hazard
+    // window, so the interlock must never fire.
+    const size_t kWords = 256;
+    std::vector<int64_t> addrs;
+    for (int i = 0; i < 256; ++i)
+        addrs.push_back(i);
+    auto r = runRmw(addrs, kWords);
+    expectMatchesSerial(addrs, kWords, r);
+    EXPECT_EQ(r.hazardStalls, 0u);
+    // Pipelined throughput: near one update per cycle, far below the
+    // serialized case.
+    EXPECT_LT(r.cycles, 2 * addrs.size());
+}
+
+TEST(SpmHazard, SeededRandomHotPoolMatchesSerialReference)
+{
+    // Random draws from a tiny pool keep the conflict probability high
+    // while varying the exact interleavings across seeds.
+    const size_t kWords = 8;
+    for (uint64_t seed : {1u, 9u, 23u, 101u}) {
+        Rng rng(seed);
+        std::vector<int64_t> addrs;
+        for (int i = 0; i < 500; ++i)
+            addrs.push_back(static_cast<int64_t>(rng.below(4)));
+        auto r = runRmw(addrs, kWords);
+        expectMatchesSerial(addrs, kWords, r);
+        EXPECT_GT(r.hazardStalls, 0u) << "seed " << seed;
+    }
+}
+
+TEST(SpmHazard, InterlockedRunIsDeterministic)
+{
+    // The same hostile stream must produce identical cycles and stall
+    // counts on repeated runs (the interlock has no hidden state).
+    std::vector<int64_t> addrs;
+    Rng rng(5);
+    for (int i = 0; i < 400; ++i)
+        addrs.push_back(static_cast<int64_t>(rng.below(3)));
+    auto r1 = runRmw(addrs, 8);
+    auto r2 = runRmw(addrs, 8);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.hazardStalls, r2.hazardStalls);
+    EXPECT_EQ(r1.words, r2.words);
+}
+
+} // namespace
+} // namespace genesis::modules

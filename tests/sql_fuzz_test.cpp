@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Property/fuzz tests for the SQL front end.
+ *
+ * A seeded grammar-directed generator produces well-formed scripts in
+ * the Genesis SQL dialect; the parser must accept every one of them,
+ * and accepted scripts must round-trip through the planner
+ * deterministically (two independent parse+explain passes render the
+ * identical plan). Mutated scripts — token swaps, byte edits,
+ * truncations — must either parse or fail with FatalError, never with
+ * PanicError or an unhandled crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace genesis::sql {
+namespace {
+
+/** Grammar-directed generator of well-formed Genesis SQL scripts. */
+class QueryGen
+{
+  public:
+    explicit QueryGen(uint64_t seed) : rng_(seed) {}
+
+    std::string
+    script()
+    {
+        std::string out;
+        int n = 1 + static_cast<int>(rng_.below(4));
+        for (int i = 0; i < n; ++i) {
+            out += statement();
+            out += ";\n";
+        }
+        return out;
+    }
+
+  private:
+    template <size_t N>
+    const char *
+    pick(const char *const (&options)[N])
+    {
+        return options[rng_.below(N)];
+    }
+
+    const char *
+    table()
+    {
+        static const char *const kTables[] = {"t", "u", "reads", "tmp1"};
+        return pick(kTables);
+    }
+
+    const char *
+    column()
+    {
+        static const char *const kCols[] = {"a", "b", "k", "pos",
+                                            "qual"};
+        return pick(kCols);
+    }
+
+    std::string
+    valueExpr(int depth)
+    {
+        switch (rng_.below(depth > 2 ? 4u : 6u)) {
+          case 0:
+            return std::to_string(rng_.below(1000));
+          case 1:
+            return column();
+          case 2:
+            return std::string(table()) + "." + column();
+          case 3:
+            return "@x";
+          case 4: {
+            static const char *const kOps[] = {"+", "-", "*"};
+            return valueExpr(depth + 1) + " " + pick(kOps) + " " +
+                valueExpr(depth + 1);
+          }
+          default:
+            return "(" + valueExpr(depth + 1) + ")";
+        }
+    }
+
+    std::string
+    boolExpr()
+    {
+        static const char *const kCmp[] = {"==", "!=", "<",
+                                           ">",  "<=", ">="};
+        return valueExpr(1) + " " + pick(kCmp) + " " + valueExpr(1);
+    }
+
+    std::string
+    selectStmt()
+    {
+        std::string s = "SELECT ";
+        switch (rng_.below(3u)) {
+          case 0:
+            s += "*";
+            break;
+          case 1: {
+            int items = 1 + static_cast<int>(rng_.below(3));
+            for (int i = 0; i < items; ++i) {
+                if (i)
+                    s += ", ";
+                s += valueExpr(1);
+                if (rng_.below(2u))
+                    s += std::string(" AS c") + std::to_string(i);
+            }
+            break;
+          }
+          default:
+            static const char *const kAggs[] = {"SUM", "MIN", "MAX"};
+            s += std::string(pick(kAggs)) + "(" + valueExpr(1) +
+                ") AS agg0";
+            if (rng_.below(2u))
+                s += ", COUNT(*) AS n";
+            break;
+        }
+        const char *from = table();
+        s += std::string(" FROM ") + from;
+        if (rng_.below(4u) == 0)
+            s += " PARTITION (@P)";
+        if (rng_.below(3u) == 0) {
+            static const char *const kJoin[] = {"INNER JOIN",
+                                                "LEFT JOIN"};
+            const char *other = table();
+            s += std::string(" ") + pick(kJoin) + " " + other + " ON " +
+                from + "." + column() + " = " + other + "." + column();
+        }
+        if (rng_.below(2u))
+            s += " WHERE " + boolExpr();
+        if (rng_.below(3u) == 0)
+            s += std::string(" GROUP BY ") + column();
+        if (rng_.below(3u) == 0) {
+            s += " LIMIT " + std::to_string(rng_.below(100));
+            if (rng_.below(2u))
+                s += ", " + std::to_string(rng_.below(100));
+        }
+        return s;
+    }
+
+    std::string
+    statement()
+    {
+        switch (rng_.below(8u)) {
+          case 0:
+            return "DECLARE @x int";
+          case 1:
+            return "SET @x = " + valueExpr(1);
+          case 2:
+            return "CREATE TABLE ct" + std::to_string(rng_.below(10)) +
+                " AS " + selectStmt();
+          case 3:
+            return std::string("FOR Row IN ") + table() +
+                ":\n    INSERT INTO outt " + selectStmt() +
+                ";\nEND LOOP";
+          case 4:
+            return std::string("EXEC MDGen Input1 = ") + table() +
+                " INTO mdout";
+          case 5:
+            return "CREATE TABLE pe" + std::to_string(rng_.below(10)) +
+                " AS PosExplode (t.SEQ, t.POS) FROM t";
+          case 6:
+            return "CREATE TABLE re" + std::to_string(rng_.below(10)) +
+                " AS ReadExplode (x.POS, x.CIGAR, x.SEQ, x.QUAL)"
+                " FROM x";
+          default:
+            return selectStmt();
+        }
+    }
+
+    Rng rng_;
+};
+
+/** Apply one seeded mutation to a script. */
+std::string
+mutate(const std::string &base, Rng &rng)
+{
+    std::string s = base;
+    if (s.empty())
+        return s;
+    switch (rng.below(6u)) {
+      case 0: // delete a character
+        s.erase(rng.below(s.size()), 1);
+        break;
+      case 1: // duplicate a character
+        s.insert(rng.below(s.size()), 1, s[rng.below(s.size())]);
+        break;
+      case 2: // replace with printable noise
+        s[rng.below(s.size())] =
+            static_cast<char>(32 + rng.below(95));
+        break;
+      case 3: // truncate
+        s.resize(rng.below(s.size()));
+        break;
+      case 4: { // insert a random keyword mid-string
+        static const char *const kWords[] = {
+            " SELECT ", " FROM ",  " WHERE ", " JOIN ",  " GROUP ",
+            " LIMIT ",  " (",      ") ",      " , ",     " ; ",
+            " @ ",      " END ",   " LOOP ",  " EXEC ",  " 'q' "};
+        s.insert(rng.below(s.size()),
+                 kWords[rng.below(std::size(kWords))]);
+        break;
+      }
+      default: { // swap two whitespace-separated tokens
+        std::vector<std::string> tokens;
+        std::string word;
+        for (char c : s) {
+            if (c == ' ' || c == '\n') {
+                if (!word.empty())
+                    tokens.push_back(word);
+                word.clear();
+            } else {
+                word.push_back(c);
+            }
+        }
+        if (!word.empty())
+            tokens.push_back(word);
+        if (tokens.size() >= 2) {
+            std::swap(tokens[rng.below(tokens.size())],
+                      tokens[rng.below(tokens.size())]);
+            s.clear();
+            for (const auto &t : tokens)
+                s += t + " ";
+        }
+        break;
+      }
+    }
+    return s;
+}
+
+/** parse + explain, classifying the outcome. */
+enum class Outcome { Accepted, Rejected, Crashed };
+
+Outcome
+tryParse(const std::string &text, std::string *explain_out = nullptr)
+{
+    try {
+        Script script = parseScript(text);
+        std::string explain = explainScript(script);
+        validateScript(script); // must not crash either
+        if (explain_out)
+            *explain_out = explain;
+        return Outcome::Accepted;
+    } catch (const FatalError &) {
+        return Outcome::Rejected;
+    } catch (...) {
+        return Outcome::Crashed;
+    }
+}
+
+TEST(SqlFuzz, GeneratedScriptsAlwaysParse)
+{
+    QueryGen gen(4242);
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string text = gen.script();
+        std::string explain;
+        Outcome outcome = tryParse(text, &explain);
+        ASSERT_EQ(outcome, Outcome::Accepted)
+            << "well-formed script rejected or crashed (trial " << trial
+            << "):\n" << text;
+        EXPECT_FALSE(explain.empty()) << text;
+    }
+}
+
+TEST(SqlFuzz, PlannerRoundTripIsDeterministic)
+{
+    QueryGen gen(98765);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string text = gen.script();
+        std::string explain1, explain2;
+        ASSERT_EQ(tryParse(text, &explain1), Outcome::Accepted) << text;
+        ASSERT_EQ(tryParse(text, &explain2), Outcome::Accepted) << text;
+        EXPECT_EQ(explain1, explain2)
+            << "plan differs between parses of:\n" << text;
+    }
+}
+
+TEST(SqlFuzz, MutatedScriptsNeverCrashTheParser)
+{
+    QueryGen gen(1337);
+    Rng rng(31415);
+    int accepted = 0, rejected = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string base = gen.script();
+        for (int m = 0; m < 4; ++m) {
+            std::string text = mutate(base, rng);
+            // Stack a second mutation on every other mutant.
+            if (m % 2)
+                text = mutate(text, rng);
+            std::string explain1;
+            Outcome outcome = tryParse(text, &explain1);
+            ASSERT_NE(outcome, Outcome::Crashed)
+                << "parser crashed (non-FatalError) on:\n" << text;
+            if (outcome == Outcome::Accepted) {
+                ++accepted;
+                // Mutants the parser accepts must still plan
+                // deterministically.
+                std::string explain2;
+                ASSERT_EQ(tryParse(text, &explain2), Outcome::Accepted);
+                EXPECT_EQ(explain1, explain2) << text;
+            } else {
+                ++rejected;
+            }
+        }
+    }
+    // The mutation set must actually exercise both paths.
+    EXPECT_GT(accepted, 0);
+    EXPECT_GT(rejected, 0);
+}
+
+} // namespace
+} // namespace genesis::sql
