@@ -308,6 +308,75 @@ TraceSink::creditSkipped(uint64_t open_end, uint64_t extra)
 }
 
 void
+TraceSink::reset()
+{
+    processes_.clear();
+    processNameCounts_.clear();
+    tracks_.clear();
+    tracksPerProcess_.clear();
+    states_.clear();
+    stateIds_.clear();
+    spans_.clear();
+    events_.clear();
+    nextAsyncId_ = 1;
+    finished_ = false;
+    internState("idle");
+    internState("busy");
+}
+
+void
+TraceSink::adopt(TraceSink &child)
+{
+    GENESIS_ASSERT(&child != this, "a sink cannot adopt itself");
+    if (!child.finished_)
+        child.finish();
+
+    std::vector<int> pid_map(child.processes_.size());
+    for (size_t p = 0; p < child.processes_.size(); ++p)
+        pid_map[p] = beginProcess(child.processes_[p]);
+
+    std::vector<int> track_map(child.tracks_.size());
+    for (size_t t = 0; t < child.tracks_.size(); ++t) {
+        const Track &track = child.tracks_[t];
+        track_map[t] = addTrack(pid_map[static_cast<size_t>(track.pid)],
+                                track.name, track.kind);
+        // Keep idle-gap synthesis consistent should the adopted track
+        // ever be marked again (it normally is not).
+        tracks_.back().lastEnd = track.lastEnd;
+    }
+
+    std::vector<StateId> state_map(child.states_.size());
+    for (size_t s = 0; s < child.states_.size(); ++s)
+        state_map[s] = internState(child.states_[s]);
+
+    spans_.reserve(spans_.size() + child.spans_.size());
+    for (const Span &span : child.spans_) {
+        spans_.push_back(
+            Span{track_map[static_cast<size_t>(span.track)],
+                 state_map[span.state], span.begin, span.end});
+    }
+
+    // Async lifetimes are matched by id; shift the child's ids past
+    // every id this sink has handed out so merged lifetimes stay
+    // distinct.
+    uint64_t async_base = nextAsyncId_;
+    nextAsyncId_ += child.nextAsyncId_;
+    events_.reserve(events_.size() + child.events_.size());
+    for (const Event &ev : child.events_) {
+        Event copy = ev;
+        copy.track = track_map[static_cast<size_t>(ev.track)];
+        copy.name = state_map[ev.name];
+        if (ev.kind == EventKind::AsyncBegin ||
+            ev.kind == EventKind::AsyncInstant ||
+            ev.kind == EventKind::AsyncEnd) {
+            copy.id += async_base;
+        }
+        events_.push_back(std::move(copy));
+    }
+    child.reset();
+}
+
+void
 TraceSink::finish()
 {
     for (size_t i = 0; i < tracks_.size(); ++i) {

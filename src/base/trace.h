@@ -150,6 +150,20 @@ class TraceSink
      */
     void creditSkipped(uint64_t open_end, uint64_t extra);
 
+    /**
+     * Merge everything `child` recorded into this sink, then reset the
+     * child to a fresh state. Process, track, state and async-event ids
+     * are remapped (duplicate process names get the usual "#<n>"
+     * suffix), so the merged data reads exactly as if it had been
+     * recorded here. Finishes the child first when needed.
+     *
+     * This is how concurrent simulations share one exported trace
+     * without violating the single-writer contract: each running
+     * simulator records into a private sink, and the owner adopts the
+     * private sinks (serialized by the caller) as each run completes.
+     */
+    void adopt(TraceSink &child);
+
     // --- export ---------------------------------------------------------
 
     /** Close all open spans. Call once after the last simulation. */
@@ -222,6 +236,9 @@ class TraceSink
 
     /** Significance order for same-cycle re-marks. */
     static int statePriority(StateId s);
+
+    /** Drop all recorded data and re-intern the base states. */
+    void reset();
 
     int addTrack(int pid, const std::string &name, TrackKind kind);
     void openSpan(Track &track, uint64_t cycle, StateId state);

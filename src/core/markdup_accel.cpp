@@ -1,9 +1,13 @@
 #include "core/markdup_accel.h"
 
+#include <chrono>
+#include <utility>
+
 #include "base/logging.h"
 #include "modules/memory_reader.h"
 #include "modules/memory_writer.h"
 #include "modules/reducer.h"
+#include "runtime/batch.h"
 
 namespace genesis::core {
 
@@ -69,6 +73,9 @@ MarkDupAccelerator::census(int num_pipelines)
 MarkDupAccelResult
 MarkDupAccelerator::run(std::vector<genome::AlignedRead> &reads)
 {
+    if (config_.concurrentSessions > 1)
+        return runSharded(reads);
+
     MarkDupAccelResult result;
     runtime::AcceleratorSession session(config_.runtime);
 
@@ -118,6 +125,70 @@ MarkDupAccelerator::run(std::vector<genome::AlignedRead> &reads)
             gatk::markDuplicatesWithQualSums(reads, result.qualSums);
     }
     result.info.timing = session.timing();
+    return result;
+}
+
+MarkDupAccelResult
+MarkDupAccelerator::runSharded(std::vector<genome::AlignedRead> &reads)
+{
+    MarkDupAccelResult result;
+
+    // Same chunking as the single-session path, so the per-read sums
+    // (and therefore the duplicate decisions) are bit-for-bit identical:
+    // each former pipeline's read range becomes one shard.
+    size_t n = reads.size();
+    size_t per = (n + static_cast<size_t>(config_.numPipelines) - 1) /
+        static_cast<size_t>(config_.numPipelines);
+    std::vector<std::pair<size_t, size_t>> chunks;
+    for (int p = 0; p < config_.numPipelines; ++p) {
+        size_t first = std::min(n, static_cast<size_t>(p) * per);
+        size_t last = std::min(n, first + per);
+        if (first >= last)
+            break;
+        chunks.emplace_back(first, last);
+    }
+    result.qualSums.assign(n, 0);
+
+    runtime::BatchConfig batch_cfg;
+    batch_cfg.numLanes = config_.concurrentSessions;
+    batch_cfg.runtime = config_.runtime;
+    runtime::BatchRunner runner(batch_cfg);
+
+    auto build = [&](size_t shard, runtime::AcceleratorSession &s) {
+        PrepTimer timer(result.info.prepSeconds);
+        auto [first, last] = chunks[shard];
+        ReadColumns cols = ReadColumns::fromRange(reads, first, last);
+        PipelineBuilder builder(s.sim(), static_cast<int>(shard));
+        ColumnBuffer *qual = s.configureMem(
+            builder.scopedName("READS.QUAL"), std::move(cols.qual),
+            std::move(cols.qualLens), 1);
+        buildPipeline(builder, s, qual);
+        // The census describes resident hardware: only numLanes
+        // single-pipeline sessions exist at any moment.
+        if (shard < static_cast<size_t>(config_.concurrentSessions))
+            result.info.census.merge(builder.census());
+    };
+    auto collect = [&](size_t shard, runtime::AcceleratorSession &s) {
+        auto [first, last] = chunks[shard];
+        const ColumnBuffer *flushed =
+            s.flush("p" + std::to_string(shard) + ".QSUM");
+        for (size_t i = 0; i < flushed->elements.size(); ++i)
+            result.qualSums[first + i] = flushed->elements[i];
+        result.info.stats.merge(s.sim().collectStats());
+    };
+    runtime::BatchStats batch =
+        runner.run(chunks.size(), build, collect);
+    result.info.totalCycles = batch.totalCycles;
+    result.info.batches = batch.shards;
+    result.info.timing = batch.timing;
+
+    // Host: duplicate resolution + coordinate sort with hardware sums.
+    auto host_start = std::chrono::steady_clock::now();
+    result.stats =
+        gatk::markDuplicatesWithQualSums(reads, result.qualSums);
+    result.info.timing.hostSeconds += std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - host_start)
+                                          .count();
     return result;
 }
 

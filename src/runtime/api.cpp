@@ -1,11 +1,14 @@
 #include "runtime/api.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <shared_mutex>
 #include <sstream>
 #include <vector>
 
 #include "base/logging.h"
+#include "base/trace.h"
 
 namespace genesis::runtime {
 
@@ -51,8 +54,9 @@ AcceleratorSession::AcceleratorSession(const RuntimeConfig &config)
 
 AcceleratorSession::~AcceleratorSession()
 {
-    if (worker_.joinable())
-        worker_.join();
+    // Route through wait() so the accelerator time is credited (exactly
+    // once) even when a session is torn down without an explicit wait.
+    wait();
 }
 
 modules::ColumnBuffer *
@@ -89,31 +93,42 @@ AcceleratorSession::configureOutput(const std::string &colname,
 void
 AcceleratorSession::start()
 {
-    GENESIS_ASSERT(!started_, "session already started");
-    started_ = true;
+    std::lock_guard<std::mutex> lock(joinMutex_);
+    GENESIS_ASSERT(!started_.load(std::memory_order_relaxed),
+                   "session already started");
     worker_ = std::thread([this] { sim_->run(); });
+    started_.store(true, std::memory_order_release);
 }
 
 bool
 AcceleratorSession::check()
 {
-    GENESIS_ASSERT(started_, "check before start");
-    return sim_->allDone();
+    GENESIS_ASSERT(started_.load(std::memory_order_acquire),
+                   "check before start");
+    // Poll only the completion flag the simulator publishes atomically;
+    // walking the module list here would race with the worker thread.
+    return sim_->finished();
 }
 
 void
 AcceleratorSession::wait()
 {
-    if (!started_ || joined_)
+    std::lock_guard<std::mutex> lock(joinMutex_);
+    if (!started_.load(std::memory_order_acquire) || joined_)
         return;
     worker_.join();
     joined_ = true;
+    // Credit the simulated accelerator time exactly once, whichever join
+    // path got here first (wait_genesis, flush, destructor, unload).
     timing_.accelSeconds += secondsForCycles(sim_->cycle());
 }
 
 const modules::ColumnBuffer *
 AcceleratorSession::flush(const std::string &colname)
 {
+    // A still-running worker owns device memory; join before reading it
+    // (also credits the accelerator time ahead of the DMA accounting).
+    wait();
     modules::ColumnBuffer *buffer = device_.find(colname);
     if (!buffer)
         fatal("flush of unknown device buffer '%s'", colname.c_str());
@@ -155,6 +170,14 @@ struct ConfiguredColumn {
 struct PipelineSlot {
     std::unique_ptr<AcceleratorSession> session;
     std::map<std::string, ConfiguredColumn> columns;
+    /**
+     * Private sink this slot's running session records into. A shared
+     * TraceSink is single-writer, so concurrently running pipelines
+     * must not share one; each slot records privately and the data is
+     * merged into the registry's sink (under traceMutex) when the run
+     * retires. Must outlive the session, which holds a pointer to it.
+     */
+    std::unique_ptr<TraceSink> trace;
 };
 
 struct ImageState {
@@ -163,6 +186,17 @@ struct ImageState {
     std::vector<PipelineSlot> slots;
     bool loaded = false;
     TraceSink *trace = nullptr;
+    /**
+     * Registry lock: exclusive for genesis_load_image /
+     * genesis_unload_image / genesis_trace (they mutate the slot vector
+     * and shared config), shared for every per-pipeline call. Distinct
+     * pipeline ids touch distinct slots, so shared holders never
+     * conflict; calls naming the same id must be externally serialized
+     * (documented contract).
+     */
+    std::shared_mutex mutex;
+    /** Serializes merging per-slot trace data into `trace`. */
+    std::mutex traceMutex;
 };
 
 ImageState &
@@ -172,10 +206,10 @@ imageState()
     return state;
 }
 
+/** Look up a pipeline slot. Caller must hold state.mutex. */
 PipelineSlot &
-slotFor(int pipeline_id)
+slotFor(ImageState &state, int pipeline_id)
 {
-    ImageState &state = imageState();
     if (!state.loaded)
         fatal("no Genesis image loaded (call genesis_load_image first)");
     if (pipeline_id < 0 ||
@@ -184,6 +218,20 @@ slotFor(int pipeline_id)
               state.slots.size());
     }
     return state.slots[static_cast<size_t>(pipeline_id)];
+}
+
+/**
+ * Merge a retired slot's private trace recording into the registry's
+ * shared sink. The slot's session must be joined first. Idempotent: the
+ * slot sink is reset by the merge, so a second publish adopts nothing.
+ */
+void
+publishSlotTrace(ImageState &state, PipelineSlot &slot)
+{
+    if (!slot.trace || !state.trace)
+        return;
+    std::lock_guard<std::mutex> lock(state.traceMutex);
+    state.trace->adopt(*slot.trace);
 }
 
 /** Decode little-endian raw host memory into int64 elements. */
@@ -202,6 +250,14 @@ decodeHost(const ConfiguredColumn &col)
                            static_cast<size_t>(b)])
                 << (8 * b);
         }
+        // Columns are signed (the device element type is int64): sign-
+        // extend from the host element width so e.g. int16 -1 decodes as
+        // -1, not 65535.
+        if (col.elemSize < 8) {
+            const uint64_t sign_bit = 1ull
+                << (8 * static_cast<unsigned>(col.elemSize) - 1);
+            v = (v ^ sign_bit) - sign_bit;
+        }
         elements.push_back(static_cast<int64_t>(v));
     }
     return elements;
@@ -216,8 +272,14 @@ genesis_load_image(ImageBuilder builder, int num_pipelines,
     if (num_pipelines < 1)
         fatal("image needs at least one pipeline");
     ImageState &state = imageState();
+    std::unique_lock<std::shared_mutex> lock(state.mutex);
     state.builder = std::move(builder);
     state.config = config;
+    // A RuntimeConfig sink is unified with genesis_trace(): sessions
+    // never see the shared sink directly (single-writer contract); each
+    // running pipeline records into a private per-slot sink instead.
+    state.trace = config.trace;
+    state.config.trace = nullptr;
     state.slots.clear();
     state.slots.resize(static_cast<size_t>(num_pipelines));
     state.loaded = true;
@@ -227,9 +289,14 @@ void
 genesis_unload_image()
 {
     ImageState &state = imageState();
+    std::unique_lock<std::shared_mutex> lock(state.mutex);
     for (auto &slot : state.slots) {
-        if (slot.session)
+        if (slot.session) {
+            // wait() (not a raw join) so the final run's accelerator
+            // time is credited, then salvage its trace data.
             slot.session->wait();
+            publishSlotTrace(state, slot);
+        }
     }
     state.slots.clear();
     state.builder = nullptr;
@@ -244,7 +311,9 @@ configure_mem(void *addr, int elemsize, int len,
     if (!addr || elemsize <= 0 || elemsize > 8 || len < 0)
         fatal("configure_mem: invalid arguments for '%s'",
               colname.c_str());
-    PipelineSlot &slot = slotFor(pipelineID);
+    ImageState &state = imageState();
+    std::shared_lock<std::shared_mutex> lock(state.mutex);
+    PipelineSlot &slot = slotFor(state, pipelineID);
     slot.columns[colname] = ConfiguredColumn{addr, elemsize, len};
 }
 
@@ -252,11 +321,19 @@ void
 run_genesis(int pipelineID)
 {
     ImageState &state = imageState();
-    PipelineSlot &slot = slotFor(pipelineID);
+    std::shared_lock<std::shared_mutex> lock(state.mutex);
+    PipelineSlot &slot = slotFor(state, pipelineID);
+    if (slot.session) {
+        // Retire the previous run on this slot before replacing it so
+        // its accelerator time and trace data are not lost.
+        slot.session->wait();
+        publishSlotTrace(state, slot);
+    }
     slot.session = std::make_unique<AcceleratorSession>(state.config);
     if (state.trace) {
+        slot.trace = std::make_unique<TraceSink>();
         slot.session->attachTrace(
-            state.trace, "pipeline" + std::to_string(pipelineID));
+            slot.trace.get(), "pipeline" + std::to_string(pipelineID));
     }
 
     auto input = [&slot](const std::string &colname)
@@ -282,7 +359,9 @@ run_genesis(int pipelineID)
 bool
 check_genesis(int pipelineID)
 {
-    PipelineSlot &slot = slotFor(pipelineID);
+    ImageState &state = imageState();
+    std::shared_lock<std::shared_mutex> lock(state.mutex);
+    PipelineSlot &slot = slotFor(state, pipelineID);
     if (!slot.session)
         fatal("check_genesis before run_genesis");
     return slot.session->check();
@@ -291,19 +370,25 @@ check_genesis(int pipelineID)
 void
 wait_genesis(int pipelineID)
 {
-    PipelineSlot &slot = slotFor(pipelineID);
+    ImageState &state = imageState();
+    std::shared_lock<std::shared_mutex> lock(state.mutex);
+    PipelineSlot &slot = slotFor(state, pipelineID);
     if (!slot.session)
         fatal("wait_genesis before run_genesis");
     slot.session->wait();
+    publishSlotTrace(state, slot);
 }
 
 void
 genesis_flush(int pipelineID)
 {
-    PipelineSlot &slot = slotFor(pipelineID);
+    ImageState &state = imageState();
+    std::shared_lock<std::shared_mutex> lock(state.mutex);
+    PipelineSlot &slot = slotFor(state, pipelineID);
     if (!slot.session)
         fatal("genesis_flush before run_genesis");
     slot.session->wait();
+    publishSlotTrace(state, slot);
     // Copy every output buffer with a configured host destination back to
     // host memory, accounting the device-to-host DMA.
     for (const auto &buffer : slot.session->deviceMemory().buffers()) {
@@ -316,7 +401,22 @@ genesis_flush(int pipelineID)
             slot.session->flush(buffer->name);
         auto *dest = static_cast<uint8_t *>(it->second.addr);
         size_t max_elems = static_cast<size_t>(it->second.len);
-        size_t n = std::min(flushed->elements.size(), max_elems);
+        size_t produced = flushed->elements.size();
+        if (produced > max_elems) {
+            if (state.config.strictFlush) {
+                fatal("genesis_flush: output '%s' on pipeline %d "
+                      "produced %zu elements but the host buffer holds "
+                      "only %zu (strictFlush)",
+                      buffer->name.c_str(), pipelineID, produced,
+                      max_elems);
+            }
+            warn("genesis_flush: output '%s' on pipeline %d produced "
+                 "%zu elements but the host buffer holds only %zu; "
+                 "dropping %zu trailing elements",
+                 buffer->name.c_str(), pipelineID, produced, max_elems,
+                 produced - max_elems);
+        }
+        size_t n = std::min(produced, max_elems);
         for (size_t i = 0; i < n; ++i) {
             uint64_t v = static_cast<uint64_t>(flushed->elements[i]);
             for (int b = 0; b < it->second.elemSize; ++b) {
@@ -331,13 +431,17 @@ genesis_flush(int pipelineID)
 void
 genesis_trace(TraceSink *sink)
 {
-    imageState().trace = sink;
+    ImageState &state = imageState();
+    std::unique_lock<std::shared_mutex> lock(state.mutex);
+    state.trace = sink;
 }
 
 TimingBreakdown
 genesis_timing(int pipelineID)
 {
-    PipelineSlot &slot = slotFor(pipelineID);
+    ImageState &state = imageState();
+    std::shared_lock<std::shared_mutex> lock(state.mutex);
+    PipelineSlot &slot = slotFor(state, pipelineID);
     if (!slot.session)
         return TimingBreakdown{};
     return slot.session->timing();

@@ -13,15 +13,29 @@
  * The bottom of this header declares the paper-literal C-style API
  * (configure_mem, run_genesis, check_genesis, wait_genesis,
  * genesis_flush) over a process-global image registry.
+ *
+ * Concurrency contract (see also DESIGN.md §7):
+ *  - AcceleratorSession: check() and wait() are safe concurrently with
+ *    the worker thread and with each other; every other member must be
+ *    called from one host thread at a time, and sim()/deviceMemory()
+ *    must not be touched between start() and wait()/check()==true.
+ *  - Paper-literal API: calls naming *distinct* pipeline ids may be
+ *    issued from multiple host threads concurrently; calls naming the
+ *    *same* pipeline id must be externally serialized.
+ *    genesis_load_image / genesis_unload_image / genesis_trace take the
+ *    registry lock exclusively and must not race with in-flight calls
+ *    on any pipeline.
  */
 
 #ifndef GENESIS_RUNTIME_API_H
 #define GENESIS_RUNTIME_API_H
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -48,6 +62,12 @@ struct RuntimeConfig {
     TraceSink *trace = nullptr;
     /** Trace process label for sessions built from this config. */
     std::string traceLabel = "accel";
+    /**
+     * When true, genesis_flush() treats a device output column larger
+     * than its configured host buffer as a fatal error instead of
+     * truncating with a warning (see genesis_flush).
+     */
+    bool strictFlush = false;
 };
 
 /** Host / communication / accelerator runtime split (Figure 13(b)). */
@@ -98,13 +118,27 @@ class AcceleratorSession
     /** Non-blocking: launch the simulation on a worker thread. */
     void start();
 
-    /** @return true when the accelerator finished (non-blocking). */
+    /**
+     * @return true when the accelerator finished (non-blocking).
+     * Safe to call from any host thread while the worker runs: it only
+     * reads the completion flag the simulator publishes atomically.
+     */
     bool check();
 
-    /** Block until the accelerator finishes; accumulates accel time. */
+    /**
+     * Block until the accelerator finishes. Joins the worker thread and
+     * credits the simulated accelerator seconds to the timing ledger
+     * exactly once, no matter how often it is called or from which join
+     * path (explicit wait, flush, destructor). Thread-safe.
+     */
     void wait();
 
-    /** genesis_flush: DMA an output buffer back; returns it. */
+    /**
+     * genesis_flush: DMA an output buffer back; returns it. Implies
+     * wait(): a running session is joined first, so the buffer is
+     * stable and the accelerator time is credited before the DMA is
+     * accounted.
+     */
     const modules::ColumnBuffer *flush(const std::string &colname);
 
     /**
@@ -131,8 +165,12 @@ class AcceleratorSession
     std::unique_ptr<sim::Simulator> sim_;
     TimingBreakdown timing_;
     std::thread worker_;
-    bool started_ = false;
+    /** Set (under joinMutex_) once start() launched the worker. */
+    std::atomic<bool> started_{false};
+    /** True once the worker has been joined (guarded by joinMutex_). */
     bool joined_ = false;
+    /** Serializes start()/wait() join bookkeeping across host threads. */
+    std::mutex joinMutex_;
 };
 
 /** Stopwatch that adds elapsed wall time to a session's host bucket. */

@@ -101,6 +101,7 @@ Simulator::creditSkippedCycles(uint64_t times)
 uint64_t
 Simulator::run(uint64_t max_cycles)
 {
+    finished_.store(false, std::memory_order_relaxed);
     // Deadlock horizon: generously above the worst legitimate quiet
     // period (memory latency plus arbitration backlog).
     const uint64_t deadlock_horizon =
@@ -177,6 +178,11 @@ Simulator::run(uint64_t max_cycles)
                   dumpState().c_str());
         }
     }
+    // Publish completion for cross-thread pollers: the cycle count
+    // first, then the flag that licenses reading it (release pairs with
+    // the acquire in finished()/finishedCycle()).
+    finishedCycle_.store(cycle_, std::memory_order_release);
+    finished_.store(true, std::memory_order_release);
     return cycle_;
 }
 

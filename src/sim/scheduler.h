@@ -11,6 +11,7 @@
 #ifndef GENESIS_SIM_SCHEDULER_H
 #define GENESIS_SIM_SCHEDULER_H
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,6 +87,28 @@ class Simulator
     bool allDone() const;
 
     /**
+     * True once run() has returned, published with release/acquire
+     * ordering so a host thread may poll it while a worker thread
+     * advances the simulation (the check_genesis path). Every other
+     * accessor of this class is single-writer: only the thread running
+     * run()/step() may touch the simulator until it is joined.
+     */
+    bool finished() const
+    {
+        return finished_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Cycle count published together with finished(): the total cycles
+     * simulated when run() last returned. Safe to read cross-thread
+     * once finished() is true.
+     */
+    uint64_t finishedCycle() const
+    {
+        return finishedCycle_.load(std::memory_order_acquire);
+    }
+
+    /**
      * Run until all modules are done.
      * @param max_cycles hard cap; exceeding it panics (runaway design)
      * @return total cycles simulated across all run() calls
@@ -141,6 +164,10 @@ class Simulator
     uint64_t cycle_ = 0;
     /** See progress(). */
     uint64_t progress_ = 0;
+    /** Completion flag published by run() (see finished()). */
+    std::atomic<bool> finished_{false};
+    /** Cycle count published by run() (see finishedCycle()). */
+    std::atomic<uint64_t> finishedCycle_{0};
     /** Queues with operations staged this cycle (commit work list). */
     std::vector<HardwareQueue *> dirtyQueues_;
     /** GENESIS_SIM_NO_FASTFORWARD escape hatch (read at construction). */

@@ -8,11 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
 #include "base/logging.h"
+#include "base/trace.h"
 #include "modules/memory_reader.h"
 #include "modules/memory_writer.h"
 #include "modules/reducer.h"
 #include "runtime/api.h"
+#include "runtime/batch.h"
 #include "table/column.h"
 
 namespace genesis::runtime {
@@ -117,6 +125,57 @@ TEST(Session, FlushUnknownBufferFatal)
     EXPECT_THROW(session.flush("nope"), FatalError);
 }
 
+/** Wire IN -> sum Reducer -> OUT into a session (test helper). */
+void
+wireSumPipeline(AcceleratorSession &session, std::vector<int64_t> values)
+{
+    std::vector<uint32_t> lens(values.size(), 1);
+    auto *in = session.configureMem("IN", std::move(values),
+                                    std::move(lens), 4);
+    auto *out = session.configureOutput("OUT", 4);
+    auto *q = session.sim().makeQueue("q");
+    auto *sum_q = session.sim().makeQueue("sum");
+    session.sim().make<modules::MemoryReader>(
+        "rd", in, session.sim().memory().makePort(0), q,
+        modules::MemoryReaderConfig{});
+    modules::ReducerConfig red;
+    red.op = modules::ReduceOp::Sum;
+    session.sim().make<modules::Reducer>("sum", q, sum_q, red);
+    modules::MemoryWriterConfig wr;
+    session.sim().make<modules::MemoryWriter>(
+        "wr", out, session.sim().memory().makePort(0), sum_q, wr);
+}
+
+TEST(Session, CheckPollsCompletionWithoutBlocking)
+{
+    AcceleratorSession session{RuntimeConfig{}};
+    wireSumPipeline(session, {5, 6, 7});
+    session.start();
+    // Poll from the host thread while the worker advances the sim; the
+    // completion flag is published atomically so this never races.
+    while (!session.check())
+        std::this_thread::yield();
+    const auto *flushed = session.flush("OUT");
+    ASSERT_EQ(flushed->elements.size(), 1u);
+    EXPECT_EQ(flushed->elements[0], 18);
+}
+
+TEST(Session, AccelTimeCreditedExactlyOnceAcrossJoinPaths)
+{
+    // flush() implies wait(): the accelerator seconds are credited even
+    // when the caller never waits explicitly.
+    AcceleratorSession session{RuntimeConfig{}};
+    wireSumPipeline(session, {1, 2, 3});
+    session.start();
+    session.flush("OUT");
+    double credited = session.timing().accelSeconds;
+    EXPECT_GT(credited, 0.0);
+    // Further joins (explicit or via the destructor) must not re-credit.
+    session.wait();
+    session.wait();
+    EXPECT_DOUBLE_EQ(session.timing().accelSeconds, credited);
+}
+
 TEST(Timing, BreakdownPercentagesAndAccumulate)
 {
     TimingBreakdown t;
@@ -218,6 +277,295 @@ TEST(PaperApiUnloaded, CallsWithoutImageFatal)
     uint8_t dummy = 0;
     EXPECT_THROW(configure_mem(&dummy, 1, 1, "X", 0), FatalError);
     EXPECT_THROW(genesis_load_image(sumImage, 0), FatalError);
+}
+
+// --- Host data decode / flush encode --------------------------------------
+
+/** Like sumImage but with a 64-bit SUM column, so the full sign-extended
+ *  sum survives the flush (narrow outputs would truncate the evidence). */
+void
+sumImage64(AcceleratorSession &session,
+           const std::function<
+               modules::ColumnBuffer *(const std::string &)> &input)
+{
+    auto *in = input("QUAL");
+    auto *out = session.configureOutput("SUM", 8);
+    auto *q = session.sim().makeQueue("q");
+    auto *sum_q = session.sim().makeQueue("sum");
+    session.sim().make<modules::MemoryReader>(
+        "rd", in, session.sim().memory().makePort(0), q,
+        modules::MemoryReaderConfig{});
+    modules::ReducerConfig red;
+    red.op = modules::ReduceOp::Sum;
+    session.sim().make<modules::Reducer>("red", q, sum_q, red);
+    session.sim().make<modules::MemoryWriter>(
+        "wr", out, session.sim().memory().makePort(0), sum_q,
+        modules::MemoryWriterConfig{});
+}
+
+/** Sum three negatives of host type T through the accelerator. A pure
+ *  round-trip cannot detect missing sign extension (truncation restores
+ *  the low bytes); arithmetic on the decoded values can. */
+template <typename T>
+void
+expectSignedSum()
+{
+    // min()+8 keeps the sign bit set at every width without the sum
+    // overflowing int64 (the accumulator type) in the T == int64 case.
+    T vals[3] = {static_cast<T>(-1), static_cast<T>(-5),
+                 static_cast<T>(std::numeric_limits<T>::min() + 8)};
+    int64_t expected = -1 - 5 +
+        (static_cast<int64_t>(std::numeric_limits<T>::min()) + 8);
+    int64_t out = 0;
+
+    genesis_load_image(sumImage64, 1);
+    configure_mem(vals, sizeof(T), 3, "QUAL", 0);
+    configure_mem(&out, 8, 1, "SUM", 0);
+    run_genesis(0);
+    genesis_flush(0);
+    genesis_unload_image();
+    EXPECT_EQ(out, expected) << "elemsize " << sizeof(T);
+}
+
+TEST(HostDecode, SignExtendsNarrowElements)
+{
+    expectSignedSum<int8_t>();
+    expectSignedSum<int16_t>();
+    expectSignedSum<int32_t>();
+    expectSignedSum<int64_t>();
+}
+
+TEST(HostDecode, RoundTripPreservesBytesAtEveryElemsize)
+{
+    for (int es : {1, 2, 4, 8}) {
+        // A pass-through image: reader straight into writer.
+        auto copy_image =
+            [es](AcceleratorSession &session,
+                 const std::function<
+                     modules::ColumnBuffer *(const std::string &)>
+                     &input) {
+                auto *in = input("VALS");
+                auto *out = session.configureOutput(
+                    "COPY", static_cast<uint32_t>(es));
+                auto *q = session.sim().makeQueue("q");
+                session.sim().make<modules::MemoryReader>(
+                    "rd", in, session.sim().memory().makePort(0), q,
+                    modules::MemoryReaderConfig{});
+                session.sim().make<modules::MemoryWriter>(
+                    "wr", out, session.sim().memory().makePort(0), q,
+                    modules::MemoryWriterConfig{});
+            };
+        genesis_load_image(copy_image, 1);
+
+        // 1, -1, min, max of the es-byte signed type, little-endian.
+        const int64_t min_v = es < 8
+            ? -(1ll << (8 * es - 1))
+            : std::numeric_limits<int64_t>::min();
+        const int64_t max_v = es < 8
+            ? (1ll << (8 * es - 1)) - 1
+            : std::numeric_limits<int64_t>::max();
+        const int64_t values[4] = {1, -1, min_v, max_v};
+        std::vector<uint8_t> src(4 * static_cast<size_t>(es));
+        for (size_t i = 0; i < 4; ++i) {
+            for (int b = 0; b < es; ++b)
+                src[i * static_cast<size_t>(es) +
+                    static_cast<size_t>(b)] =
+                    static_cast<uint8_t>(
+                        (static_cast<uint64_t>(values[i]) >> (8 * b)) &
+                        0xff);
+        }
+        std::vector<uint8_t> dst(src.size(), 0xAA);
+
+        configure_mem(src.data(), es, 4, "VALS", 0);
+        configure_mem(dst.data(), es, 4, "COPY", 0);
+        run_genesis(0);
+        genesis_flush(0);
+        genesis_unload_image();
+        EXPECT_EQ(src, dst) << "elemsize " << es;
+    }
+}
+
+TEST_F(PaperApi, FlushTruncationWarnsButKeepsPrefix)
+{
+    uint8_t quals[4] = {10, 20, 30, 40};
+    uint32_t sum_out = 0xdeadbeef;
+
+    configure_mem(quals, 1, 4, "QUAL", 0);
+    // Host buffer holds zero elements: the produced sum must be dropped
+    // loudly (a warning), never silently.
+    configure_mem(&sum_out, 4, 0, "SUM", 0);
+    run_genesis(0);
+    genesis_flush(0);
+    EXPECT_EQ(sum_out, 0xdeadbeefu); // nothing written past the buffer
+}
+
+TEST(PaperApiStrict, FlushTruncationFatalUnderStrictFlush)
+{
+    RuntimeConfig cfg;
+    cfg.strictFlush = true;
+    genesis_load_image(sumImage, 1, cfg);
+    uint8_t quals[2] = {1, 2};
+    uint32_t sum_out = 0;
+    configure_mem(quals, 1, 2, "QUAL", 0);
+    configure_mem(&sum_out, 4, 0, "SUM", 0);
+    run_genesis(0);
+    EXPECT_THROW(genesis_flush(0), FatalError);
+    genesis_unload_image();
+}
+
+// --- Concurrent multi-pipeline drivers ------------------------------------
+
+/** The qual values pipeline p streams in round r (length varies too). */
+std::vector<uint8_t>
+concurrentQuals(int pipeline, int round)
+{
+    std::vector<uint8_t> quals(3 + static_cast<size_t>(pipeline));
+    for (size_t i = 0; i < quals.size(); ++i) {
+        quals[i] = static_cast<uint8_t>(
+            (pipeline * 16 + round * 4 + static_cast<int>(i)) & 0x7f);
+    }
+    return quals;
+}
+
+TEST(PaperApiConcurrent, FourPipelinesMatchSequentialBitForBit)
+{
+    constexpr int kPipelines = 4;
+    constexpr int kRounds = 3;
+
+    // Sequential reference run.
+    uint32_t expected[kPipelines][kRounds] = {};
+    genesis_load_image(sumImage, kPipelines);
+    for (int p = 0; p < kPipelines; ++p) {
+        for (int r = 0; r < kRounds; ++r) {
+            auto quals = concurrentQuals(p, r);
+            uint32_t out = 0;
+            configure_mem(quals.data(), 1,
+                          static_cast<int>(quals.size()), "QUAL", p);
+            configure_mem(&out, 4, 1, "SUM", p);
+            run_genesis(p);
+            genesis_flush(p);
+            expected[p][r] = out;
+        }
+    }
+    genesis_unload_image();
+
+    // Concurrent run: one host thread per pipeline, all rounds.
+    uint32_t actual[kPipelines][kRounds] = {};
+    genesis_load_image(sumImage, kPipelines);
+    std::vector<std::thread> drivers;
+    for (int p = 0; p < kPipelines; ++p) {
+        drivers.emplace_back([p, &actual] {
+            for (int r = 0; r < kRounds; ++r) {
+                auto quals = concurrentQuals(p, r);
+                uint32_t out = 0;
+                configure_mem(quals.data(), 1,
+                              static_cast<int>(quals.size()), "QUAL",
+                              p);
+                configure_mem(&out, 4, 1, "SUM", p);
+                run_genesis(p);
+                while (!check_genesis(p))
+                    std::this_thread::yield();
+                wait_genesis(p);
+                genesis_flush(p);
+                actual[p][r] = out;
+                EXPECT_GT(genesis_timing(p).accelSeconds, 0.0);
+            }
+        });
+    }
+    for (auto &t : drivers)
+        t.join();
+    genesis_unload_image();
+
+    for (int p = 0; p < kPipelines; ++p) {
+        for (int r = 0; r < kRounds; ++r)
+            EXPECT_EQ(actual[p][r], expected[p][r])
+                << "pipeline " << p << " round " << r;
+    }
+}
+
+TEST(PaperApiConcurrent, SharedTraceSinkCollectsEveryPipeline)
+{
+    constexpr int kPipelines = 4;
+    TraceSink sink;
+    genesis_load_image(sumImage, kPipelines);
+    genesis_trace(&sink);
+
+    std::vector<std::thread> drivers;
+    for (int p = 0; p < kPipelines; ++p) {
+        drivers.emplace_back([p] {
+            auto quals = concurrentQuals(p, 0);
+            uint32_t out = 0;
+            configure_mem(quals.data(), 1,
+                          static_cast<int>(quals.size()), "QUAL", p);
+            configure_mem(&out, 4, 1, "SUM", p);
+            run_genesis(p);
+            genesis_flush(p);
+        });
+    }
+    for (auto &t : drivers)
+        t.join();
+    genesis_unload_image();
+
+    // Each concurrently run pipeline recorded privately and was merged
+    // into the shared sink as its own trace process.
+    sink.finish();
+    EXPECT_EQ(sink.numProcesses(), 4u);
+    EXPECT_FALSE(sink.spans().empty());
+}
+
+// --- BatchRunner -----------------------------------------------------------
+
+TEST(Batch, ShardsAcrossLanesMergeResultsAndTiming)
+{
+    constexpr size_t kShards = 7;
+    BatchConfig cfg;
+    cfg.numLanes = 3;
+    BatchRunner runner(cfg);
+
+    int64_t results[kShards] = {};
+    BatchStats stats = runner.run(
+        kShards,
+        [](size_t shard, AcceleratorSession &session) {
+            int64_t base = static_cast<int64_t>(shard) * 10;
+            wireSumPipeline(session, {base + 1, base + 2, base + 3});
+        },
+        [&results](size_t shard, AcceleratorSession &session) {
+            const auto *flushed = session.flush("OUT");
+            ASSERT_EQ(flushed->elements.size(), 1u);
+            results[shard] = flushed->elements[0];
+        });
+
+    for (size_t s = 0; s < kShards; ++s)
+        EXPECT_EQ(results[s], static_cast<int64_t>(s) * 30 + 6);
+    EXPECT_EQ(stats.shards, kShards);
+    EXPECT_GT(stats.totalCycles, 0u);
+    EXPECT_GT(stats.timing.accelSeconds, 0.0);
+    EXPECT_GT(stats.timing.dmaSeconds, 0.0);
+    EXPECT_GE(stats.wallSeconds, 0.0);
+}
+
+TEST(Batch, ShardTracesMergeIntoSharedSink)
+{
+    TraceSink sink;
+    BatchConfig cfg;
+    cfg.numLanes = 2;
+    cfg.runtime.trace = &sink;
+    cfg.runtime.traceLabel = "batch";
+    BatchRunner runner(cfg);
+
+    runner.run(
+        3,
+        [](size_t, AcceleratorSession &session) {
+            wireSumPipeline(session, {1, 2, 3});
+        },
+        [](size_t, AcceleratorSession &session) {
+            session.flush("OUT");
+        });
+
+    sink.finish();
+    // One trace process per shard, adopted as each shard retired.
+    EXPECT_EQ(sink.numProcesses(), 3u);
+    EXPECT_FALSE(sink.spans().empty());
 }
 
 } // namespace

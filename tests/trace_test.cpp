@@ -117,6 +117,66 @@ TEST(TraceSink, ProcessNamesDeduplicate)
     EXPECT_EQ(t.numProcesses(), 3u);
 }
 
+TEST(TraceSink, AdoptMergesRemapsAndResetsChild)
+{
+    TraceSink parent;
+    int ppid = parent.beginProcess("main");
+    int ptrack = parent.addSpanTrack(ppid, "m");
+    parent.mark(ptrack, 0, TraceSink::kStateBusy);
+
+    TraceSink child;
+    int cpid = child.beginProcess("shard");
+    int ctrack = child.addSpanTrack(cpid, "w");
+    TraceSink::StateId stall = child.internState("stall.mem");
+    child.mark(ctrack, 0, TraceSink::kStateBusy);
+    child.mark(ctrack, 1, stall);
+    int ccounter = child.addCounterTrack(cpid, "q");
+    child.counter(ccounter, 0, 7);
+    int casync = child.addAsyncTrack(cpid, "mem");
+    uint64_t id = child.newAsyncId();
+    child.asyncBegin(casync, id, 0, stall);
+    child.asyncEnd(casync, id, 2, stall);
+
+    parent.adopt(child);
+    parent.finish();
+
+    EXPECT_EQ(parent.numProcesses(), 2u);
+    // The child's recordings are reachable under remapped track/state
+    // ids, reading as if recorded into the parent directly.
+    std::map<std::string, uint64_t> totals;
+    for (const auto &span : parent.spans()) {
+        totals[parent.trackProcess(span.track) + "/" +
+               parent.trackName(span.track) + "/" +
+               parent.stateName(span.state)] += span.end - span.begin;
+    }
+    EXPECT_EQ(totals.at("main/m/busy"), 1u);
+    EXPECT_EQ(totals.at("shard/w/busy"), 1u);
+    EXPECT_EQ(totals.at("shard/w/stall.mem"), 1u);
+    EXPECT_GE(parent.numEvents(), 3u); // counter + async begin/end
+
+    // The child came back empty and reusable.
+    EXPECT_EQ(child.numProcesses(), 0u);
+    EXPECT_TRUE(child.spans().empty());
+    EXPECT_EQ(child.numEvents(), 0u);
+}
+
+TEST(TraceSink, AdoptDeduplicatesRepeatedProcessNames)
+{
+    TraceSink parent;
+    for (int round = 0; round < 3; ++round) {
+        TraceSink child;
+        int pid = child.beginProcess("pipeline0");
+        int track = child.addSpanTrack(pid, "m");
+        child.mark(track, 0, TraceSink::kStateBusy);
+        parent.adopt(child);
+        // Adopting the now-reset child again must be a harmless no-op.
+        parent.adopt(child);
+    }
+    parent.finish();
+    EXPECT_EQ(parent.numProcesses(), 3u);
+    EXPECT_EQ(parent.spans().size(), 3u);
+}
+
 TEST(TraceSink, UtilizationSummaryNamesTopStall)
 {
     TraceSink t;
