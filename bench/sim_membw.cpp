@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Memory-model bandwidth microbench.
+ *
+ * Drives the MemorySystem directly (no pipeline modules) with four
+ * address-stream shapes and reports the effective bandwidth each
+ * sustains, making the DRAM model's row/bank/interleave effects visible
+ * as numbers CI can trend:
+ *
+ *  - "streaming":           aligned sequential reads, full granules
+ *  - "streaming_unaligned": the same stream shifted +13 B, exercising
+ *                           boundary splitting and tail/head coalescing
+ *  - "strided":             row-granular stride, defeating the open-row
+ *                           buffer (every access is a row miss)
+ *  - "gather":              small unaligned reads at LCG-scattered
+ *                           addresses, the markdup/BQSR gather shape
+ *
+ * Each pattern issues the same byte volume through the same number of
+ * ports, so bytes/cycle is directly comparable across rows. Output is
+ * one JSON object per line; pass `--out <path>` to also write the lines
+ * to a file (CI uploads it as an artifact). Scale the per-pattern byte
+ * volume with GENESIS_MEMBW_BYTES (default 1 MiB).
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/memory.h"
+
+using namespace genesis;
+
+namespace {
+
+/** Next request of one synthetic address stream. */
+struct Request {
+    uint64_t addr = 0;
+    uint32_t bytes = 0;
+};
+
+/** Stateful generator for one port's share of a pattern. */
+class Stream
+{
+  public:
+    enum class Kind { Streaming, StreamingUnaligned, Strided, Gather };
+
+    Stream(Kind kind, int port_index, uint64_t budget_bytes,
+           const sim::MemoryConfig &cfg)
+        : kind_(kind), remaining_(budget_bytes),
+          // Disjoint 64 MiB regions keep ports from aliasing rows; the
+          // extra row of skew starts each port on a different bank so
+          // lockstep streams don't close each other's open rows.
+          base_((static_cast<uint64_t>(port_index) << 26) +
+                static_cast<uint64_t>(port_index) * cfg.rowBytes *
+                    static_cast<uint64_t>(cfg.numChannels)),
+          rowStride_(static_cast<uint64_t>(cfg.rowBytes) *
+                     static_cast<uint64_t>(cfg.numChannels)),
+          lcg_(0x9e3779b97f4a7c15ull + static_cast<uint64_t>(port_index))
+    {
+    }
+
+    bool exhausted() const { return remaining_ == 0; }
+
+    Request
+    next()
+    {
+        Request r;
+        switch (kind_) {
+          case Kind::Streaming:
+            r.addr = base_ + offset_;
+            r.bytes = static_cast<uint32_t>(
+                std::min<uint64_t>(64, remaining_));
+            offset_ += r.bytes;
+            break;
+          case Kind::StreamingUnaligned:
+            r.addr = base_ + offset_ + 13;
+            r.bytes = static_cast<uint32_t>(
+                std::min<uint64_t>(64, remaining_));
+            offset_ += r.bytes;
+            break;
+          case Kind::Strided:
+            // One granule per row: every access opens a fresh row.
+            r.addr = base_ + offset_;
+            r.bytes = static_cast<uint32_t>(
+                std::min<uint64_t>(64, remaining_));
+            offset_ += rowStride_;
+            break;
+          case Kind::Gather:
+            lcg_ = lcg_ * 6364136223846793005ull +
+                1442695040888963407ull;
+            // Scattered unaligned reads inside a 32 MiB footprint.
+            r.addr = base_ + ((lcg_ >> 16) & ((32ull << 20) - 1));
+            r.bytes = static_cast<uint32_t>(
+                std::min<uint64_t>(16, remaining_));
+            break;
+        }
+        remaining_ -= r.bytes;
+        return r;
+    }
+
+  private:
+    Kind kind_;
+    uint64_t remaining_;
+    uint64_t base_;
+    uint64_t offset_ = 0;
+    uint64_t rowStride_;
+    uint64_t lcg_;
+};
+
+/** Run one pattern to completion and emit its JSON line. */
+std::string
+runPattern(const char *name, Stream::Kind kind, uint64_t total_bytes,
+           int num_ports)
+{
+    sim::MemoryConfig cfg;
+    sim::MemorySystem mem(cfg);
+    std::vector<sim::MemoryPort *> ports;
+    std::vector<Stream> streams;
+    for (int p = 0; p < num_ports; ++p) {
+        ports.push_back(mem.makePort(p));
+        streams.emplace_back(kind, p,
+                             total_bytes / static_cast<uint64_t>(
+                                 num_ports), cfg);
+    }
+
+    uint64_t issued = 0;
+    bool all_exhausted = false;
+    while (!all_exhausted || !mem.idle()) {
+        all_exhausted = true;
+        for (int p = 0; p < num_ports; ++p) {
+            while (!streams[static_cast<size_t>(p)].exhausted() &&
+                   ports[static_cast<size_t>(p)]->canIssue()) {
+                Request r = streams[static_cast<size_t>(p)].next();
+                ports[static_cast<size_t>(p)]->issue(r.addr, r.bytes,
+                                                     false);
+                issued += r.bytes;
+            }
+            if (!streams[static_cast<size_t>(p)].exhausted())
+                all_exhausted = false;
+        }
+        mem.tick();
+        for (auto *port : ports)
+            port->takeCompletedReadBytes();
+    }
+    mem.assertStatInvariant();
+
+    uint64_t cycles = mem.cycle();
+    uint64_t ch_min = ~0ull, ch_max = 0;
+    for (int ch = 0; ch < cfg.numChannels; ++ch) {
+        uint64_t b = mem.channelBytes(ch);
+        ch_min = std::min(ch_min, b);
+        ch_max = std::max(ch_max, b);
+    }
+    const auto &stats = mem.stats();
+    char line[640];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\": \"sim_membw\", \"pattern\": \"%s\", "
+        "\"bytes\": %" PRIu64 ", \"cycles\": %" PRIu64 ", "
+        "\"bytes_per_cycle\": %.3f, "
+        "\"sub_requests\": %" PRIu64 ", "
+        "\"coalesced_sub_requests\": %" PRIu64 ", "
+        "\"row_hits\": %" PRIu64 ", \"row_misses\": %" PRIu64 ", "
+        "\"bank_conflict_cycles\": %" PRIu64 ", "
+        "\"channel_busy_cycles\": %" PRIu64 ", "
+        "\"channel_idle_cycles\": %" PRIu64 ", "
+        "\"channel_bytes_min\": %" PRIu64 ", "
+        "\"channel_bytes_max\": %" PRIu64 "}",
+        name, issued, cycles,
+        cycles ? static_cast<double>(issued) /
+                static_cast<double>(cycles) : 0.0,
+        stats.get("sub_requests"), stats.get("coalesced_sub_requests"),
+        stats.get("row_hits"), stats.get("row_misses"),
+        stats.get("bank_conflict_cycles"),
+        stats.get("channel_busy_cycles"),
+        stats.get("channel_idle_cycles"), ch_min, ch_max);
+    return std::string(line);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--out results.json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    uint64_t total_bytes = 1ull << 20;
+    if (const char *env = std::getenv("GENESIS_MEMBW_BYTES")) {
+        long long v = std::atoll(env);
+        if (v > 0)
+            total_bytes = static_cast<uint64_t>(v);
+    }
+
+    const int kPorts = 4;
+    std::vector<std::string> lines;
+    lines.push_back(runPattern("streaming", Stream::Kind::Streaming,
+                               total_bytes, kPorts));
+    lines.push_back(runPattern("streaming_unaligned",
+                               Stream::Kind::StreamingUnaligned,
+                               total_bytes, kPorts));
+    lines.push_back(runPattern("strided", Stream::Kind::Strided,
+                               total_bytes, kPorts));
+    lines.push_back(runPattern("gather", Stream::Kind::Gather,
+                               total_bytes, kPorts));
+
+    for (const auto &line : lines)
+        std::printf("%s\n", line.c_str());
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out_path);
+            return 1;
+        }
+        for (const auto &line : lines)
+            std::fprintf(f, "%s\n", line.c_str());
+        std::fclose(f);
+    }
+    return 0;
+}

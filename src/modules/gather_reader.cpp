@@ -19,12 +19,12 @@ GatherReader::GatherReader(std::string name, const ColumnBuffer *buffer,
 {
     GENESIS_ASSERT(buffer_ && port_ && startIn_ && endIn_ && out_,
                    "gather reader wiring");
+    granularity_ = port_->checkedAccessGranularity("gather reader");
 }
 
 void
 GatherReader::tick()
 {
-    constexpr uint32_t kAccessGranularity = 64;
     if (closed_)
         return;
 
@@ -38,7 +38,7 @@ GatherReader::tick()
                 cursor_ - config_.addrBase) * buffer_->elemSizeBytes +
                 bytesRequested_ - bytesConsumed_;
             uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
-                kAccessGranularity, interval_bytes - bytesRequested_));
+                granularity_, interval_bytes - bytesRequested_));
             port_->issue(buffer_->baseAddr + offset, chunk, false);
             bytesRequested_ += chunk;
         }

@@ -51,6 +51,8 @@ class GatherReader : public sim::Module
     sim::HardwareQueue *endIn_;
     sim::HardwareQueue *out_;
     GatherReaderConfig config_;
+    /** Request chunk size, from the memory system's MemoryConfig. */
+    uint32_t granularity_ = 0;
 
     bool intervalActive_ = false;
     int64_t cursor_ = 0;      ///< next position to emit

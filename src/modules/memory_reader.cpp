@@ -16,6 +16,7 @@ MemoryReader::MemoryReader(std::string name, const ColumnBuffer *buffer,
 {
     GENESIS_ASSERT(buffer_ && port_ && out_,
                    "memory reader needs buffer, port and output queue");
+    granularity_ = port_->checkedAccessGranularity("memory reader");
     if (!buffer_->rowLengths.empty()) {
         rowRemaining_ = buffer_->rowLengths[0];
         rowLoaded_ = true;
@@ -30,15 +31,14 @@ MemoryReader::tick()
 
     // 1. Keep the prefetch pipeline full: request more bytes while the
     //    in-flight + buffered volume stays under the prefetch capacity.
-    //    Requests go out at the memory access granularity (64 B).
-    constexpr uint32_t kAccessGranularity = 64;
+    //    Requests go out at the configured memory access granularity.
     const uint64_t total = buffer_->totalBytes();
     while (bytesRequested_ < total && port_->canIssue()) {
         uint64_t in_flight_or_buffered = bytesRequested_ - bytesConsumed_;
         if (in_flight_or_buffered >= config_.prefetchBytes)
             break;
         uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
-            kAccessGranularity, total - bytesRequested_));
+            granularity_, total - bytesRequested_));
         port_->issue(buffer_->baseAddr + bytesRequested_, chunk, false);
         bytesRequested_ += chunk;
     }

@@ -50,6 +50,8 @@ class MemoryReader : public sim::Module
     sim::MemoryPort *port_;
     sim::HardwareQueue *out_;
     MemoryReaderConfig config_;
+    /** Request chunk size, from the memory system's MemoryConfig. */
+    uint32_t granularity_ = 0;
 
     uint64_t bytesRequested_ = 0;
     uint64_t bytesArrived_ = 0;

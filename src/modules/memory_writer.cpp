@@ -16,14 +16,13 @@ MemoryWriter::MemoryWriter(std::string name, ColumnBuffer *buffer,
 {
     GENESIS_ASSERT(buffer_ && port_ && in_,
                    "memory writer needs buffer, port and input queue");
+    granularity_ = port_->checkedAccessGranularity("memory writer");
     buffer_->elemSizeBytes = config_.elemSizeBytes;
 }
 
 void
 MemoryWriter::tick()
 {
-    constexpr uint32_t kAccessGranularity = 64;
-
     // Accept at most one flit per cycle.
     if (in_->canPop()) {
         const Flit &head = in_->front();
@@ -36,7 +35,7 @@ MemoryWriter::tick()
         } else {
             // Issue backpressure by not popping when the port is saturated
             // far beyond a full chunk.
-            if (bytesAccumulated_ < 4 * kAccessGranularity) {
+            if (bytesAccumulated_ < 4ull * granularity_) {
                 Flit flit = in_->pop();
                 int64_t v = config_.fieldIndex < 0
                     ? flit.key : flit.fieldAt(config_.fieldIndex);
@@ -64,11 +63,11 @@ MemoryWriter::tick()
     }
 
     // Issue write requests for full chunks (or the final partial chunk).
-    while (bytesAccumulated_ >= kAccessGranularity && port_->canIssue()) {
-        port_->issue(buffer_->baseAddr + bytesIssued_, kAccessGranularity,
+    while (bytesAccumulated_ >= granularity_ && port_->canIssue()) {
+        port_->issue(buffer_->baseAddr + bytesIssued_, granularity_,
                      true);
-        bytesIssued_ += kAccessGranularity;
-        bytesAccumulated_ -= kAccessGranularity;
+        bytesIssued_ += granularity_;
+        bytesAccumulated_ -= granularity_;
     }
     if (inputDrained_ && bytesAccumulated_ > 0 && port_->canIssue()) {
         port_->issue(buffer_->baseAddr + bytesIssued_,

@@ -51,6 +51,8 @@ class MemoryWriter : public sim::Module
     sim::MemoryPort *port_;
     sim::HardwareQueue *in_;
     MemoryWriterConfig config_;
+    /** Request chunk size, from the memory system's MemoryConfig. */
+    uint32_t granularity_ = 0;
 
     std::vector<int64_t> currentRow_;
     uint64_t bytesAccumulated_ = 0; ///< accepted but not yet requested

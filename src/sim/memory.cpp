@@ -1,5 +1,7 @@
 #include "sim/memory.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
 
 namespace genesis::sim {
@@ -10,6 +12,69 @@ MemoryPort::canIssue() const
     return pending_.size() < queueDepth_;
 }
 
+uint32_t
+MemoryPort::accessGranularity() const
+{
+    return owner_->config().accessGranularity;
+}
+
+uint32_t
+MemoryPort::checkedAccessGranularity(const char *who) const
+{
+    uint32_t gran = accessGranularity();
+    if (gran == 0 || (gran & (gran - 1)))
+        fatal("%s: access granularity %u is not a non-zero power of two",
+              who, gran);
+    return gran;
+}
+
+void
+MemoryPort::enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write)
+{
+    MemorySystem::DramLoc loc = owner_->locate(addr);
+
+    // MSHR-style coalescing: a slice that directly extends the youngest
+    // still-unscheduled sub-request (same direction, same channel, same
+    // bank and row, contiguous address) joins its burst instead of
+    // paying a second access. Typical case: the tail slice of one
+    // unaligned streaming request and the head slice of the next fall
+    // into the same interleave granule.
+    if (!pending_.empty()) {
+        SubRequest &tail = pending_.back();
+        if (!tail.scheduled && tail.isWrite == is_write &&
+            tail.channel == loc.channel && tail.bank == loc.bank &&
+            tail.row == loc.row && tail.addr + tail.bytes == addr &&
+            tail.bytes + bytes <= owner_->config().maxBurstBytes) {
+            tail.bytes += bytes;
+            ++*owner_->coalesced_;
+            if (trace_) {
+                trace_->asyncInstant(traceTrack_, tail.traceId,
+                                     *traceCycle_, stateCoalesce_,
+                                     traceArgs("bytes", tail.bytes));
+            }
+            return;
+        }
+    }
+
+    SubRequest req;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.isWrite = is_write;
+    req.channel = loc.channel;
+    req.bank = loc.bank;
+    req.row = loc.row;
+    if (trace_) {
+        req.traceId = trace_->newAsyncId();
+        trace_->asyncBegin(traceTrack_, req.traceId, *traceCycle_,
+                           is_write ? stateWrite_ : stateRead_,
+                           traceArgs("addr", addr, "bytes", bytes,
+                                     "channel",
+                                     static_cast<uint64_t>(loc.channel)));
+    }
+    pending_.push_back(req);
+    ++*owner_->subRequests_;
+}
+
 void
 MemoryPort::issue(uint64_t addr, uint32_t bytes, bool is_write)
 {
@@ -17,17 +82,21 @@ MemoryPort::issue(uint64_t addr, uint32_t bytes, bool is_write)
         panic("memory port %d: issue to full queue", id_);
     if (bytes == 0)
         panic("memory port %d: zero-byte request", id_);
-    Request req;
-    req.addr = addr;
-    req.bytes = bytes;
-    req.isWrite = is_write;
-    if (trace_) {
-        req.traceId = trace_->newAsyncId();
-        trace_->asyncBegin(traceTrack_, req.traceId, *traceCycle_,
-                           is_write ? stateWrite_ : stateRead_,
-                           traceArgs("addr", addr, "bytes", bytes));
+
+    // Split at interleave-granularity boundaries so every slice lands on
+    // the channel its own address maps to; the old model timed a whole
+    // request on the channel of its first byte.
+    const uint64_t gran = owner_->config().accessGranularity;
+    uint64_t cur = addr;
+    const uint64_t end = addr + bytes;
+    while (cur < end) {
+        uint64_t granule_end = (cur / gran + 1) * gran;
+        uint32_t slice =
+            static_cast<uint32_t>(std::min(end, granule_end) - cur);
+        enqueueSlice(cur, slice, is_write);
+        cur += slice;
     }
-    pending_.push_back(req);
+    ++*owner_->requests_;
     if (progress_)
         ++*progress_;
 }
@@ -46,9 +115,71 @@ MemorySystem::MemorySystem(const MemoryConfig &config) : config_(config)
         fatal("memory system needs at least one channel");
     if (config_.bytesPerCyclePerChannel == 0)
         fatal("channel bandwidth must be non-zero");
+    if (config_.accessGranularity == 0 ||
+        (config_.accessGranularity & (config_.accessGranularity - 1))) {
+        fatal("access granularity %u is not a non-zero power of two",
+              config_.accessGranularity);
+    }
+    if (config_.banksPerChannel < 1)
+        fatal("memory system needs at least one bank per channel");
+    if (config_.rowBytes < config_.accessGranularity ||
+        config_.rowBytes % config_.accessGranularity) {
+        fatal("row size %u must be a multiple of the %u B granularity",
+              config_.rowBytes, config_.accessGranularity);
+    }
+    if (config_.maxBurstBytes < config_.accessGranularity)
+        fatal("max burst %u below access granularity",
+              config_.maxBurstBytes);
+    if (config_.rowHitLatencyCycles == 0)
+        config_.rowHitLatencyCycles = config_.latencyCycles / 2;
+
     channelBusyUntil_.assign(static_cast<size_t>(config_.numChannels), 0);
+    banks_.assign(static_cast<size_t>(config_.numChannels) *
+                      static_cast<size_t>(config_.banksPerChannel),
+                  Bank());
     globalArbiters_.assign(static_cast<size_t>(config_.numChannels),
                            RoundRobinArbiter());
+    channelBytes_.reserve(static_cast<size_t>(config_.numChannels));
+    for (int ch = 0; ch < config_.numChannels; ++ch) {
+        channelBytes_.push_back(
+            stats_.counter("ch" + std::to_string(ch) + "_bytes"));
+    }
+}
+
+MemorySystem::DramLoc
+MemorySystem::locate(uint64_t addr) const
+{
+    // Granules interleave round-robin over channels; the channel-local
+    // address (granule index within the channel, plus the offset inside
+    // the granule) then maps to a row, and consecutive rows interleave
+    // over the channel's banks.
+    const uint64_t gran = config_.accessGranularity;
+    const uint64_t channels = static_cast<uint64_t>(config_.numChannels);
+    uint64_t granule = addr / gran;
+    uint64_t local = (granule / channels) * gran + (addr % gran);
+    uint64_t row = local / config_.rowBytes;
+    DramLoc loc;
+    loc.channel = static_cast<int>(granule % channels);
+    loc.bank = static_cast<int>(
+        row % static_cast<uint64_t>(config_.banksPerChannel));
+    loc.row = row;
+    return loc;
+}
+
+MemorySystem::Bank &
+MemorySystem::bankAt(int channel, int bank)
+{
+    return banks_[static_cast<size_t>(channel) *
+                      static_cast<size_t>(config_.banksPerChannel) +
+                  static_cast<size_t>(bank)];
+}
+
+const MemorySystem::Bank &
+MemorySystem::bankAt(int channel, int bank) const
+{
+    return banks_[static_cast<size_t>(channel) *
+                      static_cast<size_t>(config_.banksPerChannel) +
+                  static_cast<size_t>(bank)];
 }
 
 void
@@ -68,6 +199,7 @@ MemorySystem::attachPortTrace(MemoryPort &port)
         tracePid_, "mem.port" + std::to_string(port.id_));
     port.stateRead_ = trace_->internState("read");
     port.stateWrite_ = trace_->internState("write");
+    port.stateCoalesce_ = trace_->internState("coalesce");
 }
 
 void
@@ -92,7 +224,7 @@ MemorySystem::makePort(int local_group)
         fatal("negative local arbiter group");
     int id = static_cast<int>(ports_.size());
     auto port =
-        std::unique_ptr<MemoryPort>(new MemoryPort(id, local_group));
+        std::unique_ptr<MemoryPort>(new MemoryPort(id, local_group, this));
     port->queueDepth_ = config_.portQueueDepth;
     port->progress_ = progress_;
     if (trace_)
@@ -113,11 +245,10 @@ MemorySystem::makePort(int local_group)
     return ports_.back().get();
 }
 
-int
-MemorySystem::channelOf(uint64_t addr) const
+uint64_t
+MemorySystem::channelBytes(int channel) const
 {
-    return static_cast<int>((addr / config_.accessGranularity) %
-                            static_cast<uint64_t>(config_.numChannels));
+    return *channelBytes_[static_cast<size_t>(channel)];
 }
 
 void
@@ -125,8 +256,8 @@ MemorySystem::tick()
 {
     ++cycle_;
 
-    // Each local arbiter forwards at most one request per cycle; each
-    // channel's global arbiter accepts at most one request per cycle.
+    // Each local arbiter forwards at most one sub-request per cycle;
+    // each channel's global arbiter accepts at most one per cycle.
     groupUsedScratch_.assign(localArbiters_.size(), 0);
     auto &group_used = groupUsedScratch_;
 
@@ -135,7 +266,8 @@ MemorySystem::tick()
             continue; // data bus still transferring a prior request
 
         // A group is eligible when one of its ports has an unscheduled
-        // head request destined for this channel.
+        // head sub-request destined for this channel whose bank has
+        // finished its previous access phase.
         auto port_eligible = [&](size_t group, size_t slot) {
             if (group >= groupPorts_.size() ||
                 slot >= groupPorts_[group].size()) {
@@ -145,7 +277,8 @@ MemorySystem::tick()
             if (p.pending_.empty())
                 return false;
             const auto &head = p.pending_.front();
-            return !head.scheduled && channelOf(head.addr) == ch;
+            return !head.scheduled && head.channel == ch &&
+                bankAt(ch, head.bank).busyUntil <= cycle_;
         };
 
         int group = globalArbiters_[static_cast<size_t>(ch)].grant(
@@ -159,7 +292,19 @@ MemorySystem::tick()
                 return false;
             });
         if (group < 0) {
-            ++*channelIdleCycles_;
+            // Free bus with nothing schedulable: if a head was turned
+            // away solely because its bank is mid-access, record the
+            // bank conflict (at most once per channel per cycle).
+            for (const auto &p : ports_) {
+                if (p->pending_.empty())
+                    continue;
+                const auto &head = p->pending_.front();
+                if (!head.scheduled && head.channel == ch &&
+                    bankAt(ch, head.bank).busyUntil > cycle_) {
+                    ++*bankConflictCycles_;
+                    break;
+                }
+            }
             continue;
         }
         group_used[static_cast<size_t>(group)] = 1;
@@ -174,29 +319,46 @@ MemorySystem::tick()
             groupPorts_[static_cast<size_t>(group)]
                        [static_cast<size_t>(slot)];
         auto &req = ports_[port_idx]->pending_.front();
+        Bank &bank = bankAt(ch, req.bank);
+        bool row_hit = bank.openRow == req.row;
+        uint64_t access_latency = row_hit
+            ? config_.rowHitLatencyCycles : config_.latencyCycles;
         uint64_t transfer_cycles =
             (req.bytes + config_.bytesPerCyclePerChannel - 1) /
             config_.bytesPerCyclePerChannel;
         req.scheduled = true;
-        req.completeCycle = cycle_ + config_.latencyCycles +
-            transfer_cycles;
+        req.completeCycle = cycle_ + access_latency + transfer_cycles;
         channelBusyUntil_[static_cast<size_t>(ch)] =
             cycle_ + transfer_cycles;
+        bank.openRow = req.row;
+        bank.busyUntil = cycle_ + access_latency;
 
-        ++*requests_;
+        ++*(row_hit ? rowHits_ : rowMisses_);
         *(req.isWrite ? writeBytes_ : readBytes_) += req.bytes;
-        *channelBusyCycles_ += transfer_cycles;
+        *channelBytes_[static_cast<size_t>(ch)] += req.bytes;
         ++*progress_; // scheduling is architectural progress
         if (trace_) {
             trace_->asyncInstant(
                 ports_[port_idx]->traceTrack_, req.traceId, cycle_,
                 stateSchedule_,
                 traceArgs("channel", static_cast<uint64_t>(ch),
-                          "transfer_cycles", transfer_cycles));
+                          "transfer_cycles", transfer_cycles,
+                          "row_hit", row_hit ? 1 : 0));
             trace_->span(channelTracks_[static_cast<size_t>(ch)],
                          TraceSink::kStateBusy, cycle_,
                          cycle_ + transfer_cycles);
         }
+    }
+
+    // Exactly one of busy/idle accrues per channel per cycle, so
+    // channel_busy_cycles + channel_idle_cycles == numChannels x cycles
+    // holds at every tick boundary (assertStatInvariant). A channel that
+    // scheduled this cycle counts as busy from this cycle on.
+    for (int ch = 0; ch < config_.numChannels; ++ch) {
+        if (channelBusyUntil_[static_cast<size_t>(ch)] > cycle_)
+            ++*channelBusyCycles_;
+        else
+            ++*channelIdleCycles_;
     }
 
     // Retire completions in issue order per port.
@@ -230,8 +392,8 @@ MemorySystem::nextEventCycle() const
     };
     // Head completions: the retire loop stops at each port's head, so a
     // port's next retirement happens at its head's completeCycle. An
-    // unscheduled head waits for its channel to free, which the
-    // channel-expiry scan below covers (a free channel with an eligible
+    // unscheduled head waits for its channel bus or bank to free, which
+    // the two expiry scans below cover (a free channel with an eligible
     // head never survives a tick unscheduled).
     for (const auto &port : ports_) {
         if (port->pending_.empty())
@@ -240,13 +402,35 @@ MemorySystem::nextEventCycle() const
         if (head.scheduled)
             consider(std::max(head.completeCycle, cycle_ + 1));
     }
-    // Busy channels freeing up: enables scheduling of waiting requests
-    // and changes the per-cycle idle-stat accrual.
+    // Busy channel buses freeing up: enables scheduling of waiting
+    // sub-requests and flips the per-cycle busy/idle stat accrual.
     for (uint64_t busy_until : channelBusyUntil_) {
         if (busy_until > cycle_)
             consider(busy_until);
     }
+    // Banks finishing their access phase: enables scheduling of heads
+    // blocked on a bank conflict and stops the conflict-stat accrual.
+    for (const Bank &bank : banks_) {
+        if (bank.busyUntil > cycle_)
+            consider(bank.busyUntil);
+    }
     return next;
+}
+
+void
+MemorySystem::assertStatInvariant() const
+{
+    uint64_t busy = stats_.get("channel_busy_cycles");
+    uint64_t idle = stats_.get("channel_idle_cycles");
+    uint64_t expect =
+        static_cast<uint64_t>(config_.numChannels) * cycle_;
+    GENESIS_ASSERT(busy + idle == expect,
+                   "channel stat drift: busy %llu + idle %llu != "
+                   "%d channels x %llu cycles",
+                   static_cast<unsigned long long>(busy),
+                   static_cast<unsigned long long>(idle),
+                   config_.numChannels,
+                   static_cast<unsigned long long>(cycle_));
 }
 
 bool

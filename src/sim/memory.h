@@ -5,10 +5,16 @@
  * Requests flow through the two-level arbitration of paper Figure 8:
  * each pipeline's memory modules share a port, ports are grouped under
  * local arbiters (one per group of pipelines), and one global arbiter per
- * memory channel picks among local arbiters. Each channel serves one
- * request at a time at a fixed bytes/cycle transfer rate plus a fixed
- * access latency. Addresses interleave across channels at access
- * granularity.
+ * memory channel picks among local arbiters. Addresses interleave across
+ * channels at access granularity, so a request that crosses an
+ * interleave boundary is split at issue time into sub-requests that each
+ * land on their true channel; adjacent same-direction sub-requests from
+ * one port coalesce MSHR-style into a single burst. Each channel owns a
+ * set of DRAM banks with open-row state: an access to the bank's open
+ * row pays the (short) row-hit latency, any other access pays the full
+ * row-miss latency, and independent banks overlap their access phases
+ * while the channel's data bus serializes transfers at a fixed
+ * bytes/cycle rate.
  *
  * The memory system models *timing only* — data contents live in the
  * runtime's device buffers, which the memory reader/writer modules hold
@@ -37,11 +43,24 @@ struct MemoryConfig {
     /** Data-bus bandwidth per channel in bytes per accelerator cycle
      *  (16 B/cycle at 250 MHz = 4 GB/s per channel, 16 GB/s total). */
     uint32_t bytesPerCyclePerChannel = 16;
-    /** Fixed access latency in cycles before data starts returning. */
+    /** Row-miss access latency in cycles before data starts returning
+     *  (precharge + activate + CAS; also the cold-bank latency). */
     uint32_t latencyCycles = 40;
-    /** Request size granularity in bytes (Section III-C: e.g. 64 B). */
+    /** Row-hit access latency (CAS only). 0 = derive latencyCycles/2. */
+    uint32_t rowHitLatencyCycles = 0;
+    /** Channel-interleave / request-size granularity in bytes
+     *  (Section III-C: e.g. 64 B). Must be a non-zero power of two. */
     uint32_t accessGranularity = 64;
-    /** Outstanding requests a port may queue. */
+    /** DRAM banks per channel (open-row state and access overlap). */
+    int banksPerChannel = 8;
+    /** Row-buffer size per bank in channel-local bytes. Must be a
+     *  multiple of accessGranularity. */
+    uint32_t rowBytes = 2048;
+    /** Cap on one coalesced burst (>= accessGranularity). */
+    uint32_t maxBurstBytes = 256;
+    /** Outstanding sub-requests a port may queue. canIssue() is a
+     *  credit check against this depth; a single issue() may split into
+     *  several sub-requests and briefly overshoot it. */
     size_t portQueueDepth = 8;
 };
 
@@ -58,7 +77,13 @@ class MemoryPort
     /** @return true when the port queue can accept a request. */
     bool canIssue() const;
 
-    /** Queue a request for [addr, addr+bytes). */
+    /**
+     * Queue a request for [addr, addr+bytes). The request is split at
+     * interleave-granularity boundaries into per-channel sub-requests;
+     * a sub-request that extends the port's youngest still-unscheduled
+     * sub-request (same direction, channel, bank and row, contiguous
+     * address) coalesces into it up to MemoryConfig::maxBurstBytes.
+     */
     void issue(uint64_t addr, uint32_t bytes, bool is_write);
 
     /** @return read bytes completed since the last call (and reset). */
@@ -67,11 +92,21 @@ class MemoryPort
     /** @return true when no requests are outstanding. */
     bool idle() const { return pending_.empty(); }
 
-    /** @return requests queued or in flight (deadlock diagnostics). */
+    /** @return sub-requests queued or in flight (deadlock diagnostics). */
     size_t outstanding() const { return pending_.size(); }
 
     int id() const { return id_; }
     int group() const { return group_; }
+
+    /** @return the owning system's channel-interleave granularity. */
+    uint32_t accessGranularity() const;
+
+    /**
+     * accessGranularity() with a caller-named fatal() on a zero or
+     * non-power-of-two value. Memory modules call this at construction
+     * instead of hardcoding their own chunk-size constants.
+     */
+    uint32_t checkedAccessGranularity(const char *who) const;
 
     /** @return total write bytes fully retired so far. */
     uint64_t retiredWriteBytes() const { return retiredWriteBytes_; }
@@ -79,22 +114,35 @@ class MemoryPort
   private:
     friend class MemorySystem;
 
-    struct Request {
+    /** One granularity-bounded slice of an issued request, pinned to the
+     *  channel/bank/row its own start address maps to. */
+    struct SubRequest {
         uint64_t addr = 0;
         uint32_t bytes = 0;
         bool isWrite = false;
         bool scheduled = false;
+        int channel = 0;
+        int bank = 0;
+        /** Channel-local row index (unique per bank+row pair). */
+        uint64_t row = 0;
         uint64_t completeCycle = 0;
         /** Async-lifetime id when tracing (0 = untraced). */
         uint64_t traceId = 0;
     };
 
-    MemoryPort(int id, int group) : id_(id), group_(group) {}
+    MemoryPort(int id, int group, MemorySystem *owner)
+        : id_(id), group_(group), owner_(owner)
+    {
+    }
+
+    /** Append one sub-request slice, coalescing into the tail if legal. */
+    void enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write);
 
     int id_;
     int group_;
+    MemorySystem *owner_;
     size_t queueDepth_ = 8;
-    std::deque<Request> pending_;
+    std::deque<SubRequest> pending_;
     uint64_t completedReadBytes_ = 0;
     uint64_t retiredWriteBytes_ = 0;
     /** Owning MemorySystem's progress counter (issue() bumps it). */
@@ -105,6 +153,7 @@ class MemoryPort
     int traceTrack_ = -1;
     TraceSink::StateId stateRead_ = 0;
     TraceSink::StateId stateWrite_ = 0;
+    TraceSink::StateId stateCoalesce_ = 0;
 };
 
 /** The timing model proper. */
@@ -136,10 +185,11 @@ class MemorySystem
     /**
      * @return the earliest future cycle at which this memory system can
      * change state or change its per-cycle stat accrual: the head
-     * completion of any port, or a busy channel freeing up (which both
-     * enables scheduling of waiting requests and starts idle-cycle
-     * accounting). Between now and that cycle every tick() is a no-op
-     * apart from uniform idle-stat counting, so the simulator may skip
+     * completion of any port, a busy channel's data bus freeing up, or a
+     * bank finishing its access phase (all three both enable scheduling
+     * of waiting sub-requests and move the busy/idle/conflict stat
+     * accrual). Between now and that cycle every tick() is a no-op apart
+     * from uniform per-cycle stat counting, so the simulator may skip
      * the span. kNoEvent when nothing is pending.
      */
     uint64_t nextEventCycle() const;
@@ -156,20 +206,54 @@ class MemorySystem
 
     /**
      * Record memory activity into `sink` under process `pid`: one async
-     * track per port carrying each request's issue -> schedule -> retire
-     * lifetime, and one span track per channel showing data-bus busy
-     * intervals. Covers existing and subsequently created ports.
+     * track per port carrying each sub-request's issue -> schedule ->
+     * retire lifetime (coalesced slices appear as instants on the burst
+     * they merged into), and one span track per channel showing data-bus
+     * busy intervals. Covers existing and subsequently created ports.
      */
     void attachTrace(TraceSink *sink, int pid);
 
     size_t numPorts() const { return ports_.size(); }
     const MemoryPort &port(size_t i) const { return *ports_[i]; }
 
+    /** @return bytes scheduled onto one channel so far. */
+    uint64_t channelBytes(int channel) const;
+
+    /**
+     * Verify channel_busy_cycles + channel_idle_cycles ==
+     * numChannels x elapsed cycles (every channel accrues exactly one of
+     * the two each cycle, normal ticking and idle fast-forward alike).
+     * Panics on drift; called from the deadlock dumpState path.
+     */
+    void assertStatInvariant() const;
+
     StatRegistry &stats() { return stats_; }
     const StatRegistry &stats() const { return stats_; }
 
   private:
-    int channelOf(uint64_t addr) const;
+    friend class MemoryPort;
+
+    /** Open-row and access-phase state of one DRAM bank. */
+    struct Bank {
+        /** Channel-local row index currently open (kNoRow = closed). */
+        uint64_t openRow = kNoRow;
+        /** Cycle at which the access phase completes (bank reusable). */
+        uint64_t busyUntil = 0;
+    };
+    static constexpr uint64_t kNoRow = ~0ull;
+
+    /** DRAM coordinates of one address under channel interleaving. */
+    struct DramLoc {
+        int channel = 0;
+        int bank = 0;
+        /** Channel-local row index (unique per bank+row pair). */
+        uint64_t row = 0;
+    };
+    DramLoc locate(uint64_t addr) const;
+
+    Bank &bankAt(int channel, int bank);
+    const Bank &bankAt(int channel, int bank) const;
+
     void attachPortTrace(MemoryPort &port);
 
     MemoryConfig config_;
@@ -178,6 +262,8 @@ class MemorySystem
     std::vector<std::vector<size_t>> groupPorts_;
     /** Cycle at which each channel's data bus frees up. */
     std::vector<uint64_t> channelBusyUntil_;
+    /** Bank state, numChannels x banksPerChannel, channel-major. */
+    std::vector<Bank> banks_;
     /** One global arbiter per channel, selecting among local groups. */
     std::vector<RoundRobinArbiter> globalArbiters_;
     /** One local arbiter per port group, selecting among its ports. */
@@ -188,12 +274,21 @@ class MemorySystem
     StatRegistry stats_;
     /** Interned hot-path stat handles. */
     StatRegistry::Counter requests_ = stats_.counter("requests");
+    StatRegistry::Counter subRequests_ = stats_.counter("sub_requests");
+    StatRegistry::Counter coalesced_ =
+        stats_.counter("coalesced_sub_requests");
     StatRegistry::Counter readBytes_ = stats_.counter("read_bytes");
     StatRegistry::Counter writeBytes_ = stats_.counter("write_bytes");
+    StatRegistry::Counter rowHits_ = stats_.counter("row_hits");
+    StatRegistry::Counter rowMisses_ = stats_.counter("row_misses");
+    StatRegistry::Counter bankConflictCycles_ =
+        stats_.counter("bank_conflict_cycles");
     StatRegistry::Counter channelBusyCycles_ =
         stats_.counter("channel_busy_cycles");
     StatRegistry::Counter channelIdleCycles_ =
         stats_.counter("channel_idle_cycles");
+    /** Per-channel scheduled-byte counters ("chN_bytes"). */
+    std::vector<StatRegistry::Counter> channelBytes_;
     /** Fallback target so standalone systems work without a Simulator. */
     uint64_t localProgress_ = 0;
     uint64_t *progress_ = &localProgress_;

@@ -220,6 +220,9 @@ Simulator::collectStats() const
 std::string
 Simulator::dumpState() const
 {
+    // A wedged design must still have coherent accounting: every channel
+    // accrues exactly one of busy/idle per cycle, ticked or skipped.
+    memory_.assertStatInvariant();
     std::ostringstream os;
     os << "cycle " << cycle_ << "\n";
     for (const auto &m : modules_) {

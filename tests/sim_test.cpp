@@ -438,6 +438,9 @@ TEST(Simulator, FastForwardMatchesCycleByCycle)
     auto run_once = [] {
         MemoryConfig cfg;
         cfg.latencyCycles = 300;
+        // Uniform access latency: the sequential addresses would
+        // otherwise mostly hit open rows and halve the quiet spans.
+        cfg.rowHitLatencyCycles = 300;
         Simulator sim(cfg);
         auto *a = sim.makeQueue("a", 2);
         auto *b = sim.makeQueue("b", 2);
