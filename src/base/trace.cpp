@@ -308,6 +308,14 @@ TraceSink::creditSkipped(uint64_t open_end, uint64_t extra)
 }
 
 void
+TraceSink::creditSleep(int track, uint64_t open_end, uint64_t extra)
+{
+    Track &t = tracks_[static_cast<size_t>(track)];
+    if (t.open && t.spanEnd == open_end)
+        t.spanEnd += extra;
+}
+
+void
 TraceSink::reset()
 {
     processes_.clear();

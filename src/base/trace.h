@@ -151,6 +151,17 @@ class TraceSink
     void creditSkipped(uint64_t open_end, uint64_t extra);
 
     /**
+     * Extend one track's open span by `extra` cycles, provided it is
+     * still open through cycle `open_end` (exclusive). The per-track
+     * analogue of creditSkipped(): a module waking from sleep calls it
+     * to grow the stall span it opened on the cycle it went to sleep,
+     * so the trace reads exactly as if the module had spun and re-marked
+     * the stall every slept cycle. A span that was since closed or
+     * re-marked is left untouched.
+     */
+    void creditSleep(int track, uint64_t open_end, uint64_t extra);
+
+    /**
      * Merge everything `child` recorded into this sink, then reset the
      * child to a fresh state. Process, track, state and async-event ids
      * are remapped (duplicate process names get the usual "#<n>"

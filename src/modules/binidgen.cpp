@@ -33,6 +33,7 @@ BinIdGen::tick()
         return;
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        sleepOn(stallBackpressure_, {&out_->waiters()});
         return;
     }
     if (!in_->canPop()) {
@@ -42,8 +43,14 @@ BinIdGen::tick()
         } else if (in_->drained()) {
             // Input exhausted but the flags stream still carries flits
             // (possible when trailing reads exploded to nothing); drain.
-            if (flagsIn_->canPop())
+            if (flagsIn_->canPop()) {
                 flagsIn_->pop();
+                traceBusy();
+            } else {
+                sleepOn(nullptr, {&flagsIn_->waiters()});
+            }
+        } else {
+            sleepOn(nullptr, {&in_->waiters()});
         }
         return;
     }
@@ -55,6 +62,7 @@ BinIdGen::tick()
             // lockstep with subsequent reads.
             if (!flagsIn_->canPop()) {
                 countStall(stallStarved_);
+                sleepOn(stallStarved_, {&flagsIn_->waiters()});
                 return;
             }
             flagsIn_->pop();
@@ -63,12 +71,14 @@ BinIdGen::tick()
         out_->push(sim::makeBoundary());
         needFlags_ = true;
         prevBase_ = -1;
+        traceBusy();
         return;
     }
     // First base of a read: latch the strand from the FLAGS stream.
     if (needFlags_) {
         if (!flagsIn_->canPop()) {
             countStall(stallStarved_);
+            sleepOn(stallStarved_, {&flagsIn_->waiters()});
             return;
         }
         int64_t flags = flagsIn_->pop().key;

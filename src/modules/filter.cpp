@@ -74,12 +74,15 @@ Filter::tick()
         return;
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        sleepOn(stallBackpressure_, {&out_->waiters()});
         return;
     }
     if (!in_->canPop()) {
         if (in_->drained()) {
             out_->close();
             closed_ = true;
+        } else {
+            sleepOn(nullptr, {&in_->waiters()});
         }
         return;
     }
@@ -87,6 +90,7 @@ Filter::tick()
     if (sim::isBoundary(head)) {
         in_->pop();
         out_->push(sim::makeBoundary());
+        traceBusy();
         return;
     }
     Flit flit = in_->pop();

@@ -21,6 +21,7 @@ Fork::tick()
     for (auto *out : outs_) {
         if (!out->canPush()) {
             countStall(stallBackpressure_);
+            sleepOn(stallBackpressure_, {&out->waiters()});
             return;
         }
     }
@@ -35,7 +36,9 @@ Fork::tick()
         for (auto *out : outs_)
             out->close();
         closed_ = true;
+        return;
     }
+    sleepOn(nullptr, {&in_->waiters()});
 }
 
 bool

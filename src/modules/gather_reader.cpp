@@ -29,6 +29,7 @@ GatherReader::tick()
         return;
 
     // Issue requests for the active interval.
+    bool issued = false;
     if (intervalActive_) {
         uint64_t interval_bytes = static_cast<uint64_t>(
             intervalEnd_ - cursor_) * buffer_->elemSizeBytes +
@@ -41,6 +42,7 @@ GatherReader::tick()
                 granularity_, interval_bytes - bytesRequested_));
             port_->issue(buffer_->baseAddr + offset, chunk, false);
             bytesRequested_ += chunk;
+            issued = true;
         }
     }
     // Byte collection mutates internal state without touching a queue,
@@ -53,11 +55,16 @@ GatherReader::tick()
 
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        if (!issued && !got) {
+            sleepOn(stallBackpressure_,
+                    {&out_->waiters(), &port_->retireWaiters()});
+        }
         return;
     }
     if (pendingBoundary_) {
         out_->push(sim::makeBoundary());
         pendingBoundary_ = false;
+        traceBusy();
         return;
     }
 
@@ -66,6 +73,7 @@ GatherReader::tick()
             intervalActive_ = false;
             if (config_.emitBoundaries) {
                 out_->push(sim::makeBoundary());
+                traceBusy();
                 return;
             }
             noteProgress(); // silent deactivation: no boundary flit
@@ -73,6 +81,8 @@ GatherReader::tick()
             uint64_t next = bytesConsumed_ + buffer_->elemSizeBytes;
             if (next > bytesArrived_) {
                 countStall(stallMemory_);
+                if (!issued && !got)
+                    sleepOn(stallMemory_, {&port_->retireWaiters()});
                 return;
             }
             size_t idx = static_cast<size_t>(cursor_ - config_.addrBase);
@@ -105,11 +115,18 @@ GatherReader::tick()
         bytesRequested_ = 0;
         bytesArrived_ = 0;
         bytesConsumed_ = 0;
+        traceBusy();
         return;
     }
     if (startIn_->drained() && endIn_->drained() && port_->idle()) {
         out_->close();
         closed_ = true;
+        return;
+    }
+    // Awaiting the next interval (or the port draining before close).
+    if (!issued && !got) {
+        sleepOn(nullptr, {&startIn_->waiters(), &endIn_->waiters(),
+                          &port_->retireWaiters()});
     }
 }
 

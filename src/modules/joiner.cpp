@@ -44,6 +44,7 @@ Joiner::tick()
         return;
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        sleepOn(stallBackpressure_, {&out_->waiters()});
         return;
     }
 
@@ -60,6 +61,7 @@ Joiner::tick()
             out_->push(sim::makeBoundary());
             leftItemDone_ = false;
             rightItemDone_ = false;
+            traceBusy();
             return;
         }
         // Both drained with no boundary pending: stream complete.
@@ -72,12 +74,14 @@ Joiner::tick()
     if (!leftItemDone_ && left_has && sim::isBoundary(left_->front())) {
         left_->pop();
         leftItemDone_ = true;
+        traceBusy();
         return;
     }
     if (!rightItemDone_ && right_has &&
         sim::isBoundary(right_->front())) {
         right_->pop();
         rightItemDone_ = true;
+        traceBusy();
         return;
     }
 
@@ -90,24 +94,29 @@ Joiner::tick()
     // unmatched by construction.
     if (left_stopped && right_data) {
         Flit flit = right_->pop();
-        if (config_.mode == JoinMode::Outer)
+        if (config_.mode == JoinMode::Outer) {
             emitRightOnly(flit);
-        else
+        } else {
             stats().add("dropped_right");
+            traceBusy();
+        }
         return;
     }
     if (right_stopped && left_data) {
         Flit flit = left_->pop();
-        if (config_.mode == JoinMode::Inner)
+        if (config_.mode == JoinMode::Inner) {
             stats().add("dropped_left");
-        else
+            traceBusy();
+        } else {
             emitLeftOnly(flit);
+        }
         return;
     }
 
     if (!left_data || !right_data) {
         // Waiting for an upstream module to produce.
         countStall(stallStarved_);
+        sleepOn(stallStarved_, {&left_->waiters(), &right_->waiters()});
         return;
     }
 
@@ -117,10 +126,12 @@ Joiner::tick()
     // Inserted bases bypass the key comparison.
     if (lhead.key == Flit::kIns) {
         Flit flit = left_->pop();
-        if (config_.mode == JoinMode::Inner)
+        if (config_.mode == JoinMode::Inner) {
             stats().add("dropped_left");
-        else
+            traceBusy();
+        } else {
             emitLeftOnly(flit);
+        }
         return;
     }
 
@@ -134,18 +145,22 @@ Joiner::tick()
     }
     if (lhead.key < rhead.key) {
         Flit flit = left_->pop();
-        if (config_.mode == JoinMode::Inner)
+        if (config_.mode == JoinMode::Inner) {
             stats().add("dropped_left");
-        else
+            traceBusy();
+        } else {
             emitLeftOnly(flit);
+        }
         return;
     }
     // rhead.key < lhead.key
     Flit flit = right_->pop();
-    if (config_.mode == JoinMode::Outer)
+    if (config_.mode == JoinMode::Outer) {
         emitRightOnly(flit);
-    else
+    } else {
         stats().add("dropped_right");
+        traceBusy();
+    }
 }
 
 bool

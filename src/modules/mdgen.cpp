@@ -32,6 +32,7 @@ MdGen::tick()
         return;
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        sleepOn(stallBackpressure_, {&out_->waiters()});
         return;
     }
 
@@ -43,6 +44,7 @@ MdGen::tick()
             out_->push(sim::makeBoundary());
         else
             out_->push(sim::makeFlit(c, c));
+        traceBusy();
         return;
     }
 
@@ -53,6 +55,7 @@ MdGen::tick()
             flushCount();
             inDeletion_ = false;
             pending_.push_back(kBoundaryMark);
+            traceBusy();
             return;
         }
         Flit flit = in_->pop();
@@ -94,7 +97,9 @@ MdGen::tick()
     if (in_->drained()) {
         out_->close();
         closed_ = true;
+        return;
     }
+    sleepOn(nullptr, {&in_->waiters()});
 }
 
 bool

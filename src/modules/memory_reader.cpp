@@ -33,6 +33,7 @@ MemoryReader::tick()
     //    in-flight + buffered volume stays under the prefetch capacity.
     //    Requests go out at the configured memory access granularity.
     const uint64_t total = buffer_->totalBytes();
+    bool issued = false;
     while (bytesRequested_ < total && port_->canIssue()) {
         uint64_t in_flight_or_buffered = bytesRequested_ - bytesConsumed_;
         if (in_flight_or_buffered >= config_.prefetchBytes)
@@ -41,6 +42,7 @@ MemoryReader::tick()
             granularity_, total - bytesRequested_));
         port_->issue(buffer_->baseAddr + bytesRequested_, chunk, false);
         bytesRequested_ += chunk;
+        issued = true;
     }
 
     // 2. Collect arrived bytes. Collection mutates internal state
@@ -54,21 +56,30 @@ MemoryReader::tick()
     // 3. Emit at most one flit per cycle.
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        // The port list keeps byte collection (and prefetch refill)
+        // happening on the same cycles as a spinning module's would.
+        if (!issued && !got) {
+            sleepOn(stallBackpressure_,
+                    {&out_->waiters(), &port_->retireWaiters()});
+        }
         return;
     }
     if (pendingBoundary_) {
         out_->push(sim::makeBoundary());
         pendingBoundary_ = false;
+        traceBusy();
         return;
     }
     // Rows with zero elements contribute only a boundary flit. Without
     // boundaries the row advance is invisible to the queues, so note it.
     if (rowLoaded_ && rowRemaining_ == 0) {
         advanceRow();
-        if (config_.emitBoundaries)
+        if (config_.emitBoundaries) {
             out_->push(sim::makeBoundary());
-        else
+            traceBusy();
+        } else {
             noteProgress();
+        }
         return;
     }
     if (elemCursor_ >= buffer_->elements.size()) {
@@ -81,6 +92,8 @@ MemoryReader::tick()
     uint64_t next_consumed = bytesConsumed_ + buffer_->elemSizeBytes;
     if (next_consumed > bytesArrived_) {
         countStall(stallMemory_);
+        if (!issued && !got)
+            sleepOn(stallMemory_, {&port_->retireWaiters()});
         return;
     }
     int64_t value = buffer_->elements[elemCursor_];

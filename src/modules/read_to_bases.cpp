@@ -19,6 +19,17 @@ ReadToBases::ReadToBases(std::string name, sim::HardwareQueue *pos_in,
                    "ReadToBases wiring");
 }
 
+void
+ReadToBases::sleepOnBases()
+{
+    // Blocked on the SEQ (and optional QUAL) stream delivering the next
+    // base or boundary.
+    if (qualIn_)
+        sleepOn(stallStarved_, {&seqIn_->waiters(), &qualIn_->waiters()});
+    else
+        sleepOn(stallStarved_, {&seqIn_->waiters()});
+}
+
 bool
 ReadToBases::consumeBase(int64_t &bp, int64_t &qual)
 {
@@ -40,6 +51,7 @@ ReadToBases::tick()
         return;
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        sleepOn(stallBackpressure_, {&out_->waiters()});
         return;
     }
 
@@ -49,6 +61,7 @@ ReadToBases::tick()
             active_ = true;
             cycle_ = 0;
             haveElem_ = false;
+            traceBusy();
             return;
         }
         if (posIn_->drained() && cigarIn_->drained() &&
@@ -59,12 +72,23 @@ ReadToBases::tick()
             return;
         }
         countStall(stallStarved_);
+        // Waiting on a POS flit or on every stream's close.
+        if (qualIn_) {
+            sleepOn(stallStarved_,
+                    {&posIn_->waiters(), &cigarIn_->waiters(),
+                     &seqIn_->waiters(), &qualIn_->waiters()});
+        } else {
+            sleepOn(stallStarved_,
+                    {&posIn_->waiters(), &cigarIn_->waiters(),
+                     &seqIn_->waiters()});
+        }
         return;
     }
 
     if (!haveElem_) {
         if (!cigarIn_->canPop()) {
             countStall(stallStarved_);
+            sleepOn(stallStarved_, {&cigarIn_->waiters()});
             return;
         }
         if (sim::isBoundary(cigarIn_->front())) {
@@ -76,6 +100,7 @@ ReadToBases::tick()
                 (qualIn_->canPop() && sim::isBoundary(qualIn_->front()));
             if (!seq_at_boundary || !qual_at_boundary) {
                 countStall(stallStarved_);
+                sleepOnBases();
                 return;
             }
             cigarIn_->pop();
@@ -84,12 +109,14 @@ ReadToBases::tick()
                 qualIn_->pop();
             out_->push(sim::makeBoundary());
             active_ = false;
+            traceBusy();
             return;
         }
         elem_ = genome::CigarElement::unpack(
             static_cast<uint16_t>(cigarIn_->pop().key));
         elemRemaining_ = elem_.length;
         haveElem_ = elemRemaining_ > 0;
+        traceBusy();
         return;
     }
 
@@ -99,12 +126,15 @@ ReadToBases::tick()
         // Clipped bases are consumed without producing output.
         if (!consumeBase(bp, qual)) {
             countStall(stallStarved_);
+            sleepOnBases();
             return;
         }
+        traceBusy();
         break;
       case CigarOp::Match:
         if (!consumeBase(bp, qual)) {
             countStall(stallStarved_);
+            sleepOnBases();
             return;
         }
         out_->push(sim::makeFlit(refPos_, bp, qual, cycle_));
@@ -115,6 +145,7 @@ ReadToBases::tick()
       case CigarOp::Insert:
         if (!consumeBase(bp, qual)) {
             countStall(stallStarved_);
+            sleepOnBases();
             return;
         }
         out_->push(sim::makeFlit(Flit::kIns, bp, qual, cycle_));

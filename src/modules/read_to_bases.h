@@ -46,6 +46,9 @@ class ReadToBases : public sim::Module
     /** @return true when a base (and qual) flit could be consumed. */
     bool consumeBase(int64_t &bp, int64_t &qual);
 
+    /** Park until the SEQ/QUAL streams deliver (starved-on-bases). */
+    void sleepOnBases();
+
     sim::HardwareQueue *posIn_;
     sim::HardwareQueue *cigarIn_;
     sim::HardwareQueue *seqIn_;

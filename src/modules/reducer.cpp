@@ -89,11 +89,13 @@ Reducer::tick()
         return;
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        sleepOn(stallBackpressure_, {&out_->waiters()});
         return;
     }
     if (pendingBoundary_) {
         out_->push(sim::makeBoundary());
         pendingBoundary_ = false;
+        traceBusy();
         return;
     }
     if (in_->canPop()) {
@@ -105,6 +107,7 @@ Reducer::tick()
                 resetAccumulator();
                 pendingBoundary_ = config_.emitBoundaries;
             }
+            traceBusy();
             return;
         }
         accumulate(in_->pop());
@@ -116,11 +119,14 @@ Reducer::tick()
             !finalEmitted_) {
             out_->push(resultFlit());
             finalEmitted_ = true;
+            traceBusy();
             return;
         }
         out_->close();
         closed_ = true;
+        return;
     }
+    sleepOn(nullptr, {&in_->waiters()});
 }
 
 bool

@@ -63,11 +63,14 @@ SpmReader::tick()
     if (closed_)
         return;
     if (config_.waitFor && !config_.waitFor->done()) {
+        // Done-waits must spin, not sleep: done() is evaluated live in
+        // tick order, and no queue/port event marks its flip.
         countStall(stallSpmInit_);
         return;
     }
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        sleepOn(stallBackpressure_, {&out_->waiters()});
         return;
     }
 
@@ -77,6 +80,8 @@ SpmReader::tick()
             if (startIn_->drained()) {
                 out_->close();
                 closed_ = true;
+            } else {
+                sleepOn(nullptr, {&startIn_->waiters()});
             }
             return;
         }
@@ -84,6 +89,7 @@ SpmReader::tick()
         if (sim::isBoundary(head)) {
             startIn_->pop();
             out_->push(sim::makeBoundary());
+            traceBusy();
             return;
         }
         Flit flit = startIn_->pop();
@@ -95,6 +101,7 @@ SpmReader::tick()
         if (pendingBoundary_) {
             out_->push(sim::makeBoundary());
             pendingBoundary_ = false;
+            traceBusy();
             return;
         }
         if (intervalActive_) {
@@ -102,6 +109,7 @@ SpmReader::tick()
                 intervalActive_ = false;
                 if (config_.emitBoundaries) {
                     out_->push(sim::makeBoundary());
+                    traceBusy();
                     return;
                 }
             } else {
@@ -124,12 +132,16 @@ SpmReader::tick()
             cursor_ = start.key;
             intervalEnd_ = end.key;
             intervalActive_ = true;
+            traceBusy();
             return;
         }
         if (startIn_->drained() && endIn_->drained()) {
             out_->close();
             closed_ = true;
+            return;
         }
+        sleepOn(nullptr,
+                {&startIn_->waiters(), &endIn_->waiters()});
         return;
       }
       case SpmReadMode::Drain: {

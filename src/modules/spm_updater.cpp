@@ -32,6 +32,9 @@ SpmUpdater::tick()
             noteProgress();
         if (stages_[2]) {
             spm_->write(stages_[2]->addr, stages_[2]->value);
+            // Publish the write-back on the SPM's hazard scoreboard so
+            // modules sleeping on the address can be woken.
+            spm_->hazardRelease(stages_[2]->addr);
             stages_[2].reset();
         }
         if (stages_[1]) {
@@ -46,11 +49,17 @@ SpmUpdater::tick()
             stages_[0].reset();
         }
 
-        if (!in_->canPop())
+        if (!in_->canPop()) {
+            // Only fully idle (stages drained too) ticks may sleep:
+            // future ticks stay no-ops until the input queue commits.
+            if (!stages_[0] && !stages_[1] && !stages_[2])
+                sleepOn(nullptr, {&in_->waiters()});
             return;
+        }
         const Flit &head = in_->front();
         if (sim::isBoundary(head)) {
             in_->pop();
+            traceBusy();
             return;
         }
         int64_t raw_addr = config_.addrField < 0
@@ -60,6 +69,7 @@ SpmUpdater::tick()
             // Address-less flits (unbinnable bases) are skipped.
             in_->pop();
             stats().add("skipped");
+            traceBusy();
             return;
         }
         size_t addr = static_cast<size_t>(raw_addr - config_.addrBase);
@@ -83,17 +93,21 @@ SpmUpdater::tick()
         }
         Flit flit = in_->pop();
         stages_[0] = Stage{addr, 0, flit};
+        spm_->hazardAcquire(addr);
         hazardTraced_ = false;
         countFlit();
         return;
     }
 
     // Sequential / Random: single-cycle write per flit.
-    if (!in_->canPop())
+    if (!in_->canPop()) {
+        sleepOn(nullptr, {&in_->waiters()});
         return;
+    }
     const Flit &head = in_->front();
     if (sim::isBoundary(head)) {
         in_->pop();
+        traceBusy();
         return;
     }
     Flit flit = in_->pop();

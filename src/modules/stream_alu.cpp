@@ -52,6 +52,7 @@ StreamAlu::tick()
         return;
     if (!out_->canPush()) {
         countStall(stallBackpressure_);
+        sleepOn(stallBackpressure_, {&out_->waiters()});
         return;
     }
 
@@ -64,6 +65,7 @@ StreamAlu::tick()
             inA_->pop();
             inB_->pop();
             out_->push(sim::makeBoundary());
+            traceBusy();
             return;
         }
         if (a_has && b_has && !a_boundary && !b_boundary) {
@@ -92,6 +94,7 @@ StreamAlu::tick()
             return;
         }
         countStall(stallStarved_);
+        sleepOn(stallStarved_, {&inA_->waiters(), &inB_->waiters()});
         return;
     }
 
@@ -99,6 +102,7 @@ StreamAlu::tick()
     if (a_boundary) {
         inA_->pop();
         out_->push(sim::makeBoundary());
+        traceBusy();
         return;
     }
     if (a_has) {
@@ -118,7 +122,9 @@ StreamAlu::tick()
     if (inA_->drained()) {
         out_->close();
         closed_ = true;
+        return;
     }
+    sleepOn(nullptr, {&inA_->waiters()});
 }
 
 bool

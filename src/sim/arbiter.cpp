@@ -10,19 +10,4 @@ RoundRobinArbiter::resize(size_t n)
         next_ = 0;
 }
 
-int
-RoundRobinArbiter::grant(const std::function<bool(size_t)> &requesting)
-{
-    if (n_ == 0)
-        return -1;
-    for (size_t i = 0; i < n_; ++i) {
-        size_t candidate = (next_ + i) % n_;
-        if (requesting(candidate)) {
-            next_ = (candidate + 1) % n_;
-            return static_cast<int>(candidate);
-        }
-    }
-    return -1;
-}
-
 } // namespace genesis::sim

@@ -8,7 +8,6 @@
 #define GENESIS_SIM_ARBITER_H
 
 #include <cstddef>
-#include <functional>
 
 namespace genesis::sim {
 
@@ -27,10 +26,28 @@ class RoundRobinArbiter
 
     /**
      * @param requesting predicate: does requester i want (and may get) a
-     * grant this cycle?
+     * grant this cycle? Templated so hot callers (the memory system's
+     * per-cycle arbitration) pass lambdas without a std::function
+     * allocation or indirect call.
      * @return granted index, or -1 when no requester is eligible.
      */
-    int grant(const std::function<bool(size_t)> &requesting);
+    template <typename Pred>
+    int
+    grant(const Pred &requesting)
+    {
+        if (n_ == 0)
+            return -1;
+        for (size_t i = 0; i < n_; ++i) {
+            size_t candidate = next_ + i;
+            if (candidate >= n_)
+                candidate -= n_;
+            if (requesting(candidate)) {
+                next_ = candidate + 1 == n_ ? 0 : candidate + 1;
+                return static_cast<int>(candidate);
+            }
+        }
+        return -1;
+    }
 
   private:
     size_t n_ = 0;

@@ -73,6 +73,8 @@ MemoryPort::enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write)
     }
     pending_.push_back(req);
     ++*owner_->subRequests_;
+    ++owner_->pendingSubRequests_;
+    ++owner_->unscheduledSubRequests_;
 }
 
 void
@@ -227,6 +229,8 @@ MemorySystem::makePort(int local_group)
         std::unique_ptr<MemoryPort>(new MemoryPort(id, local_group, this));
     port->queueDepth_ = config_.portQueueDepth;
     port->progress_ = progress_;
+    port->retireWaiters_.setName("mem.port" + std::to_string(id) +
+                                 " retire");
     if (trace_)
         attachPortTrace(*port);
     ports_.push_back(std::move(port));
@@ -256,6 +260,18 @@ MemorySystem::tick()
 {
     ++cycle_;
 
+    if (pendingSubRequests_ == 0) {
+        // Nothing in flight on any port: arbitration, the bank-conflict
+        // scan and retirement are all no-ops, and every channel bus is
+        // provably free (a request retires no earlier than its channel's
+        // transfer window closes, so an empty pending set implies every
+        // channelBusyUntil_ has already expired). Accrue the idle stat
+        // and return; stats stay bit-identical to the full scan.
+        *channelIdleCycles_ += static_cast<uint64_t>(config_.numChannels);
+        return;
+    }
+
+    if (unscheduledSubRequests_ > 0) {
     // Each local arbiter forwards at most one sub-request per cycle;
     // each channel's global arbiter accepts at most one per cycle.
     groupUsedScratch_.assign(localArbiters_.size(), 0);
@@ -327,6 +343,7 @@ MemorySystem::tick()
             (req.bytes + config_.bytesPerCyclePerChannel - 1) /
             config_.bytesPerCyclePerChannel;
         req.scheduled = true;
+        --unscheduledSubRequests_;
         req.completeCycle = cycle_ + access_latency + transfer_cycles;
         channelBusyUntil_[static_cast<size_t>(ch)] =
             cycle_ + transfer_cycles;
@@ -349,6 +366,9 @@ MemorySystem::tick()
                          cycle_ + transfer_cycles);
         }
     }
+    } // unscheduledSubRequests_ > 0; with none, every channel grant and
+      // the bank-conflict scan (both gated on an unscheduled head) are
+      // no-ops, so skipping is bit-identical.
 
     // Exactly one of busy/idle accrues per channel per cycle, so
     // channel_busy_cycles + channel_idle_cycles == numChannels x cycles
@@ -363,6 +383,7 @@ MemorySystem::tick()
 
     // Retire completions in issue order per port.
     for (auto &port : ports_) {
+        bool retired = false;
         while (!port->pending_.empty()) {
             const auto &head = port->pending_.front();
             if (!head.scheduled || head.completeCycle > cycle_)
@@ -377,8 +398,12 @@ MemorySystem::tick()
                                               : port->stateRead_);
             }
             port->pending_.pop_front();
+            --pendingSubRequests_;
             ++*progress_; // retiring is architectural progress
+            retired = true;
         }
+        if (retired)
+            port->retireWaiters_.wakeAll();
     }
 }
 

@@ -33,6 +33,7 @@
 #include "base/stats.h"
 #include "base/trace.h"
 #include "sim/arbiter.h"
+#include "sim/wait.h"
 
 namespace genesis::sim {
 
@@ -111,6 +112,15 @@ class MemoryPort
     /** @return total write bytes fully retired so far. */
     uint64_t retiredWriteBytes() const { return retiredWriteBytes_; }
 
+    /**
+     * Sleepers blocked on this port, fired whenever a sub-request
+     * retires. Retirement is the port's only externally visible event:
+     * it delivers read data (takeCompletedReadBytes), advances the write
+     * high-water mark (retiredWriteBytes) and frees issue credit
+     * (canIssue), so one list covers all three wait reasons.
+     */
+    WaitList &retireWaiters() { return retireWaiters_; }
+
   private:
     friend class MemorySystem;
 
@@ -145,6 +155,8 @@ class MemoryPort
     std::deque<SubRequest> pending_;
     uint64_t completedReadBytes_ = 0;
     uint64_t retiredWriteBytes_ = 0;
+    /** Sleeping modules woken when a sub-request retires. */
+    WaitList retireWaiters_;
     /** Owning MemorySystem's progress counter (issue() bumps it). */
     uint64_t *progress_ = nullptr;
     /** Tracing attachment (set by MemorySystem::attachTrace). */
@@ -270,6 +282,13 @@ class MemorySystem
     std::vector<RoundRobinArbiter> localArbiters_;
     /** Per-tick scratch: groups already granted a channel this cycle. */
     std::vector<char> groupUsedScratch_;
+    /** Sub-requests in flight across all ports. Zero lets tick() skip
+     *  arbitration, the bank-conflict scan and retirement entirely, so
+     *  per-cycle memory cost tracks traffic rather than port count. */
+    size_t pendingSubRequests_ = 0;
+    /** In-flight sub-requests not yet granted a channel slot; zero lets
+     *  tick() skip the arbitration scan while transfers drain. */
+    size_t unscheduledSubRequests_ = 0;
     uint64_t cycle_ = 0;
     StatRegistry stats_;
     /** Interned hot-path stat handles. */

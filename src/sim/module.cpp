@@ -3,6 +3,37 @@
 namespace genesis::sim {
 
 void
+Module::wake()
+{
+    if (!asleep_)
+        return;
+    asleep_ = false;
+    // Credit the slept span: a spinning module would have re-counted the
+    // declared stall (and re-marked its trace span) on every cycle from
+    // the sleep cycle exclusive through the wake cycle inclusive.
+    uint64_t slept = *schedCycle_ - sleepCycle_;
+    if (slept && sleepStall_) {
+        *sleepStall_ += slept;
+        if (trace_)
+            trace_->creditSleep(traceTrack_, sleepCycle_ + 1, slept);
+    }
+    sleepLists_.clear();
+    wakeQueue_->push_back(this);
+}
+
+std::string
+Module::sleepDescription() const
+{
+    std::string desc;
+    for (const WaitList *list : sleepLists_) {
+        if (!desc.empty())
+            desc += ", ";
+        desc += list->name();
+    }
+    return desc;
+}
+
+void
 Module::attachTrace(TraceSink *sink, const uint64_t *cycle, int pid)
 {
     trace_ = sink;

@@ -11,6 +11,7 @@ HardwareQueue::HardwareQueue(std::string name, size_t capacity)
 {
     if (capacity_ == 0)
         fatal("queue '%s' must have non-zero capacity", name_.c_str());
+    waiters_.setName("queue " + name_);
 }
 
 bool
@@ -96,6 +97,7 @@ HardwareQueue::commit()
         maxOccupancy_ = std::max(maxOccupancy_, buffer_.size());
         if (trace_)
             trace_->counter(traceTrack_, *traceCycle_, buffer_.size());
+        waiters_.wakeAll();
     }
 }
 

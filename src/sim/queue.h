@@ -18,6 +18,7 @@
 
 #include "base/trace.h"
 #include "sim/flit.h"
+#include "sim/wait.h"
 
 namespace genesis::sim {
 
@@ -99,6 +100,15 @@ class HardwareQueue
     uint64_t totalFlits() const { return totalFlits_; }
     size_t maxOccupancy() const { return maxOccupancy_; }
 
+    /**
+     * Sleepers blocked on this queue. Any committed operation fires the
+     * list: a push can unblock the consumer, a pop the producer, a close
+     * the consumer's drain path. Modules whose blocked tick waits for
+     * this queue to become non-empty-or-closed (consumer) or non-full
+     * (producer) pass this to sleepOn().
+     */
+    WaitList &waiters() { return waiters_; }
+
   private:
     /** Register on the owning simulator's dirty list (once per cycle). */
     void
@@ -128,6 +138,9 @@ class HardwareQueue
 
     uint64_t totalFlits_ = 0;
     size_t maxOccupancy_ = 0;
+
+    /** Sleeping modules woken by any committed operation. */
+    WaitList waiters_;
 
     /** Tracing attachment (null = disabled; see attachTrace). */
     TraceSink *trace_ = nullptr;

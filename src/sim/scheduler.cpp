@@ -12,6 +12,7 @@ namespace genesis::sim {
 Simulator::Simulator(const MemoryConfig &mem_config) : memory_(mem_config)
 {
     memory_.attachProgress(&progress_);
+    sleepEnabled_ = std::getenv("GENESIS_SIM_NO_SLEEP") == nullptr;
     fastForwardEnabled_ = std::getenv("GENESIS_SIM_NO_FASTFORWARD") ==
         nullptr;
 }
@@ -54,25 +55,80 @@ Simulator::attachTrace(TraceSink *sink, const std::string &label)
 bool
 Simulator::allDone() const
 {
-    for (const auto &m : modules_) {
-        if (!m->done())
-            return false;
-    }
-    return true;
+    return doneCount_ == modules_.size();
 }
 
 void
 Simulator::step()
 {
-    for (auto &m : modules_)
+    for (Module *m : active_)
         m->tick();
     // Commit only queues that staged work this cycle; the rest are
-    // untouched by construction.
+    // untouched by construction. Commits (like memory retirements and
+    // hazard releases) fire WaitLists, appending sleepers to woken_.
     for (auto *q : dirtyQueues_)
         q->commit();
     dirtyQueues_.clear();
     memory_.tick();
+    updateActiveSet();
     ++cycle_;
+}
+
+void
+Simulator::updateActiveSet()
+{
+    // Latch done() on the modules that could have changed state this
+    // cycle: the ticked ones and the woken ones. A sleeping module's
+    // done() cannot flip without a wake — the wait set covers every
+    // resource done() reads — so scanning these two lists is exhaustive.
+    bool compact = false;
+    for (Module *m : active_) {
+        maybeLatchDone(m);
+        if (m->asleep() || m->schedDone())
+            compact = true;
+    }
+    if (compact) {
+        size_t out = 0;
+        for (Module *m : active_) {
+            if (m->asleep() || m->schedDone()) {
+                m->setSchedActive(false);
+                continue;
+            }
+            active_[out++] = m;
+        }
+        active_.resize(out);
+    }
+    if (woken_.empty())
+        return;
+    // Re-admit woken sleepers, skipping any that latched done while
+    // asleep and any still in the active list (same-cycle sleep/wake).
+    size_t keep = 0;
+    for (Module *m : woken_) {
+        maybeLatchDone(m);
+        if (m->schedDone() || m->schedActive())
+            continue;
+        woken_[keep++] = m;
+    }
+    woken_.resize(keep);
+    if (!woken_.empty()) {
+        // Merge in tick (= insertion) order: modules may legally read
+        // shared state written by earlier-ticked modules (SPM words,
+        // done() of upstream stages), so relative order must match a
+        // tick-everything run exactly.
+        auto by_index = [](const Module *a, const Module *b) {
+            return a->schedIndex() < b->schedIndex();
+        };
+        std::sort(woken_.begin(), woken_.end(), by_index);
+        mergeScratch_.clear();
+        mergeScratch_.reserve(active_.size() + woken_.size());
+        std::merge(active_.begin(), active_.end(), woken_.begin(),
+                   woken_.end(), std::back_inserter(mergeScratch_),
+                   by_index);
+        active_.swap(mergeScratch_);
+        for (Module *m : woken_)
+            m->setSchedActive(true);
+    }
+    woken_.clear();
 }
 
 void
@@ -116,6 +172,17 @@ Simulator::run(uint64_t max_cycles)
                   dumpState().c_str());
         }
         step();
+        // Provable deadlock: every live module is asleep and the memory
+        // system has no pending event, so no wake can ever fire. Report
+        // immediately instead of waiting out the quiet horizon. (Under
+        // GENESIS_SIM_NO_SLEEP modules never sleep, so a wedged design
+        // falls through to the horizon path below, as before.)
+        if (active_.empty() && !allDone() &&
+            memory_.nextEventCycle() == MemorySystem::kNoEvent) {
+            panic("deadlock: no module can ever wake (all asleep, no "
+                  "pending memory event)\n%s",
+                  dumpState().c_str());
+        }
         if (progress_ != last_progress) {
             last_progress = progress_;
             quiet_cycles = 0;
@@ -227,7 +294,9 @@ Simulator::dumpState() const
     os << "cycle " << cycle_ << "\n";
     for (const auto &m : modules_) {
         os << "  module " << m->name()
-           << (m->done() ? " done" : " BUSY");
+           << (m->done() ? " done" : m->asleep() ? " ASLEEP" : " BUSY");
+        if (m->asleep())
+            os << "  awaiting [" << m->sleepDescription() << "]";
         // Name the blocked resource: top stall-reason buckets.
         std::vector<std::pair<std::string, uint64_t>> stalls;
         for (const auto &[name, value] : m->stats().counters()) {

@@ -32,13 +32,27 @@ namespace genesis::sim {
  *    issue/schedule/retire, and Module::noteProgress) replaces the old
  *    per-cycle state fingerprint for deadlock detection;
  *  - step() commits only queues that staged an operation this cycle;
- *  - runs of provably idle cycles (every module stalled, the memory
- *    system waiting on a completion) are fast-forwarded to the next
- *    memory event, with the skipped cycles' stall/idle statistics
+ *  - step() ticks only the active set: a module whose tick made no
+ *    progress declares what it is blocked on (sleepOn) and is parked
+ *    until the blocking resource — a queue commit, a memory-port
+ *    retirement, an SPM hazard release — wakes it, with the slept span
+ *    credited to its stall bucket and trace span on wake. Modules whose
+ *    done() latched are retired from the set outright, and allDone() is
+ *    a counter compare instead of an O(modules) scan. Set
+ *    GENESIS_SIM_NO_SLEEP=1 to disable sleeping (escape hatch;
+ *    simulated results are identical either way);
+ *  - runs of provably idle cycles (every module stalled or asleep, the
+ *    memory system waiting on a completion) are fast-forwarded to the
+ *    next memory event, with the skipped cycles' stall/idle statistics
  *    credited in bulk so all counters stay bit-identical to a
  *    cycle-by-cycle run. Set GENESIS_SIM_NO_FASTFORWARD=1 to disable
  *    the fast-forward (escape hatch; simulated results are identical
  *    either way).
+ *
+ * Sleeping also sharpens deadlock detection: an empty active set with
+ * no pending memory event is a provable deadlock — nothing can ever
+ * fire a wake — and is reported immediately instead of after the
+ * multi-thousand-cycle quiet horizon.
  */
 class Simulator
 {
@@ -64,9 +78,20 @@ class Simulator
     {
         T *raw = module.get();
         raw->attachProgress(&progress_);
+        raw->attachScheduler(&cycle_, &woken_, sleepEnabled_);
+        raw->setSchedIndex(modules_.size());
         if (trace_)
             raw->attachTrace(trace_, &cycle_, tracePid_);
         modules_.push_back(std::move(module));
+        if (raw->done()) {
+            // Done at construction (e.g. a source built with no work):
+            // latch immediately so it never enters the active set.
+            raw->setSchedDone(true);
+            ++doneCount_;
+        } else {
+            raw->setSchedActive(true);
+            active_.push_back(raw);
+        }
         return raw;
     }
 
@@ -148,6 +173,20 @@ class Simulator
     TraceSink *trace() { return trace_; }
 
   private:
+    /** Latch a freshly-done module (advances the allDone() count). */
+    void
+    maybeLatchDone(Module *m)
+    {
+        if (!m->schedDone() && m->done()) {
+            m->setSchedDone(true);
+            ++doneCount_;
+        }
+    }
+
+    /** Drop asleep/done modules from active_, merge woken_ back in
+     *  (tick order preserved), and latch newly-done modules. */
+    void updateActiveSet();
+
     /** Snapshot all stat registries (modules, memory, scratchpads). */
     void snapshotStats();
 
@@ -170,6 +209,19 @@ class Simulator
     std::atomic<uint64_t> finishedCycle_{0};
     /** Queues with operations staged this cycle (commit work list). */
     std::vector<HardwareQueue *> dirtyQueues_;
+    /** Modules ticked each cycle: neither asleep nor done, in tick
+     *  (= insertion) order. The rest of modules_ is parked. */
+    std::vector<Module *> active_;
+    /** Modules woken this cycle by a WaitList; merged back into
+     *  active_ at end of step(). */
+    std::vector<Module *> woken_;
+    /** Scratch buffer for the active/woken order-preserving merge. */
+    std::vector<Module *> mergeScratch_;
+    /** Modules with done() latched; allDone() compares against
+     *  modules_.size() instead of scanning. */
+    size_t doneCount_ = 0;
+    /** GENESIS_SIM_NO_SLEEP escape hatch (read at construction). */
+    bool sleepEnabled_ = true;
     /** GENESIS_SIM_NO_FASTFORWARD escape hatch (read at construction). */
     bool fastForwardEnabled_ = true;
     /** Scratch buffers for idle-cycle stat sampling. */

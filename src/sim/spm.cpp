@@ -1,5 +1,7 @@
 #include "sim/spm.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
 
 namespace genesis::sim {
@@ -11,6 +13,32 @@ Scratchpad::Scratchpad(std::string name, size_t size_words,
     if (size_words == 0)
         fatal("scratchpad '%s' must have non-zero size", name_.c_str());
     words_.assign(size_words, 0);
+    hazardWaiters_.setName("spm " + name_ + " hazard");
+}
+
+void
+Scratchpad::hazardAcquire(size_t addr)
+{
+    hazardAddrs_.push_back(addr);
+}
+
+void
+Scratchpad::hazardRelease(size_t addr)
+{
+    auto it = std::find(hazardAddrs_.begin(), hazardAddrs_.end(), addr);
+    if (it == hazardAddrs_.end()) {
+        panic("scratchpad '%s': hazard release of unheld address %zu",
+              name_.c_str(), addr);
+    }
+    hazardAddrs_.erase(it);
+    hazardWaiters_.wakeAll();
+}
+
+bool
+Scratchpad::hazardHeld(size_t addr) const
+{
+    return std::find(hazardAddrs_.begin(), hazardAddrs_.end(), addr) !=
+        hazardAddrs_.end();
 }
 
 int64_t

@@ -18,6 +18,7 @@
 
 #include "base/stats.h"
 #include "base/trace.h"
+#include "sim/wait.h"
 
 namespace genesis::sim {
 
@@ -53,6 +54,27 @@ class Scratchpad
     /** Zero-fill the whole array. */
     void clear();
 
+    // --- read-modify-write hazard scoreboard ---
+    //
+    // An updater with an in-flight RMW on a word publishes the address
+    // here (acquire at pipeline entry, release at write-back); other
+    // modules that must not touch the word while it is in flight check
+    // hazardHeld() and may sleep on hazardWaiters() — every release
+    // fires the list. Nested acquires of one address are counted, so
+    // the address reads as held until the last release.
+
+    /** Publish an in-flight RMW on `addr`. */
+    void hazardAcquire(size_t addr);
+
+    /** Retire an in-flight RMW on `addr`; wakes hazard waiters. */
+    void hazardRelease(size_t addr);
+
+    /** @return true while any in-flight RMW holds `addr`. */
+    bool hazardHeld(size_t addr) const;
+
+    /** Sleepers blocked on a held address, fired on every release. */
+    WaitList &hazardWaiters() { return hazardWaiters_; }
+
     StatRegistry &stats() { return stats_; }
     const StatRegistry &stats() const { return stats_; }
 
@@ -85,6 +107,10 @@ class Scratchpad
     std::string name_;
     uint32_t wordBytes_;
     std::vector<int64_t> words_;
+    /** In-flight RMW addresses (tiny: bounded by updater pipe depth). */
+    std::vector<size_t> hazardAddrs_;
+    /** Sleeping modules woken on every hazard release. */
+    WaitList hazardWaiters_;
     mutable StatRegistry stats_;
     /** Interned hot-path stat handles. */
     StatRegistry::Counter reads_ = stats_.counter("reads");

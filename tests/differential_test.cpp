@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <tuple>
 
 #include "core/bqsr_accel.h"
@@ -119,6 +120,45 @@ TEST_P(DifferentialGoldenModel, BqsrTableMatchesSoftwareExactly)
     EXPECT_TRUE(hw.table == sw)
         << "covariate tables differ, pairs=" << pairs_
         << " seed=" << seed_;
+}
+
+TEST_P(DifferentialGoldenModel, SleepSchedulingIsCycleExact)
+{
+    // The active-set (sleep/wake) scheduler is a pure host-side
+    // optimisation: simulated cycle counts and every merged simulator
+    // statistic must be bit-identical with it disabled
+    // (GENESIS_SIM_NO_SLEEP=1), and with the idle-cycle fast-forward
+    // disabled on top, across the whole size x seed grid.
+    auto run_once = [&] {
+        auto reads = workload_.reads.reads;
+        MarkDupAccelConfig cfg;
+        cfg.numPipelines = pipelinesForSize();
+        auto r = MarkDupAccelerator(cfg).run(reads);
+        return std::make_pair(r.info.totalCycles,
+                              r.info.stats.counters());
+    };
+    auto base = run_once();
+    EXPECT_GT(base.first, 0u);
+    {
+        ::setenv("GENESIS_SIM_NO_SLEEP", "1", 1);
+        auto no_sleep = run_once();
+        ::unsetenv("GENESIS_SIM_NO_SLEEP");
+        EXPECT_EQ(base.first, no_sleep.first)
+            << "cycle drift with sleep disabled, pairs=" << pairs_
+            << " seed=" << seed_;
+        EXPECT_EQ(base.second, no_sleep.second);
+    }
+    {
+        ::setenv("GENESIS_SIM_NO_SLEEP", "1", 1);
+        ::setenv("GENESIS_SIM_NO_FASTFORWARD", "1", 1);
+        auto plain = run_once();
+        ::unsetenv("GENESIS_SIM_NO_FASTFORWARD");
+        ::unsetenv("GENESIS_SIM_NO_SLEEP");
+        EXPECT_EQ(base.first, plain.first)
+            << "cycle drift vs tick-everything, pairs=" << pairs_
+            << " seed=" << seed_;
+        EXPECT_EQ(base.second, plain.second);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -11,9 +11,12 @@
 #include <optional>
 
 #include "base/logging.h"
+#include "modules/filter.h"
+#include "modules/spm_updater.h"
 #include "sim/arbiter.h"
 #include "sim/memory.h"
 #include "sim/scheduler.h"
+#include "sim/spm.h"
 #include "sim_test_utils.h"
 
 namespace genesis::sim {
@@ -460,6 +463,267 @@ TEST(Simulator, FastForwardMatchesCycleByCycle)
     ::unsetenv("GENESIS_SIM_NO_FASTFORWARD");
     EXPECT_EQ(fast, slow);
     EXPECT_GT(fast.at("cycles"), 6'000u); // 20 reads x 300+ cycles
+}
+
+/** Sets an environment variable for the enclosing scope. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+/** An always-pass filter (key == key). */
+modules::FilterConfig
+passAllFilter()
+{
+    modules::FilterConfig cfg;
+    cfg.lhs = modules::FilterOperand::key();
+    cfg.op = modules::CompareOp::Eq;
+    cfg.rhs = modules::FilterOperand::key();
+    return cfg;
+}
+
+TEST(SleepWake, QueueCommitAndCloseWakeSleepers)
+{
+    // A Filter with an empty input declares itself blocked and leaves
+    // the active set; a push commit and a close commit must each wake
+    // it. Manual stepping keeps the deadlock detector out of the way.
+    Simulator sim;
+    auto *in = sim.makeQueue("in");
+    auto *out = sim.makeQueue("out");
+    auto *filter =
+        sim.make<modules::Filter>("filter", in, out, passAllFilter());
+
+    for (int i = 0; i < 3 && !filter->asleep(); ++i)
+        sim.step();
+    ASSERT_TRUE(filter->asleep());
+    uint64_t slept_at = sim.cycle();
+    for (int i = 0; i < 5; ++i)
+        sim.step(); // nothing happens while it sleeps
+    ASSERT_TRUE(filter->asleep());
+
+    in->push(makeFlit(7));
+    sim.step(); // the push commit wakes the filter
+    EXPECT_FALSE(filter->asleep());
+    EXPECT_GT(sim.cycle(), slept_at);
+    for (int i = 0; i < 4 && !out->canPop(); ++i)
+        sim.step();
+    ASSERT_TRUE(out->canPop());
+    EXPECT_EQ(out->front().key, 7);
+
+    for (int i = 0; i < 3 && !filter->asleep(); ++i)
+        sim.step(); // input empty again: back to sleep
+    ASSERT_TRUE(filter->asleep());
+
+    in->close();
+    sim.step(); // the close commit wakes the filter
+    EXPECT_FALSE(filter->asleep());
+    for (int i = 0; i < 4 && !filter->done(); ++i)
+        sim.step();
+    EXPECT_TRUE(filter->done());
+    EXPECT_TRUE(out->closed());
+}
+
+// EchoThroughMemory with the sleep/wake contract: every blocked tick
+// names the event that can unblock it (memory retirement, queue commit).
+class SleepyMemoryEcho final : public Module
+{
+  public:
+    SleepyMemoryEcho(std::string name, MemoryPort *port,
+                     HardwareQueue *in, HardwareQueue *out)
+        : Module(std::move(name)), port_(port), in_(in), out_(out)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (closed_)
+            return;
+        if (waiting_) {
+            if (port_->takeCompletedReadBytes() == 0) {
+                countStall(stallMemory_);
+                sleepOn(stallMemory_, {&port_->retireWaiters()});
+                return;
+            }
+            noteProgress();
+            waiting_ = false;
+        }
+        if (held_) {
+            if (!out_->canPush()) {
+                countStall(stallBackpressure_);
+                sleepOn(stallBackpressure_, {&out_->waiters()});
+                return;
+            }
+            out_->push(*held_);
+            held_.reset();
+            countFlit();
+            return;
+        }
+        if (!in_->canPop()) {
+            if (in_->drained()) {
+                out_->close();
+                closed_ = true;
+            } else {
+                sleepOn(nullptr, {&in_->waiters()});
+            }
+            return;
+        }
+        held_ = in_->pop();
+        port_->issue(static_cast<uint64_t>(held_->key) * 64, 64, false);
+        waiting_ = true;
+    }
+
+    bool done() const override { return closed_; }
+
+  private:
+    StatHandle stallMemory_ = stallCounter("memory");
+    StatHandle stallBackpressure_ = stallCounter("backpressure");
+    MemoryPort *port_;
+    HardwareQueue *in_;
+    HardwareQueue *out_;
+    std::optional<Flit> held_;
+    bool waiting_ = false;
+    bool closed_ = false;
+};
+
+TEST(SleepWake, MemoryRetireWakesAndStaysCycleExact)
+{
+    // A module sleeping on a 300-cycle memory read must be woken by
+    // sub-request retirement, and the whole run must stay bit-identical
+    // across every scheduling mode: sleep on/off x fast-forward on/off.
+    auto run_once = [] {
+        MemoryConfig cfg;
+        cfg.latencyCycles = 300;
+        cfg.rowHitLatencyCycles = 300;
+        Simulator sim(cfg);
+        auto *a = sim.makeQueue("a", 2);
+        auto *b = sim.makeQueue("b", 2);
+        auto *port = sim.memory().makePort(0);
+        std::vector<Flit> flits;
+        for (int i = 0; i < 20; ++i)
+            flits.push_back(makeFlit(i));
+        sim.make<test::VectorSource>("src", a, flits);
+        sim.make<SleepyMemoryEcho>("echo", port, a, b);
+        sim.make<test::VectorSink>("sink", b);
+        sim.run();
+        return sim.collectStats().counters();
+    };
+    auto base = run_once();
+    {
+        ScopedEnv no_sleep("GENESIS_SIM_NO_SLEEP", "1");
+        EXPECT_EQ(base, run_once());
+    }
+    {
+        ScopedEnv no_ff("GENESIS_SIM_NO_FASTFORWARD", "1");
+        EXPECT_EQ(base, run_once());
+    }
+    {
+        ScopedEnv no_sleep("GENESIS_SIM_NO_SLEEP", "1");
+        ScopedEnv no_ff("GENESIS_SIM_NO_FASTFORWARD", "1");
+        EXPECT_EQ(base, run_once());
+    }
+    // The slept spans are credited to the stall bucket: ~300 stall
+    // cycles per read, exactly as a spinning module would count.
+    EXPECT_GE(base.at("echo.stall.memory"), 300u);
+    EXPECT_GT(base.at("cycles"), 6'000u);
+}
+
+// Sleeps on the SPM hazard scoreboard while a given address is under an
+// in-flight read-modify-write. Must be added BEFORE the updater so the
+// mid-tick hazardRelease wake lands in its already-ticked past.
+class HazardWaiter final : public Module
+{
+  public:
+    HazardWaiter(std::string name, Scratchpad *spm, size_t addr)
+        : Module(std::move(name)), spm_(spm), addr_(addr)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (done_)
+            return;
+        if (spm_->hazardHeld(addr_)) {
+            sawHeld_ = true;
+            countStall(stallHazard_);
+            sleepOn(stallHazard_, {&spm_->hazardWaiters()});
+            return;
+        }
+        if (sawHeld_) {
+            done_ = true;
+            noteProgress();
+        }
+    }
+
+    bool done() const override { return done_; }
+    bool sawHeld() const { return sawHeld_; }
+
+  private:
+    StatHandle stallHazard_ = stallCounter("hazard");
+    Scratchpad *spm_;
+    size_t addr_;
+    bool sawHeld_ = false;
+    bool done_ = false;
+};
+
+TEST(SleepWake, HazardClearanceWakesAndStaysCycleExact)
+{
+    auto run_once = [](bool *saw_held) {
+        Simulator sim;
+        auto *spm = sim.makeScratchpad("spm", 16);
+        auto *in = sim.makeQueue("in");
+        sim.make<test::VectorSource>(
+            "src", in, std::vector<Flit>{makeFlit(5)});
+        auto *waiter = sim.make<HazardWaiter>("waiter", spm, 5);
+        modules::SpmUpdaterConfig ucfg;
+        ucfg.mode = modules::SpmUpdateMode::ReadModifyWrite;
+        sim.make<modules::SpmUpdater>("updater", spm, in, ucfg);
+        sim.run();
+        if (saw_held)
+            *saw_held = waiter->sawHeld();
+        EXPECT_TRUE(waiter->done());
+        EXPECT_EQ(spm->read(5), 1); // the RMW increment landed
+        return sim.collectStats().counters();
+    };
+    bool saw_held = false;
+    auto base = run_once(&saw_held);
+    EXPECT_TRUE(saw_held); // the hazard window was actually observed
+    ScopedEnv no_sleep("GENESIS_SIM_NO_SLEEP", "1");
+    EXPECT_EQ(base, run_once(nullptr));
+}
+
+TEST(SleepWake, ProvableDeadlockReportedImmediately)
+{
+    setQuiet(true);
+    // Every module asleep + no pending memory event is a proven
+    // deadlock: nothing can ever wake. The scheduler must report it
+    // immediately (not after the 14k-cycle horizon) and name the
+    // sleepers and the resources they await.
+    Simulator sim;
+    auto *in = sim.makeQueue("in"); // never fed, never closed
+    auto *out = sim.makeQueue("out");
+    sim.make<modules::Filter>("filter", in, out, passAllFilter());
+    try {
+        sim.run();
+        FAIL() << "expected a deadlock panic";
+    } catch (const PanicError &e) {
+        EXPECT_LT(sim.cycle(), 100u);
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("no module can ever wake"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("ASLEEP"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("queue in"), std::string::npos) << msg;
+    }
+    setQuiet(false);
 }
 
 TEST(Simulator, CollectStatsAggregates)
