@@ -82,8 +82,16 @@ def collect_once(bench_dir):
     array = re.search(r"\[.*\]", out, re.S)
     if array:
         for rec in json.loads(array.group(0)):
-            metrics[f"sim_multipipe.lanes{rec['lanes']}.wall_seconds"] = \
-                rec["wall_seconds"]
+            if "lanes" in rec:
+                key = f"sim_multipipe.lanes{rec['lanes']}.wall_seconds"
+            elif "threads" in rec:
+                # Lane-sharded parallel-scheduler sweep: guards both the
+                # sequential scheduler (threads1) and the parallel path's
+                # wall clock against host-side slowdowns.
+                key = f"sim_multipipe.threads{rec['threads']}.wall_seconds"
+            else:
+                continue
+            metrics[key] = rec["wall_seconds"]
 
     wall, _ = run_timed([os.path.join(bench_dir, "sim_membw")], BENCH_ENV)
     metrics["sim_membw.wall_seconds"] = wall
@@ -136,7 +144,8 @@ def main():
                         help="baseline JSON path")
     parser.add_argument("--out", default=None,
                         help="write the fresh metrics to this JSON file")
-    parser.add_argument("--update", action="store_true",
+    parser.add_argument("--update", "--update-baseline",
+                        action="store_true", dest="update",
                         help="overwrite the baseline instead of comparing")
     parser.add_argument("--tolerance", type=float, default=float(
         os.environ.get("GENESIS_PERF_TOLERANCE", "0.15")),

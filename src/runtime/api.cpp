@@ -48,6 +48,10 @@ AcceleratorSession::AcceleratorSession(const RuntimeConfig &config)
 {
     if (config_.clockHz <= 0)
         fatal("accelerator clock must be positive");
+    sim::ThreadPolicy threads;
+    threads.requested = config_.simThreads;
+    threads.concurrentSessions = config_.concurrentSessions;
+    sim_->setThreadPolicy(threads);
     if (config_.trace)
         sim_->attachTrace(config_.trace, config_.traceLabel);
 }

@@ -68,6 +68,22 @@ struct RuntimeConfig {
      * truncating with a warning (see genesis_flush).
      */
     bool strictFlush = false;
+    /**
+     * Worker threads for the lane-sharded parallel simulator (0 = auto:
+     * the per-session core budget). Overridden at run time by
+     * GENESIS_SIM_THREADS; GENESIS_SIM_NO_THREADS=1 forces one worker.
+     * Simulated cycles, statistics and traces are bit-identical at any
+     * value; see sim/parallel.h for the budget-resolution policy.
+     */
+    int simThreads = 0;
+    /**
+     * Sessions expected to run concurrently on this host. BatchRunner
+     * sets it to its lane count so auto thread sizing divides the
+     * host's cores instead of oversubscribing them (lanes × workers is
+     * kept within hardware_concurrency); explicit simThreads requests
+     * are likewise clamped to the per-session share when this exceeds 1.
+     */
+    int concurrentSessions = 1;
 };
 
 /** Host / communication / accelerator runtime split (Figure 13(b)). */

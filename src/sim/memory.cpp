@@ -46,7 +46,10 @@ MemoryPort::enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write)
             tail.row == loc.row && tail.addr + tail.bytes == addr &&
             tail.bytes + bytes <= owner_->config().maxBurstBytes) {
             tail.bytes += bytes;
-            ++*owner_->coalesced_;
+            if (deferAccounting_)
+                ++deferred_.coalesced;
+            else
+                ++*owner_->coalesced_;
             if (trace_) {
                 trace_->asyncInstant(traceTrack_, tail.traceId,
                                      *traceCycle_, stateCoalesce_,
@@ -72,9 +75,15 @@ MemoryPort::enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write)
                                      static_cast<uint64_t>(loc.channel)));
     }
     pending_.push_back(req);
-    ++*owner_->subRequests_;
-    ++owner_->pendingSubRequests_;
-    ++owner_->unscheduledSubRequests_;
+    if (deferAccounting_) {
+        ++deferred_.subRequests;
+        ++deferred_.pending;
+        ++deferred_.unscheduled;
+    } else {
+        ++*owner_->subRequests_;
+        ++owner_->pendingSubRequests_;
+        ++owner_->unscheduledSubRequests_;
+    }
 }
 
 void
@@ -98,9 +107,14 @@ MemoryPort::issue(uint64_t addr, uint32_t bytes, bool is_write)
         enqueueSlice(cur, slice, is_write);
         cur += slice;
     }
-    ++*owner_->requests_;
-    if (progress_)
-        ++*progress_;
+    if (deferAccounting_) {
+        ++deferred_.requests;
+        ++deferred_.progress;
+    } else {
+        ++*owner_->requests_;
+        if (progress_)
+            ++*progress_;
+    }
 }
 
 uint64_t
@@ -193,6 +207,36 @@ MemorySystem::attachProgress(uint64_t *counter)
 }
 
 void
+MemorySystem::setDeferredAccounting(bool defer)
+{
+    deferAccounting_ = defer;
+    for (auto &port : ports_)
+        port->deferAccounting_ = defer;
+    if (!defer) {
+        // Defensive: a drain normally happened at the last tick(), but
+        // never leave staged accounting behind when switching back.
+        drainDeferredAccounting();
+        retiredPortsLastTick_.clear();
+    }
+}
+
+void
+MemorySystem::drainDeferredAccounting()
+{
+    for (auto &port : ports_) {
+        MemoryPort::DeferredAccounting &d = port->deferred_;
+        *requests_ += d.requests;
+        *subRequests_ += d.subRequests;
+        *coalesced_ += d.coalesced;
+        pendingSubRequests_ += static_cast<size_t>(d.pending);
+        unscheduledSubRequests_ += static_cast<size_t>(d.unscheduled);
+        if (progress_)
+            *progress_ += d.progress;
+        d = MemoryPort::DeferredAccounting();
+    }
+}
+
+void
 MemorySystem::attachPortTrace(MemoryPort &port)
 {
     port.trace_ = trace_;
@@ -229,6 +273,7 @@ MemorySystem::makePort(int local_group)
         std::unique_ptr<MemoryPort>(new MemoryPort(id, local_group, this));
     port->queueDepth_ = config_.portQueueDepth;
     port->progress_ = progress_;
+    port->deferAccounting_ = deferAccounting_;
     port->retireWaiters_.setName("mem.port" + std::to_string(id) +
                                  " retire");
     if (trace_)
@@ -259,6 +304,14 @@ void
 MemorySystem::tick()
 {
     ++cycle_;
+
+    if (deferAccounting_) {
+        // Fold the parallel phase's staged issue accounting in before
+        // any early-out reads the pending totals; port order keeps the
+        // drain deterministic (the sums are order-independent anyway).
+        drainDeferredAccounting();
+        retiredPortsLastTick_.clear();
+    }
 
     if (pendingSubRequests_ == 0) {
         // Nothing in flight on any port: arbitration, the bank-conflict
@@ -382,7 +435,8 @@ MemorySystem::tick()
     }
 
     // Retire completions in issue order per port.
-    for (auto &port : ports_) {
+    for (size_t port_i = 0; port_i < ports_.size(); ++port_i) {
+        auto &port = ports_[port_i];
         bool retired = false;
         while (!port->pending_.empty()) {
             const auto &head = port->pending_.front();
@@ -402,8 +456,11 @@ MemorySystem::tick()
             ++*progress_; // retiring is architectural progress
             retired = true;
         }
-        if (retired)
+        if (retired) {
+            if (deferAccounting_)
+                retiredPortsLastTick_.push_back(port_i);
             port->retireWaiters_.wakeAll();
+        }
     }
 }
 

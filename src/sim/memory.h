@@ -148,6 +148,22 @@ class MemoryPort
     /** Append one sub-request slice, coalescing into the tail if legal. */
     void enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write);
 
+    /**
+     * Issue-side accounting deltas accumulated while the owning system
+     * defers them (see MemorySystem::setDeferredAccounting): issue()
+     * runs on the port's shard worker during a parallel phase, so the
+     * system-global counters it would bump are staged here and drained
+     * at the next tick() on the control thread, in port order.
+     */
+    struct DeferredAccounting {
+        uint64_t requests = 0;
+        uint64_t subRequests = 0;
+        uint64_t coalesced = 0;
+        uint64_t pending = 0;
+        uint64_t unscheduled = 0;
+        uint64_t progress = 0;
+    };
+
     int id_;
     int group_;
     MemorySystem *owner_;
@@ -159,6 +175,10 @@ class MemoryPort
     WaitList retireWaiters_;
     /** Owning MemorySystem's progress counter (issue() bumps it). */
     uint64_t *progress_ = nullptr;
+    /** When true, issue-side global-counter bumps land in deferred_
+     *  instead (see DeferredAccounting). */
+    bool deferAccounting_ = false;
+    DeferredAccounting deferred_;
     /** Tracing attachment (set by MemorySystem::attachTrace). */
     TraceSink *trace_ = nullptr;
     const uint64_t *traceCycle_ = nullptr;
@@ -217,6 +237,31 @@ class MemorySystem
     void attachProgress(uint64_t *counter);
 
     /**
+     * Defer issue-side accounting for the lane-sharded parallel
+     * scheduler (DESIGN.md §4e). While deferred, MemoryPort::issue()
+     * stages its bumps of the system-global counters (requests,
+     * sub-requests, coalesces, pending/unscheduled totals, progress) in
+     * per-port accumulators, drained by the next tick() in port order on
+     * the control thread — issue() then touches only port-local state
+     * and may run concurrently across ports of different shards.
+     * Sequential runs keep the immediate accounting, so standalone
+     * behavior (tests reading stats between issue() and tick()) is
+     * untouched. Disabling drains any residue immediately.
+     */
+    void setDeferredAccounting(bool defer);
+
+    /**
+     * Ports that retired at least one sub-request during the last
+     * tick(), in port order. Tracked only while deferred accounting is
+     * on; the parallel scheduler uses it to re-scan exactly the shards
+     * whose modules may have observed a retirement.
+     */
+    const std::vector<size_t> &retiredPortsLastTick() const
+    {
+        return retiredPortsLastTick_;
+    }
+
+    /**
      * Record memory activity into `sink` under process `pid`: one async
      * track per port carrying each sub-request's issue -> schedule ->
      * retire lifetime (coalesced slices appear as instants on the burst
@@ -268,6 +313,10 @@ class MemorySystem
 
     void attachPortTrace(MemoryPort &port);
 
+    /** Fold every port's deferred issue accounting into the global
+     *  counters (port order; called from tick()'s prologue). */
+    void drainDeferredAccounting();
+
     MemoryConfig config_;
     std::vector<std::unique_ptr<MemoryPort>> ports_;
     /** Port indices per local-arbiter group. */
@@ -289,6 +338,10 @@ class MemorySystem
     /** In-flight sub-requests not yet granted a channel slot; zero lets
      *  tick() skip the arbitration scan while transfers drain. */
     size_t unscheduledSubRequests_ = 0;
+    /** See setDeferredAccounting. */
+    bool deferAccounting_ = false;
+    /** Ports with retirements in the last tick (deferred mode only). */
+    std::vector<size_t> retiredPortsLastTick_;
     uint64_t cycle_ = 0;
     StatRegistry stats_;
     /** Interned hot-path stat handles. */

@@ -1,0 +1,182 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace genesis::sim {
+
+thread_local int tlsCurrentShard = kNoShard;
+
+namespace {
+
+/** Spins before a waiter falls back to yielding / parking. Short: on an
+ *  oversubscribed host (the common CI case) spinning only steals the
+ *  quantum from the thread being waited on. */
+constexpr int kSpinIters = 256;
+/** Yields before an idle helper parks on the condition variable. */
+constexpr int kYieldIters = 64;
+
+} // namespace
+
+int
+resolveWorkerCount(const ThreadPolicy &policy, int populated_shards,
+                   unsigned hardware_threads)
+{
+    if (populated_shards < 2)
+        return 1;
+    if (std::getenv("GENESIS_SIM_NO_THREADS") != nullptr)
+        return 1;
+
+    int requested = std::max(policy.requested, 0);
+    if (const char *env = std::getenv("GENESIS_SIM_THREADS")) {
+        char *end = nullptr;
+        long value = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || value < 0)
+            fatal("GENESIS_SIM_THREADS='%s' is not a non-negative "
+                  "integer", env);
+        requested = static_cast<int>(value);
+    }
+
+    unsigned hw = hardware_threads ? hardware_threads
+                                   : std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1; // hardware_concurrency may be unknown
+    int sessions = std::max(policy.concurrentSessions, 1);
+    int budget = std::max(1, static_cast<int>(hw) / sessions);
+
+    int workers;
+    if (requested == 0) {
+        // Auto: never oversubscribe the host across sessions.
+        workers = budget;
+    } else if (sessions > 1) {
+        // Explicit request, shared host: clamp to this session's share.
+        workers = std::min(requested, budget);
+    } else {
+        // Explicit request, sole session: honored as-is so determinism
+        // tests can drive the parallel path on any host.
+        workers = requested;
+    }
+    return std::max(1, std::min(workers, populated_shards));
+}
+
+SimThreadPool::SimThreadPool(int helpers)
+{
+    GENESIS_ASSERT(helpers >= 0, "negative helper count");
+    threads_.reserve(static_cast<size_t>(helpers));
+    for (int i = 0; i < helpers; ++i)
+        threads_.emplace_back([this] { workerMain(); });
+}
+
+SimThreadPool::~SimThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+SimThreadPool::drainJobs()
+{
+    for (;;) {
+        size_t i = nextJob_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobCount_)
+            return;
+        try {
+            (*job_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+    }
+}
+
+void
+SimThreadPool::workerMain()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        // Wait for the next batch: spin, then yield, then park.
+        int spins = 0;
+        while (generation_.load(std::memory_order_acquire) == seen) {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            ++spins;
+            if (spins < kSpinIters)
+                continue;
+            if (spins < kSpinIters + kYieldIters) {
+                std::this_thread::yield();
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return stop_.load(std::memory_order_acquire) ||
+                    generation_.load(std::memory_order_acquire) != seen;
+            });
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            break;
+        }
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        seen = generation_.load(std::memory_order_acquire);
+        drainJobs();
+        finishedHelpers_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+SimThreadPool::run(size_t jobs, const std::function<void(size_t)> &fn)
+{
+    if (jobs == 0)
+        return;
+    if (threads_.empty()) {
+        // Degenerate pool: the caller is the only worker.
+        job_ = &fn;
+        jobCount_ = jobs;
+        nextJob_.store(0, std::memory_order_relaxed);
+        drainJobs();
+        job_ = nullptr;
+    } else {
+        job_ = &fn;
+        jobCount_ = jobs;
+        nextJob_.store(0, std::memory_order_relaxed);
+        finishedHelpers_.store(0, std::memory_order_relaxed);
+        // Publish the batch (release) and wake any parked helpers. The
+        // notify must happen while holding the mutex so a helper that
+        // just evaluated its wait predicate cannot miss the new
+        // generation and sleep through it.
+        generation_.fetch_add(1, std::memory_order_release);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+        }
+        cv_.notify_all();
+        drainJobs();
+        // Barrier: every helper's release-increment pairs with this
+        // acquire-load, so all job side effects are visible after it.
+        int spins = 0;
+        while (finishedHelpers_.load(std::memory_order_acquire) !=
+               threads_.size()) {
+            if (++spins >= kSpinIters)
+                std::this_thread::yield();
+        }
+        job_ = nullptr;
+    }
+    if (firstError_) {
+        std::exception_ptr error;
+        {
+            std::lock_guard<std::mutex> lock(errorMutex_);
+            error = firstError_;
+            firstError_ = nullptr;
+        }
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace genesis::sim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Worker pool and thread policy for the lane-sharded parallel scheduler.
+ *
+ * The Simulator shards its cycle loop by pipeline lane (see DESIGN.md
+ * §4e): each worker ticks one shard's active set and commits that
+ * shard's dirty queues, then a barrier hands control back to a single
+ * thread for the memory tick and the scheduling decisions. SimThreadPool
+ * provides the persistent workers and the barrier; the thread policy
+ * functions decide how many workers a run gets, composing the explicit
+ * request (RuntimeConfig::simThreads or GENESIS_SIM_THREADS), the host
+ * core budget, and the number of concurrent sessions sharing the host
+ * (BatchRunner lanes).
+ *
+ * Thread-budget policy (host-core oversubscription):
+ *  - GENESIS_SIM_NO_THREADS=1 forces one worker (sequential scheduler).
+ *  - GENESIS_SIM_THREADS=N overrides any configured request.
+ *  - A request of 0 means auto: use the per-session core budget,
+ *    hardware_concurrency / concurrentSessions, so BatchRunner lanes and
+ *    simulator workers never oversubscribe the host combined.
+ *  - An explicit request from a single session is honored as-is (it may
+ *    exceed the core count — essential for determinism testing on small
+ *    hosts); with concurrentSessions > 1 even explicit requests are
+ *    clamped to the per-session budget.
+ *  - The result is always clamped to the design's populated shard count:
+ *    extra workers could never have work.
+ */
+
+#ifndef GENESIS_SIM_PARALLEL_H
+#define GENESIS_SIM_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace genesis::sim {
+
+/**
+ * Shard id of the parallel phase the current thread is executing, or
+ * kNoShard outside a parallel phase (sequential runs, the control phase,
+ * host threads). Components stamped with a shard id use this to reject
+ * cross-shard touches during a parallel phase — a module of one lane
+ * pushing to another lane's queue would be a data race, so it panics
+ * deterministically instead (see DESIGN.md §4e).
+ */
+inline constexpr int kNoShard = -1;
+extern thread_local int tlsCurrentShard;
+
+/** How many worker threads a simulator run may use. */
+struct ThreadPolicy {
+    /** Requested worker count; 0 = auto (per-session core budget). */
+    int requested = 0;
+    /** Sessions expected to run concurrently on this host (BatchRunner
+     *  sets this to its lane count so auto sizing divides the cores). */
+    int concurrentSessions = 1;
+};
+
+/**
+ * Resolve the worker count for one run (the policy above).
+ * @param policy configured request + concurrent-session count
+ * @param populated_shards shards that own at least one module
+ * @param hardware_threads core count override for tests; 0 = query
+ *        std::thread::hardware_concurrency()
+ */
+int resolveWorkerCount(const ThreadPolicy &policy, int populated_shards,
+                       unsigned hardware_threads = 0);
+
+/**
+ * A persistent pool of helper threads executing one job batch at a time.
+ *
+ * run(jobs, fn) executes fn(0) .. fn(jobs-1) across the helpers and the
+ * calling thread, returning only when every job finished (the barrier).
+ * Job indices are claimed dynamically, so callers must not assume any
+ * job-to-thread affinity. Helpers spin briefly for the next batch, then
+ * park on a condition variable — a pool whose simulator is between runs
+ * (or a host oversubscribed with sessions) costs nothing but memory.
+ *
+ * An exception thrown by a job is captured and rethrown from run() on
+ * the calling thread after the barrier (first one wins); the remaining
+ * jobs still execute, so the pool and the caller's data structures stay
+ * consistent.
+ *
+ * Thread-safety: run() must be called from one thread at a time (the
+ * simulator's control thread). The synchronization below is
+ * acquire/release throughout, keeping the pool TSan-clean.
+ */
+class SimThreadPool
+{
+  public:
+    /** @param helpers helper threads to spawn (callers typically pass
+     *  workers - 1: the calling thread is the extra worker). */
+    explicit SimThreadPool(int helpers);
+    ~SimThreadPool();
+
+    SimThreadPool(const SimThreadPool &) = delete;
+    SimThreadPool &operator=(const SimThreadPool &) = delete;
+
+    int helpers() const { return static_cast<int>(threads_.size()); }
+
+    /** Execute fn(0..jobs-1) across helpers + caller; barrier on return. */
+    void run(size_t jobs, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerMain();
+    /** Claim and execute jobs until the batch is exhausted. */
+    void drainJobs();
+
+    std::vector<std::thread> threads_;
+
+    /** Batch description, written by run() before publishing the new
+     *  generation (release) and read by helpers after observing it
+     *  (acquire). */
+    const std::function<void(size_t)> *job_ = nullptr;
+    size_t jobCount_ = 0;
+    /** Next unclaimed job index in the current batch. */
+    std::atomic<size_t> nextJob_{0};
+    /** Batch sequence number; helpers wait for it to advance. */
+    std::atomic<uint64_t> generation_{0};
+    /** Helpers finished with the current batch (release per helper,
+     *  acquired by run()'s barrier wait). */
+    std::atomic<size_t> finishedHelpers_{0};
+    std::atomic<bool> stop_{false};
+
+    /** Park/wake bookkeeping for idle helpers. */
+    std::mutex mutex_;
+    std::condition_variable cv_;
+
+    /** First job exception of the batch (guarded by errorMutex_). */
+    std::mutex errorMutex_;
+    std::exception_ptr firstError_;
+};
+
+} // namespace genesis::sim
+
+#endif // GENESIS_SIM_PARALLEL_H

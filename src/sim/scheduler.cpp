@@ -22,9 +22,46 @@ Simulator::makeQueue(const std::string &name, size_t capacity)
 {
     queues_.push_back(std::make_unique<HardwareQueue>(name, capacity));
     queues_.back()->attachSimulator(&progress_, &dirtyQueues_);
+    queues_.back()->setShard(currentShard());
+    queues_.back()->waiters().setShard(currentShard());
+    noteComponentShard(currentShard(), /*is_module=*/false);
     if (trace_)
         queues_.back()->attachTrace(trace_, &cycle_, tracePid_);
     return queues_.back().get();
+}
+
+MemoryPort *
+Simulator::makePort(int local_group)
+{
+    MemoryPort *port = memory_.makePort(local_group);
+    const int shard = currentShard();
+    port->retireWaiters().setShard(shard);
+    if (portShards_.size() <= static_cast<size_t>(port->id()))
+        portShards_.resize(static_cast<size_t>(port->id()) + 1, -1);
+    portShards_[static_cast<size_t>(port->id())] = shard;
+    noteComponentShard(shard, /*is_module=*/false);
+    return port;
+}
+
+void
+Simulator::noteComponentShard(int shard, bool is_module)
+{
+    const size_t s = static_cast<size_t>(shard);
+    shardCount_ = std::max(shardCount_, s + 1);
+    if (is_module) {
+        if (shardModuleCounts_.size() <= s)
+            shardModuleCounts_.resize(s + 1, 0);
+        ++shardModuleCounts_[s];
+    }
+}
+
+int
+Simulator::populatedShards() const
+{
+    int populated = 0;
+    for (uint32_t count : shardModuleCounts_)
+        populated += count != 0;
+    return populated;
 }
 
 Scratchpad *
@@ -33,6 +70,8 @@ Simulator::makeScratchpad(const std::string &name, size_t size_words,
 {
     scratchpads_.push_back(
         std::make_unique<Scratchpad>(name, size_words, word_bytes));
+    scratchpads_.back()->hazardWaiters().setShard(currentShard());
+    noteComponentShard(currentShard(), /*is_module=*/false);
     if (trace_)
         scratchpads_.back()->attachTrace(trace_, &cycle_, tracePid_);
     return scratchpads_.back().get();
@@ -154,10 +193,228 @@ Simulator::creditSkippedCycles(uint64_t times)
     memory_.stats().creditDelta(statSnapshots_[i++], times);
 }
 
+void
+Simulator::splitShards()
+{
+    GENESIS_ASSERT(woken_.empty() && dirtyQueues_.empty(),
+                   "shard split mid-cycle");
+    shards_.clear();
+    shards_.reserve(shardCount_);
+    for (size_t s = 0; s < shardCount_; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+    for (auto &m : modules_) {
+        Shard &sh = *shards_[static_cast<size_t>(m->shard())];
+        m->attachProgress(&sh.progress);
+        m->attachScheduler(&cycle_, &sh.woken, sleepEnabled_);
+    }
+    // active_ is sorted by schedIndex, so each shard's projection of it
+    // is too: per-shard tick order matches the sequential tick order
+    // restricted to that shard's modules.
+    for (Module *m : active_)
+        shards_[static_cast<size_t>(m->shard())]->active.push_back(m);
+    active_.clear();
+    for (auto &q : queues_) {
+        Shard &sh = *shards_[static_cast<size_t>(q->shard())];
+        q->attachSimulator(&sh.progress, &sh.dirtyQueues);
+    }
+    memory_.setDeferredAccounting(true);
+}
+
+void
+Simulator::restoreShards()
+{
+    for (auto &m : modules_) {
+        m->attachProgress(&progress_);
+        m->attachScheduler(&cycle_, &woken_, sleepEnabled_);
+    }
+    for (auto &q : queues_)
+        q->attachSimulator(&progress_, &dirtyQueues_);
+    for (auto &sh : shards_) {
+        // Residual deltas are zero after a completed cycle; fold them
+        // anyway so a panic unwind (deadlock mid-cycle) still leaves the
+        // counters coherent.
+        progress_ += sh->progress;
+        doneCount_ += sh->doneDelta;
+        active_.insert(active_.end(), sh->active.begin(),
+                       sh->active.end());
+        woken_.insert(woken_.end(), sh->woken.begin(), sh->woken.end());
+    }
+    std::sort(active_.begin(), active_.end(),
+              [](const Module *a, const Module *b) {
+                  return a->schedIndex() < b->schedIndex();
+              });
+    memory_.setDeferredAccounting(false);
+    shards_.clear();
+}
+
+void
+Simulator::latchAndCompact(Shard &sh, size_t *done_accum)
+{
+    bool compact = false;
+    for (Module *m : sh.active) {
+        if (!m->schedDone() && m->done()) {
+            m->setSchedDone(true);
+            ++*done_accum;
+        }
+        if (m->asleep() || m->schedDone())
+            compact = true;
+    }
+    if (!compact)
+        return;
+    size_t out = 0;
+    for (Module *m : sh.active) {
+        if (m->asleep() || m->schedDone()) {
+            m->setSchedActive(false);
+            continue;
+        }
+        sh.active[out++] = m;
+    }
+    sh.active.resize(out);
+}
+
+void
+Simulator::rescanRetiredShards()
+{
+    const std::vector<size_t> &retired = memory_.retiredPortsLastTick();
+    if (retired.empty())
+        return;
+    rescanMarks_.assign(shards_.size(), 0);
+    bool scan_all = false;
+    for (size_t port_id : retired) {
+        int shard =
+            port_id < portShards_.size() ? portShards_[port_id] : -1;
+        if (shard < 0) {
+            // Port created outside Simulator::makePort — unknown lane
+            // affinity, so conservatively rescan everything.
+            scan_all = true;
+            break;
+        }
+        rescanMarks_[static_cast<size_t>(shard)] = 1;
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        if (scan_all || rescanMarks_[s])
+            latchAndCompact(*shards_[s], &doneCount_);
+    }
+}
+
+void
+Simulator::mergeShardWoken(Shard &sh)
+{
+    if (sh.woken.empty())
+        return;
+    size_t keep = 0;
+    for (Module *m : sh.woken) {
+        maybeLatchDone(m);
+        if (m->schedDone() || m->schedActive())
+            continue;
+        sh.woken[keep++] = m;
+    }
+    sh.woken.resize(keep);
+    if (!sh.woken.empty()) {
+        auto by_index = [](const Module *a, const Module *b) {
+            return a->schedIndex() < b->schedIndex();
+        };
+        std::sort(sh.woken.begin(), sh.woken.end(), by_index);
+        sh.mergeScratch.clear();
+        sh.mergeScratch.reserve(sh.active.size() + sh.woken.size());
+        std::merge(sh.active.begin(), sh.active.end(), sh.woken.begin(),
+                   sh.woken.end(), std::back_inserter(sh.mergeScratch),
+                   by_index);
+        sh.active.swap(sh.mergeScratch);
+        for (Module *m : sh.woken)
+            m->setSchedActive(true);
+    }
+    sh.woken.clear();
+}
+
+void
+Simulator::stepParallel()
+{
+    // Parallel phase: every shard ticks its active modules (schedIndex
+    // order), commits its own staged queues, and pre-compacts its active
+    // list. Shards share no mutable state — cross-shard touches panic
+    // via the tlsCurrentShard guards — so any interleaving produces the
+    // same result as the sequential tick order.
+    pool_->run(shards_.size(), [this](size_t s) {
+        tlsCurrentShard = static_cast<int>(s);
+        Shard &sh = *shards_[s];
+        try {
+            for (Module *m : sh.active)
+                m->tick();
+            for (auto *q : sh.dirtyQueues)
+                q->commit();
+            sh.dirtyQueues.clear();
+            latchAndCompact(sh, &sh.doneDelta);
+        } catch (...) {
+            tlsCurrentShard = kNoShard;
+            throw;
+        }
+        tlsCurrentShard = kNoShard;
+    });
+
+    // Control phase (single thread): reduce the shard deltas — additive,
+    // so the reduction order cannot affect the result — then advance the
+    // memory system exactly as the sequential scheduler would.
+    for (auto &sh : shards_) {
+        progress_ += sh->progress;
+        sh->progress = 0;
+        doneCount_ += sh->doneDelta;
+        sh->doneDelta = 0;
+    }
+    memory_.tick();
+    // Retirements during the memory tick are the only post-barrier
+    // events that can flip a lane module's done(); re-latch exactly the
+    // affected shards so completion lands on the same cycle as a
+    // sequential run. Retire wakes were routed to each sleeper's own
+    // shard's woken list; merge them back in schedIndex order.
+    rescanRetiredShards();
+    for (auto &sh : shards_)
+        mergeShardWoken(*sh);
+    ++cycle_;
+}
+
+bool
+Simulator::noModuleActive(bool parallel) const
+{
+    if (!parallel)
+        return active_.empty();
+    for (const auto &sh : shards_) {
+        if (!sh->active.empty())
+            return false;
+    }
+    return true;
+}
+
 uint64_t
 Simulator::run(uint64_t max_cycles)
 {
     finished_.store(false, std::memory_order_relaxed);
+    int workers = 1;
+    if (!trace_) {
+        // Tracing forces the sequential scheduler: the TraceSink is
+        // single-writer (DESIGN.md §7). Simulated results are identical
+        // either way.
+        workers = resolveWorkerCount(threadPolicy_, populatedShards());
+    }
+    lastRunWorkers_ = workers;
+    if (workers <= 1)
+        return runLoop(max_cycles, /*parallel=*/false);
+
+    if (!pool_ || pool_->helpers() != workers - 1)
+        pool_ = std::make_unique<SimThreadPool>(workers - 1);
+    splitShards();
+    // Restore the sequential view however the loop exits — completion
+    // or a deadlock/runaway panic unwinding to the caller.
+    struct Restore {
+        Simulator &sim;
+        ~Restore() { sim.restoreShards(); }
+    } restore{*this};
+    return runLoop(max_cycles, /*parallel=*/true);
+}
+
+uint64_t
+Simulator::runLoop(uint64_t max_cycles, bool parallel)
+{
     // Deadlock horizon: generously above the worst legitimate quiet
     // period (memory latency plus arbitration backlog).
     const uint64_t deadlock_horizon =
@@ -171,13 +428,16 @@ Simulator::run(uint64_t max_cycles)
                   static_cast<unsigned long long>(max_cycles),
                   dumpState().c_str());
         }
-        step();
+        if (parallel)
+            stepParallel();
+        else
+            step();
         // Provable deadlock: every live module is asleep and the memory
         // system has no pending event, so no wake can ever fire. Report
         // immediately instead of waiting out the quiet horizon. (Under
         // GENESIS_SIM_NO_SLEEP modules never sleep, so a wedged design
         // falls through to the horizon path below, as before.)
-        if (active_.empty() && !allDone() &&
+        if (noModuleActive(parallel) && !allDone() &&
             memory_.nextEventCycle() == MemorySystem::kNoEvent) {
             panic("deadlock: no module can ever wake (all asleep, no "
                   "pending memory event)\n%s",
@@ -209,7 +469,10 @@ Simulator::run(uint64_t max_cycles)
         // exact per-cycle stat deltas — each module's stall buckets and
         // the memory system's idle-channel accrual.
         snapshotStats();
-        step();
+        if (parallel)
+            stepParallel();
+        else
+            step();
         if (progress_ != last_progress) {
             // Defensive: a module made silent progress without honoring
             // the noteProgress() contract. Fall back to cycle-by-cycle.
@@ -290,6 +553,10 @@ Simulator::dumpState() const
     // A wedged design must still have coherent accounting: every channel
     // accrues exactly one of busy/idle per cycle, ticked or skipped.
     memory_.assertStatInvariant();
+    // Deterministic under sharding: modules_ and queues_ iterate in
+    // insertion order — lane-major, since pipelines are built one at a
+    // time — and every stat read here is bit-identical to a sequential
+    // run, so the report matches at any worker count.
     std::ostringstream os;
     os << "cycle " << cycle_ << "\n";
     for (const auto &m : modules_) {

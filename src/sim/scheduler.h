@@ -18,6 +18,7 @@
 
 #include "sim/memory.h"
 #include "sim/module.h"
+#include "sim/parallel.h"
 #include "sim/queue.h"
 #include "sim/spm.h"
 
@@ -53,6 +54,18 @@ namespace genesis::sim {
  * no pending memory event is a provable deadlock — nothing can ever
  * fire a wake — and is reported immediately instead of after the
  * multi-thousand-cycle quiet horizon.
+ *
+ * Parallel execution (DESIGN.md §4e): when a design has two or more
+ * populated pipeline-lane shards and the resolved thread policy grants
+ * more than one worker (RuntimeConfig::simThreads / GENESIS_SIM_THREADS;
+ * GENESIS_SIM_NO_THREADS=1 forces one), run() shards the cycle loop by
+ * lane: each worker ticks one shard's active set and commits that
+ * shard's dirty queues, then a barrier hands control to a single thread
+ * for the memory tick, cross-shard wake delivery and every scheduling
+ * decision (deadlock, fast-forward, completion). Cycles, statistics and
+ * traces are bit-identical to the sequential scheduler for any thread
+ * count. Attaching a trace forces the sequential scheduler (the
+ * TraceSink is single-writer, DESIGN.md §7).
  */
 class Simulator
 {
@@ -71,6 +84,60 @@ class Simulator
     Scratchpad *makeScratchpad(const std::string &name, size_t size_words,
                                uint32_t word_bytes = 8);
 
+    /**
+     * Create a memory port in `local_group`'s arbiter group, stamped
+     * with the current build lane's shard (PipelineBuilder routes port
+     * creation through here so the parallel scheduler knows which lane a
+     * retirement can affect). memory().makePort() remains valid for
+     * lane-unaffiliated ports.
+     */
+    MemoryPort *makePort(int local_group = 0);
+
+    /**
+     * Scoped build lane: components created while a scope is open belong
+     * to that pipeline lane's shard (shard = lane + 1; components built
+     * outside any scope fall into shard 0). PipelineBuilder opens one
+     * around every component it creates.
+     */
+    class LaneScope
+    {
+      public:
+        LaneScope(Simulator &sim, int lane)
+            : sim_(sim), prev_(sim.buildLane_)
+        {
+            sim_.buildLane_ = lane;
+        }
+        ~LaneScope() { sim_.buildLane_ = prev_; }
+
+        LaneScope(const LaneScope &) = delete;
+        LaneScope &operator=(const LaneScope &) = delete;
+
+      private:
+        Simulator &sim_;
+        int prev_;
+    };
+
+    /** Shard components created right now would land in. */
+    int currentShard() const
+    {
+        return buildLane_ < 0 ? 0 : buildLane_ + 1;
+    }
+
+    /**
+     * Configure how many worker threads run() may use (0 = auto). The
+     * GENESIS_SIM_THREADS / GENESIS_SIM_NO_THREADS environment variables
+     * override it at run() time; see sim/parallel.h for the full
+     * budget-resolution policy.
+     */
+    void setThreadPolicy(const ThreadPolicy &policy)
+    {
+        threadPolicy_ = policy;
+    }
+    const ThreadPolicy &threadPolicy() const { return threadPolicy_; }
+
+    /** Worker threads the last run() actually used (1 = sequential). */
+    int lastRunWorkers() const { return lastRunWorkers_; }
+
     /** Take ownership of a module; returns a borrowed pointer. */
     template <typename T>
     T *
@@ -80,6 +147,8 @@ class Simulator
         raw->attachProgress(&progress_);
         raw->attachScheduler(&cycle_, &woken_, sleepEnabled_);
         raw->setSchedIndex(modules_.size());
+        raw->setShard(currentShard());
+        noteComponentShard(raw->shard(), /*is_module=*/true);
         if (trace_)
             raw->attachTrace(trace_, &cycle_, tracePid_);
         modules_.push_back(std::move(module));
@@ -173,6 +242,30 @@ class Simulator
     TraceSink *trace() { return trace_; }
 
   private:
+    /**
+     * One pipeline lane's slice of the scheduler state while run() is
+     * parallel (see splitShards): the lane's active list, its staged
+     * wakes and dirty queues, and the progress/done deltas its worker
+     * accumulates for the barrier reduction. Cache-line aligned so two
+     * workers never false-share their hot counters.
+     */
+    struct alignas(64) Shard {
+        /** Modules ticked by this shard's worker, in schedIndex order. */
+        std::vector<Module *> active;
+        /** Wakes staged for this shard: by its own worker during the
+         *  parallel phase, by the control thread (memory retirements)
+         *  during the serialized phase. */
+        std::vector<Module *> woken;
+        /** Scratch for the active/woken order-preserving merge. */
+        std::vector<Module *> mergeScratch;
+        /** Queues of this shard with operations staged this cycle. */
+        std::vector<HardwareQueue *> dirtyQueues;
+        /** Progress events this cycle (reduced at the barrier). */
+        uint64_t progress = 0;
+        /** Modules newly latched done (reduced at the barrier). */
+        size_t doneDelta = 0;
+    };
+
     /** Latch a freshly-done module (advances the allDone() count). */
     void
     maybeLatchDone(Module *m)
@@ -186,6 +279,46 @@ class Simulator
     /** Drop asleep/done modules from active_, merge woken_ back in
      *  (tick order preserved), and latch newly-done modules. */
     void updateActiveSet();
+
+    /** Record a component's shard for worker sizing / shard layout. */
+    void noteComponentShard(int shard, bool is_module);
+
+    /** Shards that own at least one module. */
+    int populatedShards() const;
+
+    /** Partition the scheduler state into per-lane shards and re-point
+     *  every module/queue at its shard's counters. */
+    void splitShards();
+
+    /** Undo splitShards: fold shard state back into the sequential
+     *  single-list view (active list re-sorted by schedIndex). */
+    void restoreShards();
+
+    /** The body of run(): the sequential loop, with step()/active-set
+     *  probes dispatched to the parallel variants when `parallel`. */
+    uint64_t runLoop(uint64_t max_cycles, bool parallel);
+
+    /** Parallel-phase tick + barrier + serialized control phase. */
+    void stepParallel();
+
+    /** Per-shard half of updateActiveSet(): latch done() on the ticked
+     *  modules and compact asleep/done entries out of the active list.
+     *  Newly latched modules are counted into *done_accum (the shard
+     *  delta on workers, doneCount_ on the control thread). */
+    static void latchAndCompact(Shard &sh, size_t *done_accum);
+
+    /** Re-run latchAndCompact for the shards whose ports retired a
+     *  sub-request in the memory tick just executed: a retirement is the
+     *  only post-barrier event that can flip a lane module's done(). */
+    void rescanRetiredShards();
+
+    /** Per-shard second half of updateActiveSet(): merge the shard's
+     *  woken modules back into its active list (schedIndex order). */
+    void mergeShardWoken(Shard &sh);
+
+    /** @return true when no shard (or the sequential list) has an
+     *  active module (the provable-deadlock probe). */
+    bool noModuleActive(bool parallel) const;
 
     /** Snapshot all stat registries (modules, memory, scratchpads). */
     void snapshotStats();
@@ -229,6 +362,26 @@ class Simulator
     /** Tracing attachment (null = disabled; see attachTrace). */
     TraceSink *trace_ = nullptr;
     int tracePid_ = -1;
+    /** Lane being built (set by LaneScope; -1 = unaffiliated). */
+    int buildLane_ = -1;
+    /** Per-shard module counts (index = shard id; sizes the split). */
+    std::vector<uint32_t> shardModuleCounts_;
+    /** Shards any component (module/queue/port) has been stamped with. */
+    size_t shardCount_ = 1;
+    /** Shard of each memory port by port id (-1 = created outside
+     *  Simulator::makePort; forces a conservative full rescan). */
+    std::vector<int> portShards_;
+    /** Worker-thread request (see setThreadPolicy). */
+    ThreadPolicy threadPolicy_;
+    /** Workers the last run() used (see lastRunWorkers). */
+    int lastRunWorkers_ = 1;
+    /** Per-lane scheduler state while run() is parallel (empty when
+     *  sequential; unique_ptr keeps shard addresses stable). */
+    std::vector<std::unique_ptr<Shard>> shards_;
+    /** Scratch flags for rescanRetiredShards. */
+    std::vector<char> rescanMarks_;
+    /** Persistent worker pool (created on first parallel run). */
+    std::unique_ptr<SimThreadPool> pool_;
 };
 
 } // namespace genesis::sim

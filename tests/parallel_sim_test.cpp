@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Lane-sharded parallel scheduler tests (DESIGN.md §4e).
+ *
+ * The parallel scheduler's contract is bit-identity: simulated cycles,
+ * every aggregated statistic, per-read results and deadlock diagnostics
+ * must match the sequential scheduler exactly for any worker count.
+ * The battery here runs a differential size × seed grid across worker
+ * counts, cross-producted with the GENESIS_SIM_NO_SLEEP and
+ * GENESIS_SIM_NO_FASTFORWARD escape hatches, plus targeted tests for
+ * the thread-budget policy, trace forcing, the cross-shard coupling
+ * guards, and deadlock-report determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/trace.h"
+#include "core/accel_common.h"
+#include "modules/memory_reader.h"
+#include "modules/memory_writer.h"
+#include "modules/reducer.h"
+#include "pipeline/builder.h"
+#include "runtime/api.h"
+#include "sim/parallel.h"
+#include "sim/scheduler.h"
+
+#include "sim_test_utils.h"
+
+using namespace genesis;
+using namespace genesis::sim;
+
+namespace {
+
+/** Sets an environment variable for the enclosing scope. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+constexpr size_t kLanes = 8;
+
+/** Everything one run must reproduce bit-for-bit. */
+struct RunResult {
+    std::vector<int64_t> sums;
+    uint64_t cycles = 0;
+    std::string statsSig;
+    int workersUsed = 1;
+};
+
+/** Wire one quality-sum pipeline (Figure 10) into a session lane. */
+void
+buildQualSumLane(runtime::AcceleratorSession &session, size_t lane,
+                 std::vector<int64_t> qual, std::vector<uint32_t> lens)
+{
+    pipeline::PipelineBuilder builder(session.sim(),
+                                      static_cast<int>(lane));
+    modules::ColumnBuffer *qual_buf = session.configureMem(
+        builder.scopedName("READS.QUAL"), std::move(qual),
+        std::move(lens), 1);
+    auto *qual_q = builder.queue("qual");
+    auto *sum_q = builder.queue("sum");
+    modules::ColumnBuffer *out =
+        session.configureOutput(builder.scopedName("QSUM"), 4);
+
+    modules::MemoryReaderConfig reader_cfg;
+    reader_cfg.emitBoundaries = true;
+    builder.add<modules::MemoryReader>("MemoryReader", "rd_qual",
+                                       qual_buf, builder.port(), qual_q,
+                                       reader_cfg);
+
+    modules::ReducerConfig red_cfg;
+    red_cfg.op = modules::ReduceOp::Sum;
+    red_cfg.granularity = modules::ReduceGranularity::PerItem;
+    red_cfg.valueField = 0;
+    builder.add<modules::Reducer>("ReducerWide", "sum", qual_q, sum_q,
+                                  red_cfg);
+
+    modules::MemoryWriterConfig writer_cfg;
+    writer_cfg.fieldIndex = 0;
+    writer_cfg.elemSizeBytes = 4;
+    builder.add<modules::MemoryWriter>("MemoryWriter", "wr_sum", out,
+                                       builder.port(), sum_q,
+                                       writer_cfg);
+}
+
+/** Run the kLanes-lane quality-sum design with `threads` workers. */
+RunResult
+runQualSum(const test::SmallWorkload &workload, int threads,
+           TraceSink *trace = nullptr)
+{
+    const auto &reads = workload.reads.reads;
+    size_t n = reads.size();
+    size_t per = (n + kLanes - 1) / kLanes;
+
+    runtime::RuntimeConfig cfg;
+    cfg.simThreads = threads;
+    runtime::AcceleratorSession session(cfg);
+    if (trace)
+        session.attachTrace(trace, "parallel_test");
+
+    std::vector<std::pair<size_t, size_t>> chunks;
+    for (size_t lane = 0; lane < kLanes; ++lane) {
+        size_t first = std::min(n, lane * per);
+        size_t last = std::min(n, first + per);
+        if (first >= last)
+            break;
+        chunks.emplace_back(first, last);
+        core::ReadColumns cols =
+            core::ReadColumns::fromRange(reads, first, last);
+        buildQualSumLane(session, lane, std::move(cols.qual),
+                         std::move(cols.qualLens));
+    }
+
+    session.start();
+    session.wait();
+
+    RunResult result;
+    result.workersUsed = session.sim().lastRunWorkers();
+    result.cycles = session.sim().cycle();
+    const StatRegistry stats = session.sim().collectStats();
+    for (const auto &[name, value] : stats.counters()) {
+        result.statsSig += name;
+        result.statsSig += '=';
+        result.statsSig += std::to_string(value);
+        result.statsSig += ';';
+    }
+    result.sums.assign(n, 0);
+    for (size_t lane = 0; lane < chunks.size(); ++lane) {
+        auto [first, last] = chunks[lane];
+        const modules::ColumnBuffer *flushed =
+            session.flush("p" + std::to_string(lane) + ".QSUM");
+        for (size_t i = 0; i < flushed->elements.size(); ++i)
+            result.sums[first + i] = flushed->elements[i];
+    }
+    return result;
+}
+
+// --- thread-budget policy (sim/parallel.h) -----------------------------
+
+TEST(ThreadPolicy, AutoUsesPerSessionCoreBudget)
+{
+    ThreadPolicy p;
+    // 8 cores, one session: the whole machine.
+    EXPECT_EQ(resolveWorkerCount(p, 8, 8), 8);
+    // 8 cores, 4 concurrent sessions: 2 cores each.
+    p.concurrentSessions = 4;
+    EXPECT_EQ(resolveWorkerCount(p, 8, 8), 2);
+    // More sessions than cores: never below one worker.
+    p.concurrentSessions = 16;
+    EXPECT_EQ(resolveWorkerCount(p, 8, 8), 1);
+}
+
+TEST(ThreadPolicy, ClampedToPopulatedShards)
+{
+    ThreadPolicy p;
+    EXPECT_EQ(resolveWorkerCount(p, 3, 8), 3);
+    p.requested = 6;
+    EXPECT_EQ(resolveWorkerCount(p, 2, 8), 2);
+    // Fewer than two populated shards: nothing to parallelize.
+    EXPECT_EQ(resolveWorkerCount(p, 1, 8), 1);
+    EXPECT_EQ(resolveWorkerCount(p, 0, 8), 1);
+}
+
+TEST(ThreadPolicy, ExplicitSingleSessionRequestHonored)
+{
+    // A single session's explicit request may exceed the core count:
+    // determinism testing needs 4 workers on a 1-core host.
+    ThreadPolicy p;
+    p.requested = 4;
+    EXPECT_EQ(resolveWorkerCount(p, 8, 1), 4);
+}
+
+TEST(ThreadPolicy, ExplicitRequestClampedUnderConcurrentSessions)
+{
+    // With concurrent sessions, even explicit requests share the host:
+    // lanes x workers stays within hardware_concurrency.
+    ThreadPolicy p;
+    p.requested = 8;
+    p.concurrentSessions = 4;
+    EXPECT_EQ(resolveWorkerCount(p, 8, 8), 2);
+    p.concurrentSessions = 2;
+    EXPECT_EQ(resolveWorkerCount(p, 8, 8), 4);
+}
+
+TEST(ThreadPolicy, EnvironmentOverrides)
+{
+    ThreadPolicy p;
+    p.requested = 2;
+    {
+        ScopedEnv threads("GENESIS_SIM_THREADS", "6");
+        EXPECT_EQ(resolveWorkerCount(p, 8, 1), 6);
+    }
+    {
+        // NO_THREADS beats everything, including an explicit request.
+        ScopedEnv no_threads("GENESIS_SIM_NO_THREADS", "1");
+        EXPECT_EQ(resolveWorkerCount(p, 8, 8), 1);
+    }
+    {
+        ScopedEnv threads("GENESIS_SIM_THREADS", "6");
+        ScopedEnv no_threads("GENESIS_SIM_NO_THREADS", "1");
+        EXPECT_EQ(resolveWorkerCount(p, 8, 8), 1);
+    }
+}
+
+TEST(ThreadPolicy, SessionOversubscriptionClamp)
+{
+    // End-to-end: a session configured as one of four concurrent
+    // sessions must not claim more than its share of the host's cores,
+    // even with an explicit worker request (the BatchRunner composition
+    // policy, runtime/batch.cpp).
+    auto workload = test::makeSmallWorkload(5, 40);
+    unsigned hw = std::thread::hardware_concurrency();
+    int budget = static_cast<int>(std::max(1u, hw / 4));
+
+    runtime::RuntimeConfig cfg;
+    cfg.simThreads = 8;
+    cfg.concurrentSessions = 4;
+    runtime::AcceleratorSession session(cfg);
+    const auto &reads = workload.reads.reads;
+    size_t half = reads.size() / 2;
+    for (size_t lane = 0; lane < 2; ++lane) {
+        core::ReadColumns cols = core::ReadColumns::fromRange(
+            reads, lane * half, lane ? reads.size() : half);
+        buildQualSumLane(session, lane, std::move(cols.qual),
+                         std::move(cols.qualLens));
+    }
+    session.start();
+    session.wait();
+    EXPECT_LE(session.sim().lastRunWorkers(), budget);
+}
+
+// --- bit-identity battery ---------------------------------------------
+
+/** (num_pairs, seed) differential grid point. */
+class ParallelParity
+    : public ::testing::TestWithParam<std::tuple<int64_t, uint64_t>>
+{
+};
+
+TEST_P(ParallelParity, ThreadsAreBitIdentical)
+{
+    auto [pairs, seed] = GetParam();
+    auto workload = test::makeSmallWorkload(seed, pairs);
+
+    // Each escape-hatch combination is its own differential universe:
+    // the baseline and every threaded run share the combination, and
+    // all universes must agree with each other too (sleep and
+    // fast-forward are themselves bit-identical transforms).
+    struct EnvCase {
+        const char *label;
+        bool noSleep;
+        bool noFastForward;
+    };
+    const EnvCase env_cases[] = {
+        {"default", false, false},
+        {"no_sleep", true, false},
+        {"no_fastforward", false, true},
+        {"no_sleep+no_fastforward", true, true},
+    };
+
+    RunResult reference;
+    bool have_reference = false;
+    for (const auto &env_case : env_cases) {
+        std::vector<std::unique_ptr<ScopedEnv>> env;
+        if (env_case.noSleep)
+            env.push_back(std::make_unique<ScopedEnv>(
+                "GENESIS_SIM_NO_SLEEP", "1"));
+        if (env_case.noFastForward)
+            env.push_back(std::make_unique<ScopedEnv>(
+                "GENESIS_SIM_NO_FASTFORWARD", "1"));
+
+        RunResult baseline = runQualSum(workload, 1);
+        ASSERT_EQ(baseline.workersUsed, 1) << env_case.label;
+        for (int threads : {2, 4, 8}) {
+            RunResult r = runQualSum(workload, threads);
+            EXPECT_GT(r.workersUsed, 1)
+                << env_case.label << " threads=" << threads;
+            EXPECT_EQ(r.cycles, baseline.cycles)
+                << env_case.label << " threads=" << threads;
+            EXPECT_EQ(r.statsSig, baseline.statsSig)
+                << env_case.label << " threads=" << threads;
+            EXPECT_EQ(r.sums, baseline.sums)
+                << env_case.label << " threads=" << threads;
+        }
+        if (!have_reference) {
+            reference = baseline;
+            have_reference = true;
+        } else {
+            EXPECT_EQ(baseline.cycles, reference.cycles)
+                << env_case.label;
+            EXPECT_EQ(baseline.statsSig, reference.statsSig)
+                << env_case.label;
+            EXPECT_EQ(baseline.sums, reference.sums) << env_case.label;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSeedGrid, ParallelParity,
+    ::testing::Combine(::testing::Values<int64_t>(24, 96),
+                       ::testing::Values<uint64_t>(3, 11)),
+    [](const auto &info) {
+        return "pairs" + std::to_string(std::get<0>(info.param)) +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- tracing forces the sequential scheduler ---------------------------
+
+TEST(ParallelSim, TraceForcesSequentialAndIsIdentical)
+{
+    auto workload = test::makeSmallWorkload(7, 60);
+
+    TraceSink seq_trace;
+    RunResult seq = runQualSum(workload, 1, &seq_trace);
+    EXPECT_EQ(seq.workersUsed, 1);
+
+    // The TraceSink is single-writer (DESIGN.md §7): a threaded request
+    // with a trace attached must fall back to one worker and produce
+    // the identical trace.
+    TraceSink par_trace;
+    RunResult par = runQualSum(workload, 4, &par_trace);
+    EXPECT_EQ(par.workersUsed, 1);
+    EXPECT_EQ(par.cycles, seq.cycles);
+    EXPECT_EQ(par.statsSig, seq.statsSig);
+    EXPECT_EQ(par.sums, seq.sums);
+
+    seq_trace.finish();
+    par_trace.finish();
+    std::ostringstream seq_json, par_json;
+    seq_trace.writeJson(seq_json);
+    par_trace.writeJson(par_json);
+    EXPECT_EQ(par_json.str(), seq_json.str());
+}
+
+// --- deadlock diagnostics ---------------------------------------------
+
+/**
+ * Run a design where lane 2 wedges (a sink on a queue nobody feeds or
+ * closes) while the other lanes complete; @return the deadlock panic
+ * message.
+ */
+std::string
+deadlockReport(int threads)
+{
+    setQuiet(true);
+    Simulator sim;
+    ThreadPolicy policy;
+    policy.requested = threads;
+    sim.setThreadPolicy(policy);
+
+    for (int lane = 0; lane < 4; ++lane) {
+        pipeline::PipelineBuilder builder(sim, lane);
+        auto *q = builder.queue("data");
+        if (lane != 2) {
+            builder.add<test::VectorSource>(
+                "VectorSource", "src", q,
+                std::vector<Flit>{makeFlit(lane), makeFlit(lane + 10)});
+        }
+        builder.add<test::VectorSink>("VectorSink", "sink", q);
+    }
+
+    std::string message;
+    try {
+        sim.run();
+    } catch (const PanicError &e) {
+        message = e.what();
+    }
+    setQuiet(false);
+    EXPECT_FALSE(message.empty()) << "expected a deadlock panic";
+    return message;
+}
+
+TEST(ParallelSim, DeadlockReportIdenticalAcrossThreadCounts)
+{
+    // The deadlock report embeds dumpState(): cycle, per-queue and
+    // per-module state. Sharding must not perturb any of it — the dump
+    // walks components in insertion (lane-major build) order and all
+    // counters are bit-identical, so the reports match byte-for-byte.
+    std::string seq = deadlockReport(1);
+    std::string par = deadlockReport(4);
+    EXPECT_EQ(par, seq);
+    EXPECT_NE(seq.find("deadlock"), std::string::npos);
+}
+
+// --- cross-shard coupling guards --------------------------------------
+
+TEST(ParallelSim, CrossShardQueuePushPanicsDeterministically)
+{
+    // A module of lane 1 wired (incorrectly) to a lane-0 queue: under
+    // the parallel scheduler this would be a data race, so the guard in
+    // HardwareQueue::markDirty must panic deterministically instead.
+    // Race-free by construction: no lane-0 module ever touches the
+    // queue, so the push is the only access.
+    setQuiet(true);
+    Simulator sim;
+    ThreadPolicy policy;
+    policy.requested = 2;
+    sim.setThreadPolicy(policy);
+
+    pipeline::PipelineBuilder lane0(sim, 0);
+    auto *foreign_q = lane0.queue("foreign");
+    lane0.add<test::VectorSink>("VectorSink", "sink", foreign_q);
+
+    pipeline::PipelineBuilder lane1(sim, 1);
+    lane1.add<test::VectorSource>(
+        "VectorSource", "src", foreign_q,
+        std::vector<Flit>{makeFlit(1)});
+
+    try {
+        sim.run();
+        FAIL() << "expected a cross-shard panic";
+    } catch (const PanicError &e) {
+        EXPECT_NE(
+            std::string(e.what()).find("during a parallel phase"),
+            std::string::npos)
+            << e.what();
+    }
+    setQuiet(false);
+}
+
+TEST(ParallelSim, SameDesignLegalWhenSequential)
+{
+    // The cross-shard wiring above is legal under the sequential
+    // scheduler (there is no parallel phase to race in): the guards
+    // must not fire when only one worker runs.
+    setQuiet(true);
+    Simulator sim;
+    pipeline::PipelineBuilder lane0(sim, 0);
+    auto *foreign_q = lane0.queue("foreign");
+    auto *sink =
+        lane0.add<test::VectorSink>("VectorSink", "sink", foreign_q);
+    pipeline::PipelineBuilder lane1(sim, 1);
+    lane1.add<test::VectorSource>("VectorSource", "src", foreign_q,
+                                  std::vector<Flit>{makeFlit(1)});
+    ScopedEnv no_threads("GENESIS_SIM_NO_THREADS", "1");
+    sim.run();
+    EXPECT_EQ(sink->collected().size(), 1u);
+    setQuiet(false);
+}
+
+} // namespace
