@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Perf-regression guard for the simulator benches.
 
-Runs bench/sim_throughput, bench/sim_multipipe and bench/sim_membw,
-collects wall-clock metrics, and compares them against a committed
+Runs bench/sim_throughput, bench/sim_multipipe, bench/sim_membw and
+bench/sql_join, collects wall-clock metrics, and compares them against a committed
 baseline (bench/perf_baseline.json). Any metric that regresses by more
 than the tolerance (default 15%) fails the run, so host-side slowdowns
 in the simulator core are caught in CI rather than discovered months
@@ -95,6 +95,27 @@ def collect_once(bench_dir):
 
     wall, _ = run_timed([os.path.join(bench_dir, "sim_membw")], BENCH_ENV)
     metrics["sim_membw.wall_seconds"] = wall
+
+    # SQL join suite: per-mode totals plus the optimizer/vectorizer
+    # speedups. The bench itself verifies result parity across modes
+    # and fails on mismatch, so a regression here is purely perf.
+    wall, out = run_timed([os.path.join(bench_dir, "sql_join")],
+                          BENCH_ENV)
+    metrics["sql_join.wall_seconds"] = wall
+    for line in out.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        if rec.get("bench") != "sql_join":
+            continue
+        if rec.get("summary"):
+            for mode in ("naive", "optimized", "vectorized"):
+                metrics[f"sql_join.{mode}_seconds"] = \
+                    rec[f"{mode}_seconds"]
+        elif "query" in rec:
+            key = f"sql_join.{rec['query']}.{rec['mode']}_seconds"
+            metrics[key] = rec["wall_seconds"]
     return metrics
 
 

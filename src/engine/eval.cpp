@@ -16,27 +16,34 @@ TableRowResolver::TableRowResolver(const table::Table &table,
 {
 }
 
+int
+resolveColumnIndex(const table::Schema &schema,
+                   const std::vector<std::string> &aliases,
+                   const std::string &qualifier, const std::string &name)
+{
+    if (qualifier.empty())
+        return schema.indexOf(name);
+    // The qualified spelling wins: a join renames duplicate columns to
+    // "alias.name", and a qualified reference must keep reading its own
+    // side's column no matter how the optimizer laid the join out.
+    int idx = schema.indexOf(qualifier + "." + name);
+    if (idx >= 0)
+        return idx;
+    if (std::find(aliases.begin(), aliases.end(), qualifier) !=
+        aliases.end()) {
+        return schema.indexOf(name);
+    }
+    return -1;
+}
+
 std::optional<Value>
 TableRowResolver::resolve(const std::string &qualifier,
                           const std::string &name) const
 {
-    bool qualifier_matches = qualifier.empty() ||
-        std::find(aliases_.begin(), aliases_.end(), qualifier) !=
-            aliases_.end();
-    if (qualifier_matches) {
-        // Try the bare name first, then the qualified spelling that the
-        // join operator uses to disambiguate duplicate columns.
-        int idx = table_.schema().indexOf(name);
-        if (idx < 0 && !qualifier.empty())
-            idx = table_.schema().indexOf(qualifier + "." + name);
-        if (idx >= 0)
-            return table_.at(row_, static_cast<size_t>(idx));
-    } else if (!qualifier.empty()) {
-        // Qualified lookup against join-produced "alias.name" columns.
-        int idx = table_.schema().indexOf(qualifier + "." + name);
-        if (idx >= 0)
-            return table_.at(row_, static_cast<size_t>(idx));
-    }
+    int idx = resolveColumnIndex(table_.schema(), aliases_, qualifier,
+                                 name);
+    if (idx >= 0)
+        return table_.at(row_, static_cast<size_t>(idx));
     if (next_)
         return next_->resolve(qualifier, name);
     return std::nullopt;

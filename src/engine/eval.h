@@ -89,6 +89,20 @@ table::Value evalExpr(const sql::Expr &expr, const ColumnResolver *resolver,
 /** Evaluate an expression that uses no columns (constants + variables). */
 table::Value evalConstExpr(const sql::Expr &expr, const VariableEnv &env);
 
+/**
+ * Resolve [qualifier.]name to a column index of `schema`, or -1.
+ *
+ * The qualified spelling ("qualifier.name", produced by joins for
+ * duplicate column names) wins over the bare name, so a reference like
+ * `b.k` still reads b's column when both join sides carry a `k`. A
+ * qualifier that is neither an alias of the schema's source nor a
+ * qualified-column prefix resolves nothing.
+ */
+int resolveColumnIndex(const table::Schema &schema,
+                       const std::vector<std::string> &aliases,
+                       const std::string &qualifier,
+                       const std::string &name);
+
 } // namespace genesis::engine
 
 #endif // GENESIS_ENGINE_EVAL_H

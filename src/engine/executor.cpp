@@ -1,8 +1,10 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "base/logging.h"
+#include "engine/vec_executor.h"
 #include "genome/cigar.h"
 #include "sql/parser.h"
 
@@ -22,6 +24,7 @@ Catalog::put(const std::string &name, Table t)
 {
     t.setName(name);
     tables_.insert_or_assign(name, std::move(t));
+    statsCache_.erase(name);
 }
 
 const Table *
@@ -48,6 +51,21 @@ void
 Catalog::erase(const std::string &name)
 {
     tables_.erase(name);
+    statsCache_.erase(name);
+}
+
+const table::TableStats *
+Catalog::stats(const std::string &name) const
+{
+    auto cached = statsCache_.find(name);
+    if (cached != statsCache_.end())
+        return &cached->second;
+    auto it = tables_.find(name);
+    if (it == tables_.end())
+        return nullptr;
+    auto [ins, inserted] =
+        statsCache_.emplace(name, table::collectTableStats(it->second));
+    return &ins->second;
 }
 
 std::vector<std::string>
@@ -60,10 +78,54 @@ Catalog::tableNames() const
     return names;
 }
 
+// --- ExecConfig --------------------------------------------------------
+
+ExecConfig
+ExecConfig::fromEnv()
+{
+    ExecConfig config;
+    const char *no_opt = std::getenv("GENESIS_SQL_NO_OPT");
+    if (no_opt && *no_opt && std::string(no_opt) != "0")
+        config.optimize = false;
+    const char *no_vec = std::getenv("GENESIS_SQL_NO_VEC");
+    if (no_vec && *no_vec && std::string(no_vec) != "0")
+        config.vectorize = false;
+    config.ruleMask = sql::ruleMaskFromEnv();
+    return config;
+}
+
 // --- Executor ----------------------------------------------------------
 
-Executor::Executor(Catalog &catalog) : catalog_(catalog)
+Executor::Executor(Catalog &catalog)
+    : Executor(catalog, ExecConfig::fromEnv())
 {
+}
+
+Executor::Executor(Catalog &catalog, ExecConfig config)
+    : catalog_(catalog), config_(config)
+{
+}
+
+sql::StatsProvider
+Executor::statsProvider()
+{
+    return [this](const std::string &name) -> const table::TableStats * {
+        for (auto it = tempScopes_.rbegin(); it != tempScopes_.rend();
+             ++it) {
+            auto found = it->find(name);
+            if (found == it->end())
+                continue;
+            auto cached = tempStatsCache_.find(name);
+            if (cached == tempStatsCache_.end()) {
+                cached = tempStatsCache_
+                    .emplace(name,
+                             table::collectTableStats(found->second))
+                    .first;
+            }
+            return &cached->second;
+        }
+        return catalog_.stats(name);
+    };
 }
 
 void
@@ -87,6 +149,7 @@ void
 Executor::storeTable(const std::string &name, bool is_temp, Table t,
                      bool append)
 {
+    tempStatsCache_.erase(name);
     t.setName(name);
     if (append) {
         // INSERT INTO an existing table appends rows; creates otherwise.
@@ -200,6 +263,9 @@ Executor::execStatement(const sql::Statement &stmt)
             }
             env_.rowBindings.erase(stmt.loopVar);
             tempScopes_.pop_back();
+            // Names of the popped scope may shadow others; drop the
+            // whole temp-stats cache rather than track shadowing.
+            tempStatsCache_.clear();
         }
         return last;
       }
@@ -236,21 +302,46 @@ Table
 Executor::runSelect(const sql::SelectStmt &select)
 {
     sql::PlanPtr plan = sql::planSelect(select);
+    if (config_.optimize) {
+        sql::OptimizerOptions opts;
+        opts.ruleMask = config_.ruleMask;
+        opts.stats = statsProvider();
+        plan = sql::optimizePlan(std::move(plan), opts);
+    }
     return runPlan(*plan);
 }
 
 Table
 Executor::runPlan(const PlanNode &plan)
 {
+    if (config_.vectorize) {
+        VecExecutor vec(*this);
+        return vec.run(plan);
+    }
+    return runRowPlan(plan);
+}
+
+Table
+Executor::runRowPlan(const PlanNode &plan)
+{
     switch (plan.kind) {
-      case PlanKind::Scan: return execScan(plan);
-      case PlanKind::Project: return execProject(plan);
-      case PlanKind::Filter: return execFilter(plan);
-      case PlanKind::Join: return execJoin(plan);
-      case PlanKind::Aggregate: return execAggregate(plan);
-      case PlanKind::Limit: return execLimit(plan);
-      case PlanKind::PosExplode: return execPosExplode(plan);
-      case PlanKind::ReadExplode: return execReadExplode(plan);
+      case PlanKind::Scan:
+        return execScan(plan);
+      case PlanKind::Project:
+        return execProjectOn(plan, runRowPlan(*plan.children[0]));
+      case PlanKind::Filter:
+        return execFilterOn(plan, runRowPlan(*plan.children[0]));
+      case PlanKind::Join:
+        return execJoinOn(plan, runRowPlan(*plan.children[0]),
+                          runRowPlan(*plan.children[1]));
+      case PlanKind::Aggregate:
+        return execAggregateOn(plan, runRowPlan(*plan.children[0]));
+      case PlanKind::Limit:
+        return execLimitOn(plan, runRowPlan(*plan.children[0]));
+      case PlanKind::PosExplode:
+        return execPosExplodeOn(plan, runRowPlan(*plan.children[0]));
+      case PlanKind::ReadExplode:
+        return execReadExplodeOn(plan, runRowPlan(*plan.children[0]));
     }
     panic("unhandled plan kind");
 }
@@ -278,16 +369,17 @@ Executor::aliasesOf(const PlanNode &plan)
 }
 
 table::DataType
-Executor::inferType(const sql::Expr &expr, const Table &input) const
+Executor::inferType(const sql::Expr &expr, const Schema &input) const
 {
     if (expr.kind == sql::ExprKind::ColumnRef) {
-        int idx = input.schema().indexOf(expr.name);
-        if (idx < 0 && !expr.qualifier.empty()) {
-            idx = input.schema().indexOf(expr.qualifier + "." +
-                                         expr.name);
-        }
+        // Qualified spelling first, matching resolveColumnIndex().
+        int idx = -1;
+        if (!expr.qualifier.empty())
+            idx = input.indexOf(expr.qualifier + "." + expr.name);
+        if (idx < 0)
+            idx = input.indexOf(expr.name);
         if (idx >= 0)
-            return input.schema().field(static_cast<size_t>(idx)).type;
+            return input.field(static_cast<size_t>(idx)).type;
     }
     if (expr.kind == sql::ExprKind::Literal && expr.literal.isString())
         return DataType::String;
@@ -345,9 +437,8 @@ Executor::execScan(const PlanNode &plan)
 }
 
 Table
-Executor::execProject(const PlanNode &plan)
+Executor::execProjectOn(const PlanNode &plan, const Table &input)
 {
-    Table input = runPlan(*plan.children[0]);
     auto aliases = aliasesOf(*plan.children[0]);
 
     Schema schema;
@@ -355,7 +446,8 @@ Executor::execProject(const PlanNode &plan)
         std::string name = plan.outputs[i].name;
         if (schema.has(name))
             name = plan.outputs[i].expr->str();
-        schema.addField(name, inferType(*plan.outputs[i].expr, input));
+        schema.addField(name,
+                        inferType(*plan.outputs[i].expr, input.schema()));
     }
     Table out("project", schema);
 
@@ -372,9 +464,8 @@ Executor::execProject(const PlanNode &plan)
 }
 
 Table
-Executor::execFilter(const PlanNode &plan)
+Executor::execFilterOn(const PlanNode &plan, const Table &input)
 {
-    Table input = runPlan(*plan.children[0]);
     auto aliases = aliasesOf(*plan.children[0]);
     Table out = input.emptyLike("filter");
 
@@ -392,20 +483,90 @@ Executor::execFilter(const PlanNode &plan)
     return out;
 }
 
-Table
-Executor::execJoin(const PlanNode &plan)
+Schema
+Executor::joinSchema(const Schema &left, const Schema &right,
+                     const std::vector<std::string> &lprefixes,
+                     const std::vector<std::string> &rprefixes)
 {
-    Table left = runPlan(*plan.children[0]);
-    Table right = runPlan(*plan.children[1]);
-    auto left_aliases = aliasesOf(*plan.children[0]);
-    auto right_aliases = aliasesOf(*plan.children[1]);
-    std::string lprefix = left_aliases.empty() ? "L" : left_aliases[0];
-    std::string rprefix = right_aliases.empty() ? "R" : right_aliases[0];
+    // All left columns then all right columns; duplicate names get
+    // "alias.name" spellings so they stay addressable.
+    Schema schema;
+    auto add_side = [&](const Schema &side,
+                        const std::vector<std::string> &prefixes,
+                        const Schema &other) {
+        for (size_t i = 0; i < side.fields().size(); ++i) {
+            const auto &f = side.fields()[i];
+            std::string name = f.name;
+            if (other.has(f.name) || schema.has(name))
+                name = prefixes[i] + "." + f.name;
+            schema.addField(name, f.type);
+        }
+    };
+    add_side(left, lprefixes, right);
+    add_side(right, rprefixes, left);
+    return schema;
+}
 
+std::string
+Executor::ownerQualifier(const PlanNode &plan,
+                         const std::string &col) const
+{
+    switch (plan.kind) {
+      case PlanKind::Scan: {
+        const Table *t = nullptr;
+        auto rb = env_.rowBindings.find(plan.tableName);
+        if (rb != env_.rowBindings.end())
+            t = rb->second.table;
+        else
+            t = lookupTable(plan.tableName);
+        if (t && t->schema().has(col))
+            return plan.alias.empty() ? plan.tableName : plan.alias;
+        return "";
+      }
+      case PlanKind::Join: {
+        // An inner collision was already respelled to "alias.name", so
+        // a bare name lives on at most one side; both sides claiming it
+        // means we cannot attribute it.
+        std::string l = ownerQualifier(*plan.children[0], col);
+        std::string r = ownerQualifier(*plan.children[1], col);
+        if (!l.empty() && !r.empty())
+            return "";
+        return l.empty() ? r : l;
+      }
+      case PlanKind::Filter:
+      case PlanKind::Limit:
+        return ownerQualifier(*plan.children[0], col);
+      default:
+        // Projection-like nodes (Project/Aggregate/explodes) mint their
+        // own output names; the subtree's primary alias covers them.
+        return "";
+    }
+}
+
+std::vector<std::string>
+Executor::sidePrefixes(const PlanNode &side, const Schema &schema,
+                       const std::string &fallback) const
+{
+    auto aliases = aliasesOf(side);
+    const std::string &primary = aliases.empty() ? fallback : aliases[0];
+    std::vector<std::string> prefixes;
+    prefixes.reserve(schema.size());
+    for (const auto &f : schema.fields()) {
+        std::string q = ownerQualifier(side, f.name);
+        prefixes.push_back(q.empty() ? primary : q);
+    }
+    return prefixes;
+}
+
+void
+Executor::orientJoinKeys(const PlanNode &plan,
+                         const std::vector<std::string> &left_aliases,
+                         const sql::Expr *&lkey, const sql::Expr *&rkey)
+{
     // Keys may be written either way round in ON; orient them so that
-    // leftKey resolves against the left child.
-    const sql::Expr *lkey = plan.leftKey.get();
-    const sql::Expr *rkey = plan.rightKey.get();
+    // lkey resolves against the left child.
+    lkey = plan.leftKey.get();
+    rkey = plan.rightKey.get();
     auto resolves_against = [](const sql::Expr &e,
                                const std::vector<std::string> &aliases) {
         if (e.kind != sql::ExprKind::ColumnRef || e.qualifier.empty())
@@ -417,35 +578,25 @@ Executor::execJoin(const PlanNode &plan)
         resolves_against(*rkey, left_aliases)) {
         std::swap(lkey, rkey);
     }
+}
 
-    // Output schema: all left columns then all right columns; duplicate
-    // names get "alias.name" spellings so they stay addressable.
-    Schema schema;
-    auto add_side = [&](const Table &t, const std::string &prefix,
-                        const Table &other) {
-        for (const auto &f : t.schema().fields()) {
-            std::string name = f.name;
-            if (other.schema().has(f.name) || schema.has(name))
-                name = prefix + "." + f.name;
-            schema.addField(name, f.type);
-        }
-    };
-    add_side(left, lprefix, right);
-    add_side(right, rprefix, left);
-    Table out("join", schema);
+Table
+Executor::execJoinOn(const PlanNode &plan, const Table &left,
+                     const Table &right)
+{
+    auto left_aliases = aliasesOf(*plan.children[0]);
+    auto right_aliases = aliasesOf(*plan.children[1]);
 
-    // Hash the right side on its key. NULL keys never participate —
-    // this matches the hardware Joiner, where an Ins-keyed flit bypasses
-    // the comparison (emitted by a left join, dropped by an inner join).
-    TableRowResolver rresolver(right, right_aliases);
-    std::map<Value, std::vector<size_t>> right_index;
-    for (size_t r = 0; r < right.numRows(); ++r) {
-        rresolver.setRow(r);
-        Value key = evalExpr(*rkey, &rresolver, env_);
-        if (key.isNull())
-            continue;
-        right_index[key].push_back(r);
-    }
+    const sql::Expr *lkey = nullptr;
+    const sql::Expr *rkey = nullptr;
+    orientJoinKeys(plan, left_aliases, lkey, rkey);
+
+    Table out("join",
+              joinSchema(left.schema(), right.schema(),
+                         sidePrefixes(*plan.children[0], left.schema(),
+                                      "L"),
+                         sidePrefixes(*plan.children[1], right.schema(),
+                                      "R")));
 
     auto emit = [&](ssize_t lrow, ssize_t rrow) {
         std::vector<Value> row;
@@ -461,25 +612,103 @@ Executor::execJoin(const PlanNode &plan)
         out.appendRow(row);
     };
 
-    std::vector<bool> right_matched(right.numRows(), false);
+    // All strategies emit left-major: left rows ascending, each row's
+    // matches in right-row-ascending order, unmatched-left rows (LEFT/
+    // OUTER) in place and unmatched-right rows (OUTER) trailing. NULL
+    // keys never participate — this matches the hardware Joiner, where
+    // an Ins-keyed flit bypasses the comparison.
     TableRowResolver lresolver(left, left_aliases);
-    for (size_t l = 0; l < left.numRows(); ++l) {
-        lresolver.setRow(l);
-        Value key = evalExpr(*lkey, &lresolver, env_);
-        bool matched = false;
-        if (!key.isNull()) {
-            auto it = right_index.find(key);
-            if (it != right_index.end()) {
-                for (size_t r : it->second) {
+    TableRowResolver rresolver(right, right_aliases);
+    std::vector<bool> right_matched(right.numRows(), false);
+
+    auto evalKeys = [&](const Table &t, TableRowResolver &resolver,
+                        const sql::Expr &key) {
+        std::vector<Value> keys;
+        keys.reserve(t.numRows());
+        for (size_t r = 0; r < t.numRows(); ++r) {
+            resolver.setRow(r);
+            keys.push_back(evalExpr(key, &resolver, env_));
+        }
+        return keys;
+    };
+
+    if (plan.joinStrategy == sql::JoinStrategy::NestedLoop) {
+        // The naive quadratic scan the seed planner implies.
+        std::vector<Value> lkeys = evalKeys(left, lresolver, *lkey);
+        std::vector<Value> rkeys = evalKeys(right, rresolver, *rkey);
+        for (size_t l = 0; l < left.numRows(); ++l) {
+            bool matched = false;
+            if (!lkeys[l].isNull()) {
+                for (size_t r = 0; r < right.numRows(); ++r) {
+                    if (rkeys[r].isNull() || !(lkeys[l] == rkeys[r]))
+                        continue;
                     emit(static_cast<ssize_t>(l),
                          static_cast<ssize_t>(r));
                     right_matched[r] = true;
+                    matched = true;
                 }
-                matched = true;
             }
+            if (!matched && plan.joinType != sql::JoinType::Inner)
+                emit(static_cast<ssize_t>(l), -1);
         }
-        if (!matched && plan.joinType != sql::JoinType::Inner)
-            emit(static_cast<ssize_t>(l), -1);
+    } else if (plan.buildLeft) {
+        // Hash the left side, stream the right, then emit left-major.
+        std::map<Value, std::vector<size_t>> left_index;
+        std::vector<Value> lkeys = evalKeys(left, lresolver, *lkey);
+        for (size_t l = 0; l < left.numRows(); ++l) {
+            if (!lkeys[l].isNull())
+                left_index[lkeys[l]].push_back(l);
+        }
+        std::vector<std::vector<size_t>> matches(left.numRows());
+        for (size_t r = 0; r < right.numRows(); ++r) {
+            rresolver.setRow(r);
+            Value key = evalExpr(*rkey, &rresolver, env_);
+            if (key.isNull())
+                continue;
+            auto it = left_index.find(key);
+            if (it == left_index.end())
+                continue;
+            right_matched[r] = true;
+            for (size_t l : it->second)
+                matches[l].push_back(r);
+        }
+        for (size_t l = 0; l < left.numRows(); ++l) {
+            if (matches[l].empty()) {
+                if (plan.joinType != sql::JoinType::Inner)
+                    emit(static_cast<ssize_t>(l), -1);
+                continue;
+            }
+            for (size_t r : matches[l])
+                emit(static_cast<ssize_t>(l), static_cast<ssize_t>(r));
+        }
+    } else {
+        // Hash the right side, probe with the left.
+        std::map<Value, std::vector<size_t>> right_index;
+        for (size_t r = 0; r < right.numRows(); ++r) {
+            rresolver.setRow(r);
+            Value key = evalExpr(*rkey, &rresolver, env_);
+            if (key.isNull())
+                continue;
+            right_index[key].push_back(r);
+        }
+        for (size_t l = 0; l < left.numRows(); ++l) {
+            lresolver.setRow(l);
+            Value key = evalExpr(*lkey, &lresolver, env_);
+            bool matched = false;
+            if (!key.isNull()) {
+                auto it = right_index.find(key);
+                if (it != right_index.end()) {
+                    for (size_t r : it->second) {
+                        emit(static_cast<ssize_t>(l),
+                             static_cast<ssize_t>(r));
+                        right_matched[r] = true;
+                    }
+                    matched = true;
+                }
+            }
+            if (!matched && plan.joinType != sql::JoinType::Inner)
+                emit(static_cast<ssize_t>(l), -1);
+        }
     }
     if (plan.joinType == sql::JoinType::Outer) {
         for (size_t r = 0; r < right.numRows(); ++r) {
@@ -491,9 +720,8 @@ Executor::execJoin(const PlanNode &plan)
 }
 
 Table
-Executor::execAggregate(const PlanNode &plan)
+Executor::execAggregateOn(const PlanNode &plan, const Table &input)
 {
-    Table input = runPlan(*plan.children[0]);
     auto aliases = aliasesOf(*plan.children[0]);
     TableRowResolver resolver(input, aliases);
 
@@ -519,7 +747,7 @@ Executor::execAggregate(const PlanNode &plan)
         // input column type.
         DataType type = sql::containsAggregate(*plan.outputs[i].expr)
             ? DataType::Int64
-            : inferType(*plan.outputs[i].expr, input);
+            : inferType(*plan.outputs[i].expr, input.schema());
         schema.addField(name, type);
     }
     Table out("aggregate", schema);
@@ -602,9 +830,8 @@ Executor::execAggregate(const PlanNode &plan)
 }
 
 Table
-Executor::execLimit(const PlanNode &plan)
+Executor::execLimitOn(const PlanNode &plan, const Table &input)
 {
-    Table input = runPlan(*plan.children[0]);
     int64_t offset = plan.limitOffset
         ? evalConstExpr(*plan.limitOffset, env_).asInt() : 0;
     int64_t count = evalConstExpr(*plan.limitCount, env_).asInt();
@@ -624,9 +851,8 @@ Executor::execLimit(const PlanNode &plan)
 }
 
 Table
-Executor::execPosExplode(const PlanNode &plan)
+Executor::execPosExplodeOn(const PlanNode &plan, const Table &input)
 {
-    Table input = runPlan(*plan.children[0]);
     auto aliases = aliasesOf(*plan.children[0]);
     TableRowResolver resolver(input, aliases);
 
@@ -652,9 +878,8 @@ Executor::execPosExplode(const PlanNode &plan)
 }
 
 Table
-Executor::execReadExplode(const PlanNode &plan)
+Executor::execReadExplodeOn(const PlanNode &plan, const Table &input)
 {
-    Table input = runPlan(*plan.children[0]);
     auto aliases = aliasesOf(*plan.children[0]);
     TableRowResolver resolver(input, aliases);
     bool has_qual = plan.outputs.size() >= 4;

@@ -18,7 +18,9 @@
 
 #include "engine/eval.h"
 #include "sql/ast.h"
+#include "sql/optimizer.h"
 #include "sql/plan.h"
+#include "table/stats.h"
 #include "table/table.h"
 
 namespace genesis::engine {
@@ -46,9 +48,17 @@ class Catalog
     /** @return names of all registered (non-partition) tables. */
     std::vector<std::string> tableNames() const;
 
+    /**
+     * @return statistics for a registered table, or nullptr when absent.
+     * Computed lazily on first request and cached until the table is
+     * replaced or erased, so FOR-loop INSERT patterns stay linear.
+     */
+    const table::TableStats *stats(const std::string &name) const;
+
   private:
     std::map<std::string, table::Table> tables_;
     std::map<std::pair<std::string, int64_t>, table::Table> partitions_;
+    mutable std::map<std::string, table::TableStats> statsCache_;
 };
 
 /**
@@ -58,11 +68,32 @@ class Catalog
 using CustomOp =
     std::function<table::Table(const std::vector<const table::Table *> &)>;
 
+/**
+ * Execution configuration: logical optimization and vectorized
+ * execution are on by default and can be disabled per executor or via
+ * the environment (GENESIS_SQL_NO_OPT, GENESIS_SQL_NO_VEC,
+ * GENESIS_OPT_RULES).
+ */
+struct ExecConfig {
+    /** Run optimizePlan() over every select before execution. */
+    bool optimize = true;
+    /** Execute plans through the batched columnar operators. */
+    bool vectorize = true;
+    /** Rewrite rules enabled when optimizing. */
+    uint32_t ruleMask = sql::kAllRules;
+
+    /** Config with the environment overrides applied. */
+    static ExecConfig fromEnv();
+};
+
+class VecExecutor;
+
 /** Interprets parsed scripts / logical plans against a catalog. */
 class Executor
 {
   public:
     explicit Executor(Catalog &catalog);
+    Executor(Catalog &catalog, ExecConfig config);
 
     /** Register a custom operation invocable via EXEC. */
     void registerCustomOp(const std::string &name, CustomOp op);
@@ -85,18 +116,43 @@ class Executor
     /** Mutable variable environment (for host code to preset @vars). */
     VariableEnv &env() { return env_; }
 
+    /** The active configuration. */
+    const ExecConfig &config() const { return config_; }
+
+    /**
+     * Stats provider over temp scopes then the catalog, suitable for
+     * sql::OptimizerOptions / the pipeline mapper.
+     */
+    sql::StatsProvider statsProvider();
+
+    /** Qualifier aliases a plan subtree's output answers to. */
+    static std::vector<std::string> aliasesOf(const sql::PlanNode &plan);
+
   private:
+    friend class VecExecutor;
+
     std::optional<table::Table>
     execStatement(const sql::Statement &stmt);
 
+    /** Interpret a plan row-at-a-time (no vectorized dispatch). */
+    table::Table runRowPlan(const sql::PlanNode &plan);
+
     table::Table execScan(const sql::PlanNode &plan);
-    table::Table execProject(const sql::PlanNode &plan);
-    table::Table execFilter(const sql::PlanNode &plan);
-    table::Table execJoin(const sql::PlanNode &plan);
-    table::Table execAggregate(const sql::PlanNode &plan);
-    table::Table execLimit(const sql::PlanNode &plan);
-    table::Table execPosExplode(const sql::PlanNode &plan);
-    table::Table execReadExplode(const sql::PlanNode &plan);
+    table::Table execProjectOn(const sql::PlanNode &plan,
+                               const table::Table &input);
+    table::Table execFilterOn(const sql::PlanNode &plan,
+                              const table::Table &input);
+    table::Table execJoinOn(const sql::PlanNode &plan,
+                            const table::Table &left,
+                            const table::Table &right);
+    table::Table execAggregateOn(const sql::PlanNode &plan,
+                                 const table::Table &input);
+    table::Table execLimitOn(const sql::PlanNode &plan,
+                             const table::Table &input);
+    table::Table execPosExplodeOn(const sql::PlanNode &plan,
+                                  const table::Table &input);
+    table::Table execReadExplodeOn(const sql::PlanNode &plan,
+                                   const table::Table &input);
 
     /** Resolve a table name through temp scopes then the catalog. */
     const table::Table *lookupTable(const std::string &name) const;
@@ -105,17 +161,55 @@ class Executor
     void storeTable(const std::string &name, bool is_temp, table::Table t,
                     bool append);
 
-    /** Qualifier aliases a plan subtree's output answers to. */
-    static std::vector<std::string> aliasesOf(const sql::PlanNode &plan);
-
     /** Infer the output column type of an expression. */
     table::DataType inferType(const sql::Expr &expr,
-                              const table::Table &input) const;
+                              const table::Schema &input) const;
+
+    /**
+     * Output schema of a join: left fields then right fields, duplicate
+     * names respelled "prefix.name" using the per-column prefixes from
+     * sidePrefixes() (shared with the vectorized join).
+     */
+    static table::Schema
+    joinSchema(const table::Schema &left, const table::Schema &right,
+               const std::vector<std::string> &lprefixes,
+               const std::vector<std::string> &rprefixes);
+
+    /**
+     * Alias of the base relation inside `plan` that produced column
+     * `col`, or "" when it cannot be attributed to exactly one scan
+     * (projection outputs, ambiguous names).
+     */
+    std::string ownerQualifier(const sql::PlanNode &plan,
+                               const std::string &col) const;
+
+    /**
+     * Join-respelling prefix for every column of one join side: the
+     * owning relation's alias where attributable, else the side's
+     * primary alias, else `fallback`. Keyed per column so a duplicate
+     * name stays addressable by its own qualifier no matter how many
+     * joins or reorders sit between its scan and the collision.
+     */
+    std::vector<std::string>
+    sidePrefixes(const sql::PlanNode &side, const table::Schema &schema,
+                 const std::string &fallback) const;
+
+    /**
+     * Orient ON keys so `lkey` resolves against the left child (keys
+     * may be written either way round in the query).
+     */
+    static void orientJoinKeys(const sql::PlanNode &plan,
+                               const std::vector<std::string> &left_aliases,
+                               const sql::Expr *&lkey,
+                               const sql::Expr *&rkey);
 
     Catalog &catalog_;
+    ExecConfig config_;
     VariableEnv env_;
     /** Temp-table scopes; one pushed per FOR-loop iteration. */
     std::vector<std::map<std::string, table::Table>> tempScopes_;
+    /** Lazily computed stats for temp tables (see statsProvider()). */
+    std::map<std::string, table::TableStats> tempStatsCache_;
     std::map<std::string, CustomOp> customOps_;
 };
 

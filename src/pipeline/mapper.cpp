@@ -13,6 +13,7 @@
 #include "modules/reducer.h"
 #include "modules/spm_reader.h"
 #include "modules/spm_updater.h"
+#include "sql/optimizer.h"
 
 namespace genesis::pipeline {
 
@@ -475,8 +476,17 @@ mapPlanToPipeline(PipelineBuilder &builder,
                   runtime::AcceleratorSession &session,
                   const PlanNode &plan, const QueryBinding &binding)
 {
+    // Split conjunctive WHERE predicates into single-comparison Filter
+    // nodes (the hardware Filter evaluates one comparison) and order
+    // them by estimated selectivity, so the filter that discards the
+    // most flits sits earliest in the stream, ahead of the SPM stage.
+    sql::OptimizerOptions oo;
+    oo.ruleMask = sql::kRuleSplit | sql::kRuleFilterOrder;
+    oo.stats = binding.stats;
+    sql::PlanPtr optimized = sql::optimizePlan(plan.clone(), oo);
+
     Lowering lowering(builder, session, binding);
-    return lowering.run(plan);
+    return lowering.run(*optimized);
 }
 
 } // namespace genesis::pipeline

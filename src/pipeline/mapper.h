@@ -29,6 +29,7 @@
 #include "pipeline/builder.h"
 #include "runtime/api.h"
 #include "sql/ast.h"
+#include "sql/cost_model.h"
 #include "sql/plan.h"
 
 namespace genesis::pipeline {
@@ -48,6 +49,14 @@ struct QueryBinding {
                                               "ReferenceRow"};
     int64_t windowStart = 0;
     size_t spmWords = 1;
+    /**
+     * Optional table statistics; when set, conjunctive WHERE predicates
+     * are split and ordered by estimated selectivity before lowering,
+     * so the most selective hardware Filter sits earliest in the
+     * stream (ahead of the SPM/join stage). Without stats the cost
+     * model's default selectivities drive the same ordering.
+     */
+    sql::StatsProvider stats;
 };
 
 /** Result of mapping: the pipeline's output buffer. */

@@ -1,0 +1,333 @@
+#include "sql/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace genesis::sql {
+
+using table::ColumnStats;
+using table::TableStats;
+
+CostModel::CostModel(StatsProvider stats) : stats_(std::move(stats))
+{
+}
+
+const ColumnStats *
+CostModel::columnStats(const std::string &qualifier,
+                       const std::string &name, const PlanNode &plan) const
+{
+    // A subquery alias satisfies the qualifier for everything below it.
+    std::string qual = qualifier;
+    if (!qual.empty() && qual == plan.alias && plan.kind != PlanKind::Scan)
+        qual.clear();
+
+    switch (plan.kind) {
+      case PlanKind::Scan: {
+        if (!qual.empty() && qual != plan.alias && qual != plan.tableName)
+            return nullptr;
+        if (!stats_)
+            return nullptr;
+        const TableStats *ts = stats_(plan.tableName);
+        return ts ? ts->column(name) : nullptr;
+      }
+      case PlanKind::Join: {
+        const ColumnStats *l = columnStats(qual, name, *plan.children[0]);
+        if (l)
+            return l;
+        return columnStats(qual, name, *plan.children[1]);
+      }
+      case PlanKind::Project:
+      case PlanKind::Aggregate: {
+        for (const auto &o : plan.outputs) {
+            if (o.name != name)
+                continue;
+            if (o.expr->kind != ExprKind::ColumnRef)
+                return nullptr;
+            return columnStats(o.expr->qualifier, o.expr->name,
+                               *plan.children[0]);
+        }
+        return nullptr;
+      }
+      case PlanKind::Filter:
+      case PlanKind::Limit:
+        // Filtering only shrinks a column's value set; the child's
+        // range/distinct stay valid as upper bounds.
+        return columnStats(qual, name, *plan.children[0]);
+      case PlanKind::PosExplode:
+      case PlanKind::ReadExplode:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** Split "col OP literal-int" (either orientation) out of a binary. */
+struct ColLiteralCmp {
+    const Expr *col = nullptr;
+    int64_t lit = 0;
+    std::string op; ///< normalised so the column is on the left
+};
+
+std::string
+flipOp(const std::string &op)
+{
+    if (op == "<")
+        return ">";
+    if (op == ">")
+        return "<";
+    if (op == "<=")
+        return ">=";
+    if (op == ">=")
+        return "<=";
+    return op; // == and != are symmetric
+}
+
+bool
+matchColLiteral(const Expr &pred, ColLiteralCmp &out)
+{
+    if (pred.kind != ExprKind::Binary || pred.args.size() != 2)
+        return false;
+    const Expr &l = *pred.args[0];
+    const Expr &r = *pred.args[1];
+    if (l.kind == ExprKind::ColumnRef && r.kind == ExprKind::Literal &&
+        r.literal.isInt()) {
+        out = {&l, r.literal.asInt(), pred.op};
+        return true;
+    }
+    if (r.kind == ExprKind::ColumnRef && l.kind == ExprKind::Literal &&
+        l.literal.isInt()) {
+        out = {&r, l.literal.asInt(), flipOp(pred.op)};
+        return true;
+    }
+    return false;
+}
+
+double
+clamp01(double v)
+{
+    return std::min(1.0, std::max(0.0, v));
+}
+
+} // namespace
+
+double
+CostModel::selectivity(const Expr &pred, const PlanNode &input) const
+{
+    switch (pred.kind) {
+      case ExprKind::Literal:
+        return pred.literal.truthy() ? 1.0 : 0.0;
+      case ExprKind::Unary:
+        if (pred.op == "NOT")
+            return clamp01(1.0 - selectivity(*pred.args[0], input));
+        return kDefaultSelectivity;
+      case ExprKind::Binary:
+        break;
+      default:
+        return kDefaultSelectivity;
+    }
+
+    if (pred.op == "AND") {
+        return selectivity(*pred.args[0], input) *
+            selectivity(*pred.args[1], input);
+    }
+    if (pred.op == "OR") {
+        double a = selectivity(*pred.args[0], input);
+        double b = selectivity(*pred.args[1], input);
+        return clamp01(a + b - a * b);
+    }
+
+    bool is_cmp = pred.op == "==" || pred.op == "!=" || pred.op == "<" ||
+        pred.op == ">" || pred.op == "<=" || pred.op == ">=";
+    if (!is_cmp)
+        return kDefaultSelectivity;
+
+    // column == column (e.g. residual join predicates).
+    if (pred.op == "==" &&
+        pred.args[0]->kind == ExprKind::ColumnRef &&
+        pred.args[1]->kind == ExprKind::ColumnRef) {
+        const ColumnStats *a = columnStats(pred.args[0]->qualifier,
+                                           pred.args[0]->name, input);
+        const ColumnStats *b = columnStats(pred.args[1]->qualifier,
+                                           pred.args[1]->name, input);
+        int64_t d = 0;
+        if (a && a->hasDistinct)
+            d = std::max(d, a->distinct);
+        if (b && b->hasDistinct)
+            d = std::max(d, b->distinct);
+        return d > 0 ? 1.0 / static_cast<double>(d)
+                     : kDefaultEqSelectivity;
+    }
+
+    ColLiteralCmp cmp;
+    if (!matchColLiteral(pred, cmp))
+        return kDefaultSelectivity;
+    const ColumnStats *cs =
+        columnStats(cmp.col->qualifier, cmp.col->name, input);
+
+    if (cmp.op == "==" || cmp.op == "!=") {
+        double eq = kDefaultEqSelectivity;
+        if (cs && cs->hasDistinct && cs->distinct > 0)
+            eq = 1.0 / static_cast<double>(cs->distinct);
+        if (cs && cs->hasRange &&
+            (cmp.lit < cs->minValue || cmp.lit > cs->maxValue)) {
+            eq = 0.0;
+        }
+        return cmp.op == "==" ? eq : clamp01(1.0 - eq);
+    }
+
+    // Range comparison: interpolate within [min, max].
+    if (!cs || !cs->hasRange)
+        return kDefaultRangeSelectivity;
+    double span = static_cast<double>(cs->maxValue - cs->minValue) + 1.0;
+    double below; // fraction with value < lit
+    if (cmp.lit <= cs->minValue)
+        below = 0.0;
+    else if (cmp.lit > cs->maxValue)
+        below = 1.0;
+    else
+        below = static_cast<double>(cmp.lit - cs->minValue) / span;
+    double at = 0.0; // fraction with value == lit
+    if (cmp.lit >= cs->minValue && cmp.lit <= cs->maxValue)
+        at = 1.0 / span;
+    if (cmp.op == "<")
+        return clamp01(below);
+    if (cmp.op == "<=")
+        return clamp01(below + at);
+    if (cmp.op == ">")
+        return clamp01(1.0 - below - at);
+    return clamp01(1.0 - below); // >=
+}
+
+double
+CostModel::scanRows(const PlanNode &plan) const
+{
+    const TableStats *ts = stats_ ? stats_(plan.tableName) : nullptr;
+    double rows = ts ? static_cast<double>(ts->rowCount)
+                     : kDefaultTableRows;
+    if (plan.partition) {
+        // A partition scan reads roughly rows / distinct(PID).
+        const ColumnStats *pid = ts ? ts->column("PID") : nullptr;
+        double parts = pid && pid->hasDistinct && pid->distinct > 0
+            ? static_cast<double>(pid->distinct) : 8.0;
+        rows /= std::max(1.0, parts);
+    }
+    return std::max(rows, 0.0);
+}
+
+double
+CostModel::joinRows(const PlanNode &plan) const
+{
+    double l = estimateRows(*plan.children[0]);
+    double r = estimateRows(*plan.children[1]);
+    int64_t d = 0;
+    if (plan.leftKey && plan.leftKey->kind == ExprKind::ColumnRef) {
+        const ColumnStats *cs =
+            columnStats(plan.leftKey->qualifier, plan.leftKey->name,
+                        *plan.children[0]);
+        if (cs && cs->hasDistinct)
+            d = std::max(d, cs->distinct);
+    }
+    if (plan.rightKey && plan.rightKey->kind == ExprKind::ColumnRef) {
+        const ColumnStats *cs =
+            columnStats(plan.rightKey->qualifier, plan.rightKey->name,
+                        *plan.children[1]);
+        if (cs && cs->hasDistinct)
+            d = std::max(d, cs->distinct);
+    }
+    double rows = d > 0 ? l * r / static_cast<double>(d) : std::max(l, r);
+    if (plan.joinType == JoinType::Left)
+        rows = std::max(rows, l);
+    else if (plan.joinType == JoinType::Outer)
+        rows = std::max({rows, l, r});
+    return rows;
+}
+
+double
+CostModel::estimateRows(const PlanNode &plan) const
+{
+    switch (plan.kind) {
+      case PlanKind::Scan:
+        return scanRows(plan);
+      case PlanKind::Project:
+        return estimateRows(*plan.children[0]);
+      case PlanKind::Filter:
+        return estimateRows(*plan.children[0]) *
+            selectivity(*plan.predicate, *plan.children[0]);
+      case PlanKind::Join:
+        return joinRows(plan);
+      case PlanKind::Aggregate: {
+        double child = estimateRows(*plan.children[0]);
+        if (plan.groupBy.empty())
+            return 1.0;
+        double groups = 1.0;
+        bool any = false;
+        for (const auto &g : plan.groupBy) {
+            if (g->kind != ExprKind::ColumnRef)
+                continue;
+            const ColumnStats *cs =
+                columnStats(g->qualifier, g->name, *plan.children[0]);
+            if (cs && cs->hasDistinct && cs->distinct > 0) {
+                groups *= static_cast<double>(cs->distinct);
+                any = true;
+            }
+        }
+        if (!any)
+            groups = child * 0.1;
+        return std::max(1.0, std::min(groups, child));
+      }
+      case PlanKind::Limit: {
+        double child = estimateRows(*plan.children[0]);
+        if (plan.limitCount &&
+            plan.limitCount->kind == ExprKind::Literal &&
+            plan.limitCount->literal.isInt()) {
+            return std::min(
+                child,
+                static_cast<double>(plan.limitCount->literal.asInt()));
+        }
+        return child;
+      }
+      case PlanKind::PosExplode:
+        return estimateRows(*plan.children[0]) * kPosExplodeFanout;
+      case PlanKind::ReadExplode:
+        return estimateRows(*plan.children[0]) * kReadExplodeFanout;
+    }
+    return kDefaultTableRows;
+}
+
+double
+CostModel::estimateCost(const PlanNode &plan) const
+{
+    double out = estimateRows(plan);
+    switch (plan.kind) {
+      case PlanKind::Scan:
+        return out;
+      case PlanKind::Join: {
+        double lc = estimateCost(*plan.children[0]);
+        double rc = estimateCost(*plan.children[1]);
+        double l = estimateRows(*plan.children[0]);
+        double r = estimateRows(*plan.children[1]);
+        if (plan.joinStrategy == JoinStrategy::Hash) {
+            double build = plan.buildLeft ? l : r;
+            double probe = plan.buildLeft ? r : l;
+            // Building the index costs ~2x a plain pass per row.
+            return lc + rc + 2.0 * build + probe + out;
+        }
+        return lc + rc + l * r + out;
+      }
+      case PlanKind::Filter:
+      case PlanKind::Project:
+      case PlanKind::Aggregate:
+        return estimateCost(*plan.children[0]) +
+            estimateRows(*plan.children[0]) + out;
+      case PlanKind::Limit:
+      case PlanKind::PosExplode:
+      case PlanKind::ReadExplode:
+        return estimateCost(*plan.children[0]) + out;
+    }
+    return out;
+}
+
+} // namespace genesis::sql

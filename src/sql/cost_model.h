@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cardinality and cost estimation over logical plans.
+ *
+ * The model consumes per-table statistics (src/table/stats.h) through a
+ * StatsProvider callback so it works against any table store (the
+ * engine Catalog, temp scopes, or a test fixture). Estimates drive the
+ * optimizer's join reordering and hash-build-side choice and the
+ * pipeline mapper's predicate ordering ahead of the SPM stage.
+ */
+
+#ifndef GENESIS_SQL_COST_MODEL_H
+#define GENESIS_SQL_COST_MODEL_H
+
+#include <functional>
+#include <string>
+
+#include "sql/plan.h"
+#include "table/stats.h"
+
+namespace genesis::sql {
+
+/** Resolve table name -> stats; may return nullptr (unknown table). */
+using StatsProvider =
+    std::function<const table::TableStats *(const std::string &)>;
+
+/** Estimates output cardinalities and operator costs for plan trees. */
+class CostModel
+{
+  public:
+    /** Assumed rows of a table the provider knows nothing about. */
+    static constexpr double kDefaultTableRows = 1000.0;
+    /** Equality selectivity without distinct-count stats. */
+    static constexpr double kDefaultEqSelectivity = 0.1;
+    /** Range-comparison selectivity without min/max stats. */
+    static constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+    /** Selectivity of predicates the model cannot analyse. */
+    static constexpr double kDefaultSelectivity = 0.25;
+    /** Fan-out of PosExplode / ReadExplode without array stats. */
+    static constexpr double kPosExplodeFanout = 64.0;
+    static constexpr double kReadExplodeFanout = 150.0;
+
+    explicit CostModel(StatsProvider stats = nullptr);
+
+    /** Estimated output rows of the subtree. */
+    double estimateRows(const PlanNode &plan) const;
+
+    /**
+     * Estimated total cost of executing the subtree: rows touched by
+     * every operator, with hash joins charged build + probe instead of
+     * the nested-loop row product.
+     */
+    double estimateCost(const PlanNode &plan) const;
+
+    /** Fraction of `input` rows a predicate keeps, in [0, 1]. */
+    double selectivity(const Expr &pred, const PlanNode &input) const;
+
+    /**
+     * Resolve column stats through a plan subtree: follows joins into
+     * both children, projections through simple column renames, and
+     * filters/limits transparently. @return nullptr when unresolvable.
+     */
+    const table::ColumnStats *columnStats(const std::string &qualifier,
+                                          const std::string &name,
+                                          const PlanNode &plan) const;
+
+  private:
+    double scanRows(const PlanNode &plan) const;
+    double joinRows(const PlanNode &plan) const;
+
+    StatsProvider stats_;
+};
+
+} // namespace genesis::sql
+
+#endif // GENESIS_SQL_COST_MODEL_H

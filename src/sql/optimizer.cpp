@@ -1,0 +1,117 @@
+#include "sql/optimizer.h"
+
+#include <cstdlib>
+
+#include "base/logging.h"
+#include "sql/rules/rules.h"
+
+namespace genesis::sql {
+
+namespace {
+
+struct RuleNameEntry {
+    uint32_t bit;
+    const char *name;
+};
+
+constexpr RuleNameEntry kRuleNames[] = {
+    {kRuleSplit, "split"},
+    {kRulePushdown, "pushdown"},
+    {kRuleTransfer, "transfer"},
+    {kRuleJoinReorder, "reorder"},
+    {kRuleHashJoin, "hashjoin"},
+    {kRuleMerge, "merge"},
+    {kRuleFilterOrder, "order"},
+};
+
+uint32_t
+ruleBitFromName(const std::string &name)
+{
+    for (const auto &e : kRuleNames) {
+        if (name == e.name)
+            return e.bit;
+    }
+    fatal("unknown optimizer rule '%s' (valid: split, pushdown, "
+          "transfer, reorder, hashjoin, merge, order, all, none)",
+          name.c_str());
+}
+
+} // namespace
+
+const char *
+ruleName(uint32_t bit)
+{
+    for (const auto &e : kRuleNames) {
+        if (bit == e.bit)
+            return e.name;
+    }
+    return "?";
+}
+
+uint32_t
+ruleMaskFromSpec(const std::string &spec)
+{
+    // Leading '-' means "everything except ..."; a bare name list means
+    // "exactly these".
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (char c : spec) {
+        if (c == ',') {
+            tokens.push_back(cur);
+            cur.clear();
+        } else if (!isspace(static_cast<unsigned char>(c))) {
+            cur += c;
+        }
+    }
+    tokens.push_back(cur);
+
+    uint32_t mask = !tokens.empty() && !tokens[0].empty() &&
+        tokens[0][0] == '-' ? kAllRules : 0;
+    for (const auto &tok : tokens) {
+        if (tok.empty())
+            continue;
+        if (tok == "all")
+            mask = kAllRules;
+        else if (tok == "none")
+            mask = 0;
+        else if (tok[0] == '-')
+            mask &= ~ruleBitFromName(tok.substr(1));
+        else
+            mask |= ruleBitFromName(tok);
+    }
+    return mask;
+}
+
+uint32_t
+ruleMaskFromEnv()
+{
+    const char *spec = std::getenv("GENESIS_OPT_RULES");
+    if (!spec || !*spec)
+        return kAllRules;
+    return ruleMaskFromSpec(spec);
+}
+
+PlanPtr
+optimizePlan(PlanPtr plan, const OptimizerOptions &opts)
+{
+    if (!plan)
+        return plan;
+    CostModel model(opts.stats);
+    rules::RuleContext ctx{opts.ruleMask, model};
+
+    if (ctx.mask & kRuleSplit)
+        plan = rules::splitFilters(std::move(plan), ctx);
+    if (ctx.mask & (kRulePushdown | kRuleTransfer))
+        plan = rules::pushdownFilters(std::move(plan), ctx);
+    if (ctx.mask & kRuleJoinReorder)
+        plan = rules::reorderJoins(std::move(plan), ctx);
+    if (ctx.mask & kRuleHashJoin)
+        plan = rules::chooseHashJoins(std::move(plan), ctx);
+    if (ctx.mask & kRuleFilterOrder)
+        plan = rules::orderFilters(std::move(plan), ctx);
+    if (ctx.mask & kRuleMerge)
+        plan = rules::mergeFilters(std::move(plan), ctx);
+    return plan;
+}
+
+} // namespace genesis::sql

@@ -52,6 +52,8 @@ PlanNode::str(int indent) const
             : joinType == JoinType::Left ? "Left" : "Outer";
         os << t << "Join(" << leftKey->str() << " == " << rightKey->str()
            << ")";
+        if (joinStrategy == JoinStrategy::Hash)
+            os << " [hash build=" << (buildLeft ? "left" : "right") << "]";
         break;
       }
       case PlanKind::Aggregate: {
@@ -97,6 +99,37 @@ PlanNode::str(int indent) const
     for (const auto &child : children)
         os << child->str(indent + 1);
     return os.str();
+}
+
+PlanPtr
+PlanNode::clone() const
+{
+    auto copy = std::make_unique<PlanNode>();
+    copy->kind = kind;
+    copy->tableName = tableName;
+    copy->alias = alias;
+    if (partition)
+        copy->partition = partition->clone();
+    for (const auto &o : outputs)
+        copy->outputs.push_back({o.expr->clone(), o.name});
+    for (const auto &g : groupBy)
+        copy->groupBy.push_back(g->clone());
+    if (predicate)
+        copy->predicate = predicate->clone();
+    copy->joinType = joinType;
+    if (leftKey)
+        copy->leftKey = leftKey->clone();
+    if (rightKey)
+        copy->rightKey = rightKey->clone();
+    copy->joinStrategy = joinStrategy;
+    copy->buildLeft = buildLeft;
+    if (limitOffset)
+        copy->limitOffset = limitOffset->clone();
+    if (limitCount)
+        copy->limitCount = limitCount->clone();
+    for (const auto &child : children)
+        copy->children.push_back(child->clone());
+    return copy;
 }
 
 namespace {

@@ -42,6 +42,12 @@ struct OutputColumn {
     std::string name;
 };
 
+/** Physical join algorithm picked by the optimizer. */
+enum class JoinStrategy {
+    NestedLoop, ///< naive O(L*R) scan (the seed planner's default)
+    Hash,       ///< build a hash index on one side, probe the other
+};
+
 /** A logical plan node. */
 struct PlanNode {
     PlanKind kind = PlanKind::Scan;
@@ -64,6 +70,10 @@ struct PlanNode {
     JoinType joinType = JoinType::Inner;
     ExprPtr leftKey;
     ExprPtr rightKey;
+    /** Algorithm; planSelect emits NestedLoop, the optimizer upgrades. */
+    JoinStrategy joinStrategy = JoinStrategy::NestedLoop;
+    /** Hash joins: build the index on the left child instead of right. */
+    bool buildLeft = false;
 
     // Limit
     ExprPtr limitOffset;
@@ -74,6 +84,9 @@ struct PlanNode {
 
     /** Render the plan tree with indentation (for docs and debugging). */
     std::string str(int indent = 0) const;
+
+    /** Deep copy of the subtree (expressions cloned). */
+    PlanPtr clone() const;
 };
 
 /**

@@ -8,14 +8,39 @@
 
 namespace genesis::sql {
 
+namespace {
+
+/** Render one select per the EXPLAIN options (naive/optimized/both). */
 std::string
-explainSelect(const SelectStmt &select)
+renderSelect(const SelectStmt &select, int indent,
+             const ExplainOptions &opts)
 {
-    return planSelect(select)->str();
+    PlanPtr naive = planSelect(select);
+    if (!opts.optimize)
+        return naive->str(indent);
+    OptimizerOptions oo;
+    oo.ruleMask = opts.ruleMask;
+    oo.stats = opts.stats;
+    if (!opts.showBoth)
+        return optimizePlan(std::move(naive), oo)->str(indent);
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    std::ostringstream os;
+    os << pad << "naive:\n" << naive->str(indent + 1);
+    os << pad << "optimized:\n"
+       << optimizePlan(std::move(naive), oo)->str(indent + 1);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+explainSelect(const SelectStmt &select, const ExplainOptions &opts)
+{
+    return renderSelect(select, 0, opts);
 }
 
 std::string
-explainScript(const Script &script)
+explainScript(const Script &script, const ExplainOptions &opts)
 {
     std::ostringstream os;
     std::function<void(const Statement &, int)> render =
@@ -24,11 +49,11 @@ explainScript(const Script &script)
             switch (stmt.kind) {
               case StatementKind::CreateTableAs:
                 os << pad << "CREATE TABLE " << stmt.target << " AS\n"
-                   << planSelect(*stmt.select)->str(indent + 1);
+                   << renderSelect(*stmt.select, indent + 1, opts);
                 break;
               case StatementKind::InsertInto:
                 os << pad << "INSERT INTO " << stmt.target << "\n"
-                   << planSelect(*stmt.select)->str(indent + 1);
+                   << renderSelect(*stmt.select, indent + 1, opts);
                 break;
               case StatementKind::Declare:
                 os << pad << "DECLARE @" << stmt.target << " "
@@ -54,7 +79,7 @@ explainScript(const Script &script)
                 break;
               case StatementKind::BareSelect:
                 os << pad << "SELECT\n"
-                   << planSelect(*stmt.select)->str(indent + 1);
+                   << renderSelect(*stmt.select, indent + 1, opts);
                 break;
             }
         };

@@ -10,15 +10,36 @@
 #include <vector>
 
 #include "sql/ast.h"
+#include "sql/optimizer.h"
 #include "sql/plan.h"
 
 namespace genesis::sql {
 
-/** Render every statement's logical plan (EXPLAIN for a whole script). */
-std::string explainScript(const Script &script);
+/**
+ * EXPLAIN configuration. By default plans render in their optimized
+ * form — the one the executor actually runs; `optimize = false` (the
+ * shell's --no-opt escape hatch) renders the naive planSelect() tree,
+ * and `showBoth` renders the naive and optimized forms side by side.
+ */
+struct ExplainOptions {
+    bool optimize = true;
+    bool showBoth = false;
+    uint32_t ruleMask = kAllRules;
+    /** Table statistics source; may be null (defaults kick in). */
+    StatsProvider stats;
+};
+
+/**
+ * Render every statement's logical plan (EXPLAIN for a whole script).
+ * FOR-loop bodies render with the same options as top-level statements,
+ * so loop-body plans also show the optimized form.
+ */
+std::string explainScript(const Script &script,
+                          const ExplainOptions &opts = {});
 
 /** Render one select's logical plan. */
-std::string explainSelect(const SelectStmt &select);
+std::string explainSelect(const SelectStmt &select,
+                          const ExplainOptions &opts = {});
 
 /**
  * Static validation of a script: flags undeclared variable reads, SET

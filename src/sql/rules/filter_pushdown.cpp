@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Filter pushdown: sink each Filter as close to its source scan as the
+ * join/projection semantics allow, shrinking every operator above it.
+ *
+ * Safety rules (each preserves the exact output rows and row order):
+ *  - below a join, a predicate moves to the left side only for
+ *    INNER/LEFT joins and to the right side only for INNER joins —
+ *    pushing past the null-extending side of an outer join would
+ *    resurrect rows the post-join filter drops;
+ *  - predicates with any unqualified column reference never cross a
+ *    join (the reference could resolve against either side);
+ *  - through a projection, output names substitute back to their
+ *    defining expressions, and only when output names are unique;
+ *  - key transfer (INNER only): `a.k == 42` on one side of
+ *    `a.k == b.k` implies `b.k == 42` on the other, letting both scans
+ *    prune before the join.
+ */
+
+#include "sql/rules/rules.h"
+
+namespace genesis::sql::rules {
+
+namespace {
+
+PlanPtr
+makeFilter(ExprPtr pred, PlanPtr child)
+{
+    auto f = std::make_unique<PlanNode>();
+    f->kind = PlanKind::Filter;
+    f->predicate = std::move(pred);
+    f->children.push_back(std::move(child));
+    return f;
+}
+
+bool
+sameColumn(const Expr &a, const Expr &b)
+{
+    return a.kind == ExprKind::ColumnRef && b.kind == ExprKind::ColumnRef &&
+        a.qualifier == b.qualifier && a.name == b.name;
+}
+
+/** Match `col == int-literal` in either orientation. */
+bool
+matchKeyEquality(const Expr &pred, const Expr *&col, const Expr *&lit)
+{
+    if (pred.kind != ExprKind::Binary || pred.op != "==")
+        return false;
+    const Expr &l = *pred.args[0];
+    const Expr &r = *pred.args[1];
+    if (l.kind == ExprKind::ColumnRef && r.kind == ExprKind::Literal &&
+        r.literal.isInt()) {
+        col = &l;
+        lit = &r;
+        return true;
+    }
+    if (r.kind == ExprKind::ColumnRef && l.kind == ExprKind::Literal &&
+        l.literal.isInt()) {
+        col = &r;
+        lit = &l;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Rewrite `pred` so it reads the projection's input instead of its
+ * output: every ColumnRef naming an output column is replaced by that
+ * column's defining expression. @return false when any reference does
+ * not map cleanly (then the filter must stay above the projection).
+ */
+bool
+substituteThroughProject(Expr &pred, const PlanNode &proj)
+{
+    if (pred.kind == ExprKind::Star)
+        return false;
+    if (pred.kind == ExprKind::ColumnRef) {
+        if (!pred.qualifier.empty() && pred.qualifier != proj.alias)
+            return false;
+        const OutputColumn *match = nullptr;
+        for (const auto &o : proj.outputs) {
+            if (o.name != pred.name)
+                continue;
+            if (match)
+                return false; // duplicate output name: ambiguous
+            match = &o;
+        }
+        if (!match)
+            return false;
+        ExprPtr repl = match->expr->clone();
+        pred = std::move(*repl);
+        return true;
+    }
+    for (auto &arg : pred.args) {
+        if (!substituteThroughProject(*arg, proj))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Place Filter(pred) over `input`, sinking it as deep as the mask and
+ * semantics allow. Consumes both; returns the combined subtree.
+ */
+PlanPtr
+sink(ExprPtr pred, PlanPtr input, const RuleContext &ctx)
+{
+    bool push = (ctx.mask & kRulePushdown) != 0;
+    switch (input->kind) {
+      case PlanKind::Filter:
+        if (push) {
+            input->children[0] =
+                sink(std::move(pred), std::move(input->children[0]), ctx);
+            return input;
+        }
+        break;
+      case PlanKind::Project: {
+        if (!push)
+            break;
+        ExprPtr trial = pred->clone();
+        if (substituteThroughProject(*trial, *input)) {
+            input->children[0] =
+                sink(std::move(trial), std::move(input->children[0]),
+                     ctx);
+            return input;
+        }
+        break;
+      }
+      case PlanKind::Join: {
+        auto left_quals = subtreeQualifiers(*input->children[0]);
+        auto right_quals = subtreeQualifiers(*input->children[1]);
+
+        // Key transfer: a literal equality on one join key implies the
+        // same equality on the other key (INNER joins only — the
+        // filtered-away rows could never have matched).
+        if ((ctx.mask & kRuleTransfer) &&
+            input->joinType == JoinType::Inner && input->leftKey &&
+            input->rightKey) {
+            const Expr *col = nullptr;
+            const Expr *lit = nullptr;
+            if (matchKeyEquality(*pred, col, lit)) {
+                const Expr *mirror = nullptr;
+                if (sameColumn(*col, *input->leftKey))
+                    mirror = input->rightKey.get();
+                else if (sameColumn(*col, *input->rightKey))
+                    mirror = input->leftKey.get();
+                // Place the mirrored predicate on whichever side the
+                // other key resolves against; skip when ambiguous.
+                if (mirror) {
+                    bool m_left = refsWithin(*mirror, left_quals);
+                    bool m_right = refsWithin(*mirror, right_quals);
+                    if (m_left != m_right) {
+                        ExprPtr mirrored = Expr::makeBinary(
+                            "==", mirror->clone(), lit->clone());
+                        size_t side = m_right ? 1 : 0;
+                        input->children[side] =
+                            sink(std::move(mirrored),
+                                 std::move(input->children[side]), ctx);
+                    }
+                }
+            }
+        }
+
+        if (push) {
+            if (refsWithin(*pred, left_quals) &&
+                input->joinType != JoinType::Outer) {
+                input->children[0] =
+                    sink(std::move(pred),
+                         std::move(input->children[0]), ctx);
+                return input;
+            }
+            if (refsWithin(*pred, right_quals) &&
+                input->joinType == JoinType::Inner) {
+                input->children[1] =
+                    sink(std::move(pred),
+                         std::move(input->children[1]), ctx);
+                return input;
+            }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return makeFilter(std::move(pred), std::move(input));
+}
+
+} // namespace
+
+PlanPtr
+pushdownFilters(PlanPtr plan, const RuleContext &ctx)
+{
+    for (auto &child : plan->children)
+        child = pushdownFilters(std::move(child), ctx);
+    if (plan->kind != PlanKind::Filter)
+        return plan;
+    ExprPtr pred = std::move(plan->predicate);
+    PlanPtr child = std::move(plan->children[0]);
+    return sink(std::move(pred), std::move(child), ctx);
+}
+
+} // namespace genesis::sql::rules

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Join rules: upgrade equality joins to hash strategy with the smaller
+ * side as the build input, and reorder inner-join chains greedily by
+ * estimated cardinality.
+ *
+ * Reordering changes the joined table's column layout and row order, so
+ * it only fires under an Aggregate (grouped output is emitted in sorted
+ * group order and the aggregate functions are commutative) and only
+ * when every column reference between the Aggregate and the scans is
+ * qualified — unqualified references could resolve differently once the
+ * layout changes.
+ */
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "sql/rules/rules.h"
+
+namespace genesis::sql::rules {
+
+PlanPtr
+chooseHashJoins(PlanPtr plan, const RuleContext &ctx)
+{
+    for (auto &child : plan->children)
+        child = chooseHashJoins(std::move(child), ctx);
+    if (plan->kind != PlanKind::Join || !plan->leftKey || !plan->rightKey)
+        return plan;
+    plan->joinStrategy = JoinStrategy::Hash;
+    plan->buildLeft = ctx.model.estimateRows(*plan->children[0]) <
+        ctx.model.estimateRows(*plan->children[1]);
+    return plan;
+}
+
+namespace {
+
+/** One base relation of a join chain (kept with its pushed filters). */
+struct Relation {
+    PlanPtr plan;
+    std::vector<std::string> quals;
+};
+
+/** One equality condition between two relations. */
+struct Condition {
+    ExprPtr a;
+    ExprPtr b;
+    size_t relA = 0;
+    size_t relB = 0;
+    bool used = false;
+};
+
+/** @return index of the relation a qualified key resolves to, or -1. */
+int
+relationOf(const Expr &key, const std::vector<Relation> &rels)
+{
+    if (key.kind != ExprKind::ColumnRef || key.qualifier.empty())
+        return -1;
+    int found = -1;
+    for (size_t i = 0; i < rels.size(); ++i) {
+        const auto &q = rels[i].quals;
+        if (std::find(q.begin(), q.end(), key.qualifier) == q.end())
+            continue;
+        if (found >= 0)
+            return -1; // qualifier ambiguous across relations
+        found = static_cast<int>(i);
+    }
+    return found;
+}
+
+/**
+ * Flatten a left-deep inner-join chain into relations + conditions.
+ * @return false when the chain cannot be reordered safely.
+ */
+bool
+flattenChain(PlanPtr plan, std::vector<Relation> &rels,
+             std::vector<Condition> &conds)
+{
+    if (plan->kind == PlanKind::Join &&
+        plan->joinType == JoinType::Inner && plan->leftKey &&
+        plan->rightKey) {
+        ExprPtr a = std::move(plan->leftKey);
+        ExprPtr b = std::move(plan->rightKey);
+        PlanPtr left = std::move(plan->children[0]);
+        PlanPtr right = std::move(plan->children[1]);
+        if (!flattenChain(std::move(left), rels, conds))
+            return false;
+        rels.push_back({std::move(right), {}});
+        rels.back().quals = subtreeQualifiers(*rels.back().plan);
+        Condition c;
+        c.a = std::move(a);
+        c.b = std::move(b);
+        conds.push_back(std::move(c));
+        return true;
+    }
+    rels.push_back({std::move(plan), {}});
+    rels.back().quals = subtreeQualifiers(*rels.back().plan);
+    return true;
+}
+
+PlanPtr
+buildJoin(PlanPtr left, PlanPtr right, ExprPtr lkey, ExprPtr rkey)
+{
+    auto j = std::make_unique<PlanNode>();
+    j->kind = PlanKind::Join;
+    j->joinType = JoinType::Inner;
+    j->leftKey = std::move(lkey);
+    j->rightKey = std::move(rkey);
+    j->children.push_back(std::move(left));
+    j->children.push_back(std::move(right));
+    return j;
+}
+
+/**
+ * Greedily rebuild the chain: start from the smallest relation, then
+ * repeatedly take the connecting condition whose join produces the
+ * fewest estimated rows. @return null when the graph is disconnected
+ * or a key does not resolve to exactly one relation.
+ */
+PlanPtr
+greedyOrder(std::vector<Relation> rels, std::vector<Condition> conds,
+            const CostModel &model)
+{
+    for (auto &c : conds) {
+        int ra = relationOf(*c.a, rels);
+        int rb = relationOf(*c.b, rels);
+        if (ra < 0 || rb < 0 || ra == rb)
+            return nullptr;
+        c.relA = static_cast<size_t>(ra);
+        c.relB = static_cast<size_t>(rb);
+    }
+
+    size_t start = 0;
+    double best_rows = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < rels.size(); ++i) {
+        double rows = model.estimateRows(*rels[i].plan);
+        if (rows < best_rows) {
+            best_rows = rows;
+            start = i;
+        }
+    }
+
+    std::vector<bool> joined(rels.size(), false);
+    joined[start] = true;
+    PlanPtr tree = std::move(rels[start].plan);
+
+    for (size_t step = 0; step + 1 < rels.size(); ++step) {
+        int best = -1;
+        double best_est = std::numeric_limits<double>::max();
+        PlanPtr best_tree;
+        for (size_t ci = 0; ci < conds.size(); ++ci) {
+            auto &c = conds[ci];
+            if (c.used || joined[c.relA] == joined[c.relB])
+                continue;
+            size_t next = joined[c.relA] ? c.relB : c.relA;
+            ExprPtr lkey = joined[c.relA] ? c.a->clone() : c.b->clone();
+            ExprPtr rkey = joined[c.relA] ? c.b->clone() : c.a->clone();
+            PlanPtr trial =
+                buildJoin(tree->clone(), rels[next].plan->clone(),
+                          std::move(lkey), std::move(rkey));
+            double est = model.estimateRows(*trial);
+            if (est < best_est) {
+                best_est = est;
+                best = static_cast<int>(ci);
+                best_tree = std::move(trial);
+            }
+        }
+        if (best < 0)
+            return nullptr; // disconnected chain
+        auto &c = conds[static_cast<size_t>(best)];
+        c.used = true;
+        size_t next = joined[c.relA] ? c.relB : c.relA;
+        joined[next] = true;
+        tree = std::move(best_tree);
+        rels[next].plan.reset();
+    }
+
+    // A condition left over means a redundant edge we cannot express
+    // as a left-deep chain; bail out.
+    for (const auto &c : conds) {
+        if (!c.used)
+            return nullptr;
+    }
+    return tree;
+}
+
+/**
+ * Reorder the inner-join chain under an order-insensitive parent.
+ * `aboveExprs` are the expressions evaluated above the chain (aggregate
+ * outputs, group keys, interleaved filter predicates) — all of their
+ * column references must be qualified for the rewrite to be safe.
+ */
+PlanPtr
+maybeReorderChain(PlanPtr chain, std::vector<const Expr *> aboveExprs,
+                  const RuleContext &ctx)
+{
+    // Collect filters sitting between the parent and the first join;
+    // they ride on top of the reordered chain.
+    std::vector<ExprPtr> filters; // outermost first
+    while (chain->kind == PlanKind::Filter) {
+        aboveExprs.push_back(chain->predicate.get());
+        filters.push_back(std::move(chain->predicate));
+        chain = std::move(chain->children[0]);
+    }
+    auto rebuild = [&](PlanPtr core) {
+        for (auto it = filters.rbegin(); it != filters.rend(); ++it) {
+            auto f = std::make_unique<PlanNode>();
+            f->kind = PlanKind::Filter;
+            f->predicate = std::move(*it);
+            f->children.push_back(std::move(core));
+            core = std::move(f);
+        }
+        return core;
+    };
+    if (chain->kind != PlanKind::Join ||
+        chain->joinType != JoinType::Inner) {
+        return rebuild(std::move(chain));
+    }
+
+    auto all_quals = subtreeQualifiers(*chain);
+    // Like refsWithin, but COUNT(*) is layout-independent and allowed.
+    std::function<bool(const Expr &)> refs_ok =
+        [&](const Expr &e) -> bool {
+        if (e.kind == ExprKind::Call && e.name == "COUNT" &&
+            e.args.size() == 1 && e.args[0]->kind == ExprKind::Star) {
+            return true;
+        }
+        if (e.kind == ExprKind::Star)
+            return false;
+        if (e.kind == ExprKind::ColumnRef)
+            return refsWithin(e, all_quals);
+        for (const auto &arg : e.args) {
+            if (!refs_ok(*arg))
+                return false;
+        }
+        return true;
+    };
+    for (const Expr *e : aboveExprs) {
+        if (!refs_ok(*e))
+            return rebuild(std::move(chain));
+    }
+
+    PlanPtr original = chain->clone();
+    std::vector<Relation> rels;
+    std::vector<Condition> conds;
+    if (!flattenChain(std::move(chain), rels, conds))
+        return rebuild(std::move(original));
+    if (rels.size() < 2 || conds.size() + 1 != rels.size())
+        return rebuild(std::move(original));
+
+    PlanPtr reordered =
+        greedyOrder(std::move(rels), std::move(conds), ctx.model);
+    if (!reordered)
+        return rebuild(std::move(original));
+    if (ctx.model.estimateCost(*reordered) <
+        ctx.model.estimateCost(*original)) {
+        return rebuild(std::move(reordered));
+    }
+    return rebuild(std::move(original));
+}
+
+} // namespace
+
+PlanPtr
+reorderJoins(PlanPtr plan, const RuleContext &ctx)
+{
+    for (auto &child : plan->children)
+        child = reorderJoins(std::move(child), ctx);
+    if (plan->kind != PlanKind::Aggregate)
+        return plan;
+    std::vector<const Expr *> above;
+    for (const auto &o : plan->outputs)
+        above.push_back(o.expr.get());
+    for (const auto &g : plan->groupBy)
+        above.push_back(g.get());
+    plan->children[0] = maybeReorderChain(std::move(plan->children[0]),
+                                          std::move(above), ctx);
+    return plan;
+}
+
+} // namespace genesis::sql::rules

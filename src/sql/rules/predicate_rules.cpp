@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Predicate-shape rules: split conjunctions into filter stacks, order
+ * stacked filters most-selective-first, and merge adjacent filters back
+ * into one pass. All three preserve the kept row set and row order:
+ * AND evaluates to a non-null boolean, so `Filter(a AND b)` keeps
+ * exactly the rows `Filter(b)(Filter(a))` keeps.
+ */
+
+#include <algorithm>
+
+#include "sql/rules/rules.h"
+
+namespace genesis::sql::rules {
+
+std::vector<std::string>
+subtreeQualifiers(const PlanNode &plan)
+{
+    std::vector<std::string> quals;
+    if (!plan.alias.empty())
+        quals.push_back(plan.alias);
+    if (plan.kind == PlanKind::Scan) {
+        if (plan.tableName != plan.alias)
+            quals.push_back(plan.tableName);
+        return quals;
+    }
+    for (const auto &child : plan.children) {
+        for (auto &q : subtreeQualifiers(*child)) {
+            if (std::find(quals.begin(), quals.end(), q) == quals.end())
+                quals.push_back(q);
+        }
+    }
+    return quals;
+}
+
+bool
+refsWithin(const Expr &expr, const std::vector<std::string> &quals)
+{
+    if (expr.kind == ExprKind::Star)
+        return false;
+    if (expr.kind == ExprKind::ColumnRef) {
+        if (expr.qualifier.empty())
+            return false;
+        return std::find(quals.begin(), quals.end(), expr.qualifier) !=
+            quals.end();
+    }
+    for (const auto &arg : expr.args) {
+        if (!refsWithin(*arg, quals))
+            return false;
+    }
+    return true;
+}
+
+bool
+hasColumnRef(const Expr &expr)
+{
+    if (expr.kind == ExprKind::ColumnRef)
+        return true;
+    for (const auto &arg : expr.args) {
+        if (hasColumnRef(*arg))
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+void
+flattenConjuncts(ExprPtr pred, std::vector<ExprPtr> &out)
+{
+    if (pred->kind == ExprKind::Binary && pred->op == "AND") {
+        ExprPtr l = std::move(pred->args[0]);
+        ExprPtr r = std::move(pred->args[1]);
+        flattenConjuncts(std::move(l), out);
+        flattenConjuncts(std::move(r), out);
+        return;
+    }
+    out.push_back(std::move(pred));
+}
+
+PlanPtr
+makeFilter(ExprPtr pred, PlanPtr child)
+{
+    auto f = std::make_unique<PlanNode>();
+    f->kind = PlanKind::Filter;
+    f->predicate = std::move(pred);
+    f->children.push_back(std::move(child));
+    return f;
+}
+
+} // namespace
+
+PlanPtr
+splitFilters(PlanPtr plan, const RuleContext &ctx)
+{
+    for (auto &child : plan->children)
+        child = splitFilters(std::move(child), ctx);
+    if (plan->kind != PlanKind::Filter)
+        return plan;
+    std::vector<ExprPtr> conjuncts;
+    flattenConjuncts(std::move(plan->predicate), conjuncts);
+    PlanPtr result = std::move(plan->children[0]);
+    // Source order is preserved: the leftmost conjunct runs first
+    // (innermost filter).
+    for (auto &c : conjuncts)
+        result = makeFilter(std::move(c), std::move(result));
+    return result;
+}
+
+PlanPtr
+orderFilters(PlanPtr plan, const RuleContext &ctx)
+{
+    if (plan->kind == PlanKind::Filter) {
+        // Collect the maximal filter chain (outermost first).
+        std::vector<ExprPtr> preds;
+        PlanPtr base = std::move(plan);
+        while (base->kind == PlanKind::Filter) {
+            preds.push_back(std::move(base->predicate));
+            base = std::move(base->children[0]);
+        }
+        base = orderFilters(std::move(base), ctx);
+
+        // Stable-sort so the most selective predicate runs first.
+        std::vector<size_t> order(preds.size());
+        for (size_t i = 0; i < preds.size(); ++i)
+            order[i] = i;
+        std::vector<double> sel(preds.size());
+        for (size_t i = 0; i < preds.size(); ++i)
+            sel[i] = ctx.model.selectivity(*preds[i], *base);
+        // preds[] is outermost-first; the original innermost (source
+        // first) predicate is the last entry, so ties keep source order
+        // by preferring higher indices first when rebuilding.
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             if (sel[a] != sel[b])
+                                 return sel[a] > sel[b];
+                             return a < b;
+                         });
+        // Rebuild: order[] now lists outermost..innermost.
+        for (auto it = order.rbegin(); it != order.rend(); ++it)
+            base = makeFilter(std::move(preds[*it]), std::move(base));
+        return base;
+    }
+    for (auto &child : plan->children)
+        child = orderFilters(std::move(child), ctx);
+    return plan;
+}
+
+PlanPtr
+mergeFilters(PlanPtr plan, const RuleContext &ctx)
+{
+    for (auto &child : plan->children)
+        child = mergeFilters(std::move(child), ctx);
+    if (plan->kind != PlanKind::Filter ||
+        plan->children[0]->kind != PlanKind::Filter) {
+        return plan;
+    }
+    // Children were merged already, so the child chain is 1 deep.
+    PlanPtr inner = std::move(plan->children[0]);
+    // Keep evaluation order: the inner (first-run) predicate becomes
+    // the left AND operand.
+    plan->predicate = Expr::makeBinary("AND", std::move(inner->predicate),
+                                       std::move(plan->predicate));
+    plan->children[0] = std::move(inner->children[0]);
+    return plan;
+}
+
+} // namespace genesis::sql::rules

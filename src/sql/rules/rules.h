@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Internal interface between the optimizer driver and its rewrite
+ * rules. Each rule consumes and returns plan ownership and must be a
+ * no-op when its bit is absent from the mask.
+ */
+
+#ifndef GENESIS_SQL_RULES_RULES_H
+#define GENESIS_SQL_RULES_RULES_H
+
+#include <string>
+#include <vector>
+
+#include "sql/cost_model.h"
+#include "sql/optimizer.h"
+#include "sql/plan.h"
+
+namespace genesis::sql::rules {
+
+/** Shared state threaded through every rule. */
+struct RuleContext {
+    uint32_t mask = kAllRules;
+    const CostModel &model;
+};
+
+// predicate_rules.cpp
+PlanPtr splitFilters(PlanPtr plan, const RuleContext &ctx);
+PlanPtr orderFilters(PlanPtr plan, const RuleContext &ctx);
+PlanPtr mergeFilters(PlanPtr plan, const RuleContext &ctx);
+
+// filter_pushdown.cpp
+PlanPtr pushdownFilters(PlanPtr plan, const RuleContext &ctx);
+
+// join_rules.cpp
+PlanPtr reorderJoins(PlanPtr plan, const RuleContext &ctx);
+PlanPtr chooseHashJoins(PlanPtr plan, const RuleContext &ctx);
+
+// --- shared helpers (defined in predicate_rules.cpp) -------------------
+
+/** Qualifiers a subtree's columns answer to (aliases + scan names). */
+std::vector<std::string> subtreeQualifiers(const PlanNode &plan);
+
+/**
+ * @return true when every ColumnRef in the expression carries a
+ * qualifier contained in `quals`. An unqualified reference fails: it
+ * could resolve against either join side, so callers must not move
+ * the predicate across the join.
+ */
+bool refsWithin(const Expr &expr, const std::vector<std::string> &quals);
+
+/** @return true when the expression contains any ColumnRef at all. */
+bool hasColumnRef(const Expr &expr);
+
+} // namespace genesis::sql::rules
+
+#endif // GENESIS_SQL_RULES_RULES_H

@@ -138,6 +138,13 @@ Column::value(size_t row) const
     return Value(scalars_[row]);
 }
 
+bool
+Column::isNull(size_t row) const
+{
+    checkRow(row);
+    return !nulls_.empty() && nulls_[row];
+}
+
 int64_t
 Column::scalarAt(size_t row) const
 {

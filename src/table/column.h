@@ -65,6 +65,9 @@ class Column
     /** @return cell as a Value (arrays copy into a Blob). */
     Value value(size_t row) const;
 
+    /** @return true when the cell is an explicit NULL. */
+    bool isNull(size_t row) const;
+
     /** @return scalar cell; throws on array columns. */
     int64_t scalarAt(size_t row) const;
 

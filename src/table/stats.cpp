@@ -1,0 +1,106 @@
+#include "table/stats.h"
+
+#include <unordered_set>
+
+namespace genesis::table {
+
+const ColumnStats *
+TableStats::column(const std::string &name) const
+{
+    auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+ColumnStats
+collectScalarColumn(const Column &col)
+{
+    ColumnStats s;
+    s.rowCount = static_cast<int64_t>(col.size());
+    std::unordered_set<int64_t> seen;
+    bool saturated = false;
+    for (size_t r = 0; r < col.size(); ++r) {
+        if (col.isNull(r)) {
+            ++s.nullCount;
+            continue;
+        }
+        int64_t v = col.scalarAt(r);
+        if (!s.hasRange) {
+            s.hasRange = true;
+            s.minValue = s.maxValue = v;
+        } else {
+            if (v < s.minValue)
+                s.minValue = v;
+            if (v > s.maxValue)
+                s.maxValue = v;
+        }
+        if (!saturated) {
+            seen.insert(v);
+            saturated = seen.size() >= kDistinctCap;
+        }
+    }
+    s.hasDistinct = true;
+    s.distinct = static_cast<int64_t>(seen.size());
+    return s;
+}
+
+ColumnStats
+collectStringColumn(const Column &col)
+{
+    ColumnStats s;
+    s.rowCount = static_cast<int64_t>(col.size());
+    std::unordered_set<std::string> seen;
+    bool saturated = false;
+    for (size_t r = 0; r < col.size(); ++r) {
+        Value v = col.value(r);
+        if (v.isNull()) {
+            ++s.nullCount;
+            continue;
+        }
+        if (!saturated) {
+            seen.insert(v.asString());
+            saturated = seen.size() >= kDistinctCap;
+        }
+    }
+    s.hasDistinct = true;
+    s.distinct = static_cast<int64_t>(seen.size());
+    return s;
+}
+
+ColumnStats
+collectArrayColumn(const Column &col)
+{
+    // Array cells only contribute null/row counts: the engine never
+    // filters or joins on whole-array equality in practice.
+    ColumnStats s;
+    s.rowCount = static_cast<int64_t>(col.size());
+    for (size_t r = 0; r < col.size(); ++r) {
+        if (col.isNull(r))
+            ++s.nullCount;
+    }
+    return s;
+}
+
+} // namespace
+
+TableStats
+collectTableStats(const Table &table)
+{
+    TableStats stats;
+    stats.rowCount = static_cast<int64_t>(table.numRows());
+    for (size_t c = 0; c < table.numColumns(); ++c) {
+        const Column &col = table.column(c);
+        ColumnStats s;
+        if (isArrayType(col.type()))
+            s = collectArrayColumn(col);
+        else if (col.type() == DataType::String)
+            s = collectStringColumn(col);
+        else
+            s = collectScalarColumn(col);
+        stats.columns.emplace(col.name(), std::move(s));
+    }
+    return stats;
+}
+
+} // namespace genesis::table

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table and column statistics for cost-based query optimization.
+ *
+ * Stats are collected when a table is registered in the catalog (load or
+ * CREATE TABLE AS time) and feed the SQL cost model (src/sql/cost_model):
+ * cardinality estimates decide join order, hash-build sides and the
+ * predicate order ahead of the hardware SPM stage — the same
+ * discard-work-before-the-expensive-stage idea the paper's pipelines
+ * apply in hardware.
+ */
+
+#ifndef GENESIS_TABLE_STATS_H
+#define GENESIS_TABLE_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "table/table.h"
+
+namespace genesis::table {
+
+/** Statistics of one column, valid for scalar-typed columns. */
+struct ColumnStats {
+    /** Total rows the column was collected over. */
+    int64_t rowCount = 0;
+    /** Rows whose cell is NULL. */
+    int64_t nullCount = 0;
+    /** Min/max over non-null scalar cells; valid when hasRange. */
+    bool hasRange = false;
+    int64_t minValue = 0;
+    int64_t maxValue = 0;
+    /** Distinct non-null values; valid when hasDistinct. */
+    bool hasDistinct = false;
+    int64_t distinct = 0;
+};
+
+/** Statistics of one table: row count plus per-column stats. */
+struct TableStats {
+    int64_t rowCount = 0;
+    std::map<std::string, ColumnStats> columns;
+
+    /** @return stats of a column by name, or nullptr. */
+    const ColumnStats *column(const std::string &name) const;
+};
+
+/**
+ * Collect stats over a table with one full scan. Scalar integer columns
+ * get min/max and an exact distinct count (capped at kDistinctCap
+ * tracked values, above which the count saturates); string columns get
+ * distinct counts; array columns only null/row counts.
+ */
+TableStats collectTableStats(const Table &table);
+
+/** Distinct-tracking cap: above this many values the count saturates. */
+inline constexpr size_t kDistinctCap = 1u << 16;
+
+} // namespace genesis::table
+
+#endif // GENESIS_TABLE_STATS_H

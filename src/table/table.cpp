@@ -69,6 +69,20 @@ Table::emptyLike(const std::string &new_name) const
     return Table(new_name, schema_);
 }
 
+bool
+Table::contentEquals(const Table &other) const
+{
+    if (!(schema_ == other.schema_) || numRows_ != other.numRows_)
+        return false;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+        for (size_t r = 0; r < numRows_; ++r) {
+            if (!(at(r, c) == other.at(r, c)))
+                return false;
+        }
+    }
+    return true;
+}
+
 std::string
 Table::str(size_t max_rows) const
 {

@@ -51,6 +51,12 @@ class Table
     /** @return a new table with the same schema and no rows. */
     Table emptyLike(const std::string &new_name) const;
 
+    /**
+     * @return true when schema and every cell match exactly (table
+     * names are ignored). Used by differential test batteries.
+     */
+    bool contentEquals(const Table &other) const;
+
     /** Render the first max_rows rows as an aligned text grid. */
     std::string str(size_t max_rows = 20) const;
 

@@ -13,13 +13,17 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "base/logging.h"
 #include "base/rng.h"
+#include "engine/executor.h"
+#include "sql/optimizer.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
+#include "table/table.h"
 
 namespace genesis::sql {
 namespace {
@@ -313,6 +317,138 @@ TEST(SqlFuzz, MutatedScriptsNeverCrashTheParser)
     // The mutation set must actually exercise both paths.
     EXPECT_GT(accepted, 0);
     EXPECT_GT(rejected, 0);
+}
+
+/**
+ * Catalog every generated script can execute against: the four tables
+ * the generator names, all carrying the generator's column pool, plus
+ * the SEQ/POS pair PosExplode statements need and a partition 0 so
+ * `PARTITION (@P)` scans resolve.
+ */
+engine::Catalog
+makeFuzzCatalog()
+{
+    engine::Catalog cat;
+    static const char *const kTables[] = {"t", "u", "reads", "tmp1"};
+    uint64_t seed = 7001;
+    for (const char *name : kTables) {
+        table::Schema s;
+        s.addField("a", table::DataType::Int64);
+        s.addField("b", table::DataType::Int64);
+        s.addField("k", table::DataType::Int64);
+        s.addField("pos", table::DataType::Int64);
+        s.addField("qual", table::DataType::Int64);
+        bool explodable = std::string(name) == "t";
+        if (explodable) {
+            s.addField("SEQ", table::DataType::Array8);
+            s.addField("POS", table::DataType::Int64);
+        }
+        table::Table tbl(name, s);
+        Rng rng(seed++);
+        for (int64_t i = 0; i < 40; ++i) {
+            std::vector<table::Value> row = {
+                table::Value(static_cast<int64_t>(rng.below(50))),
+                table::Value(static_cast<int64_t>(rng.below(1000))),
+                table::Value(static_cast<int64_t>(rng.below(8))),
+                table::Value(i * 3),
+                rng.below(10) == 0
+                    ? table::Value()
+                    : table::Value(static_cast<int64_t>(rng.below(60))),
+            };
+            if (explodable) {
+                table::Blob seq;
+                for (uint64_t j = 0; j < 1 + rng.below(6); ++j)
+                    seq.push_back(static_cast<int64_t>(rng.below(4)));
+                row.push_back(table::Value(std::move(seq)));
+                row.push_back(table::Value(i * 7));
+            }
+            tbl.appendRow(std::move(row));
+        }
+        cat.putPartition(name, 0, tbl);
+        cat.put(name, std::move(tbl));
+    }
+    return cat;
+}
+
+/** Outcome of executing a script end to end. */
+struct ExecOutcome {
+    bool fatal = false;
+    std::optional<table::Table> result;
+};
+
+ExecOutcome
+runScriptWith(const std::string &text, engine::ExecConfig cfg)
+{
+    engine::Catalog cat = makeFuzzCatalog();
+    engine::Executor exec(cat, cfg);
+    exec.env().variables["x"] = table::Value(7);
+    exec.env().variables["P"] = table::Value(0);
+    ExecOutcome out;
+    try {
+        out.result = exec.run(text);
+    } catch (const FatalError &) {
+        out.fatal = true;
+    }
+    return out;
+}
+
+/**
+ * Execution parity under the optimizer: every generated script is run
+ * naively (optimizer and vectorization off) and then with each rewrite
+ * rule individually disabled — the outcome class (result vs. fatal) and
+ * the final result table must match bit for bit, so a misbehaving rule
+ * is named by the failing assertion.
+ */
+TEST(SqlFuzz, RuleMaskedExecutionMatchesNaive)
+{
+    static constexpr uint32_t kRules[] = {
+        kRuleSplit,       kRulePushdown, kRuleTransfer, kRuleJoinReorder,
+        kRuleHashJoin,    kRuleMerge,    kRuleFilterOrder,
+    };
+    QueryGen gen(24601);
+    int executed = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+        std::string text = gen.script();
+        engine::ExecConfig naive_cfg;
+        naive_cfg.optimize = false;
+        naive_cfg.vectorize = false;
+        ExecOutcome naive = runScriptWith(text, naive_cfg);
+        if (!naive.fatal)
+            ++executed;
+
+        for (uint32_t rule : kRules) {
+            engine::ExecConfig cfg;
+            cfg.optimize = true;
+            cfg.vectorize = true;
+            cfg.ruleMask = kAllRules & ~rule;
+            ExecOutcome got = runScriptWith(text, cfg);
+            ASSERT_EQ(naive.fatal, got.fatal)
+                << "outcome class diverged with rule '" << ruleName(rule)
+                << "' disabled on:\n" << text;
+            if (naive.fatal)
+                continue;
+            ASSERT_EQ(naive.result.has_value(), got.result.has_value())
+                << "result presence diverged with rule '"
+                << ruleName(rule) << "' disabled on:\n" << text;
+            if (naive.result) {
+                EXPECT_TRUE(naive.result->contentEquals(*got.result))
+                    << "rule '" << ruleName(rule)
+                    << "' changed script results:\n" << text;
+            }
+        }
+
+        // And the full default configuration (all rules, vectorized).
+        ExecOutcome full = runScriptWith(text, engine::ExecConfig{});
+        ASSERT_EQ(naive.fatal, full.fatal) << text;
+        if (!naive.fatal && naive.result) {
+            ASSERT_TRUE(full.result.has_value()) << text;
+            EXPECT_TRUE(naive.result->contentEquals(*full.result))
+                << "default optimize+vectorize changed results:\n"
+                << text;
+        }
+    }
+    // The generator must produce a healthy share of runnable scripts.
+    EXPECT_GT(executed, 10);
 }
 
 } // namespace

@@ -259,6 +259,79 @@ TEST(Planner, ExplainScriptMentionsAllStatements)
     EXPECT_NE(text.find("InnerJoin"), std::string::npos);
 }
 
+TEST(Planner, ExplainRendersOptimizedPlanByDefault)
+{
+    Script s = parseScript(
+        "SELECT * FROM t INNER JOIN u ON t.k = u.k WHERE t.a == 1");
+    std::string text = explainScript(s);
+    // The equi-join is upgraded to hash strategy and the filter is
+    // pushed below the join (join line precedes the filter line).
+    EXPECT_NE(text.find("[hash"), std::string::npos) << text;
+    size_t join_at = text.find("InnerJoin");
+    size_t filter_at = text.find("Filter");
+    ASSERT_NE(join_at, std::string::npos) << text;
+    ASSERT_NE(filter_at, std::string::npos) << text;
+    EXPECT_LT(join_at, filter_at) << text;
+}
+
+TEST(Planner, ExplainNoOptRendersNaivePlan)
+{
+    Script s = parseScript(
+        "SELECT * FROM t INNER JOIN u ON t.k = u.k WHERE t.a == 1");
+    ExplainOptions opts;
+    opts.optimize = false;
+    std::string text = explainScript(s, opts);
+    // Escape hatch: the plan is rendered exactly as planned — filter on
+    // top of a nested-loop join.
+    EXPECT_EQ(text.find("[hash"), std::string::npos) << text;
+    size_t join_at = text.find("InnerJoin");
+    size_t filter_at = text.find("Filter");
+    ASSERT_NE(join_at, std::string::npos) << text;
+    ASSERT_NE(filter_at, std::string::npos) << text;
+    EXPECT_LT(filter_at, join_at) << text;
+}
+
+TEST(Planner, ExplainRuleMaskDisablesSingleRewrite)
+{
+    Script s = parseScript(
+        "SELECT * FROM t INNER JOIN u ON t.k = u.k WHERE t.a == 1");
+    ExplainOptions opts;
+    opts.ruleMask = kAllRules & ~kRuleHashJoin;
+    std::string text = explainScript(s, opts);
+    EXPECT_EQ(text.find("[hash"), std::string::npos) << text;
+    // Pushdown still fires: the join line precedes the filter line.
+    EXPECT_LT(text.find("InnerJoin"), text.find("Filter")) << text;
+}
+
+TEST(Planner, ExplainShowBothRendersBeforeAndAfter)
+{
+    Script s = parseScript(
+        "SELECT * FROM t INNER JOIN u ON t.k = u.k WHERE t.a == 1");
+    ExplainOptions opts;
+    opts.showBoth = true;
+    std::string text = explainScript(s, opts);
+    size_t naive_at = text.find("naive:");
+    size_t opt_at = text.find("optimized:");
+    ASSERT_NE(naive_at, std::string::npos) << text;
+    ASSERT_NE(opt_at, std::string::npos) << text;
+    EXPECT_LT(naive_at, opt_at) << text;
+    // The hash annotation only appears in the optimized rendering.
+    size_t hash_at = text.find("[hash");
+    ASSERT_NE(hash_at, std::string::npos) << text;
+    EXPECT_GT(hash_at, opt_at) << text;
+}
+
+TEST(Planner, ExplainForLoopBodyIsOptimized)
+{
+    Script s = parseScript(
+        "FOR Row IN t:\n"
+        "    INSERT INTO out SELECT * FROM t INNER JOIN u "
+        "ON t.k = u.k;\n"
+        "END LOOP");
+    std::string text = explainScript(s);
+    EXPECT_NE(text.find("[hash"), std::string::npos) << text;
+}
+
 TEST(Planner, ValidateFlagsUndeclaredVariables)
 {
     auto problems = validateScript(parseScript("SET @x = 1"));
