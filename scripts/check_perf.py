@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Perf-regression guard for the simulator benches.
 
-Runs bench/sim_throughput, bench/sim_multipipe, bench/sim_membw and
-bench/sql_join, collects wall-clock metrics, and compares them against a committed
+Runs bench/sim_throughput, bench/sim_multipipe, bench/sim_membw,
+bench/sim_service and bench/sql_join, collects wall-clock metrics, and
+compares them against a committed
 baseline (bench/perf_baseline.json). Any metric that regresses by more
 than the tolerance (default 15%) fails the run, so host-side slowdowns
 in the simulator core are caught in CI rather than discovered months
@@ -95,6 +96,22 @@ def collect_once(bench_dir):
 
     wall, _ = run_timed([os.path.join(bench_dir, "sim_membw")], BENCH_ENV)
     metrics["sim_membw.wall_seconds"] = wall
+
+    # Multi-tenant service bench: the wall clock guards the whole
+    # queue/scheduler/cache path; the calibration record guards one
+    # job's service time. The bench itself verifies bit-identity to
+    # host goldens and balanced accounting, failing the run otherwise.
+    service_env = dict(BENCH_ENV)
+    service_env["GENESIS_SERVICE_JOBS"] = "32"
+    wall, out = run_timed([os.path.join(bench_dir, "sim_service")],
+                          service_env)
+    metrics["sim_service.wall_seconds"] = wall
+    array = re.search(r"\[.*\]", out, re.S)
+    if array:
+        for rec in json.loads(array.group(0)):
+            if rec.get("phase") == "calibration":
+                metrics["sim_service.mean_service_seconds"] = \
+                    rec["mean_service_seconds"]
 
     # SQL join suite: per-mode totals plus the optimizer/vectorizer
     # speedups. The bench itself verifies result parity across modes

@@ -43,9 +43,21 @@ TimingBreakdown::str() const
 // --- AcceleratorSession ---------------------------------------------------
 
 AcceleratorSession::AcceleratorSession(const RuntimeConfig &config)
+    : AcceleratorSession(config, nullptr)
+{
+}
+
+AcceleratorSession::AcceleratorSession(const RuntimeConfig &config,
+                                       DeviceMemory *device)
     : config_(config),
       sim_(std::make_unique<sim::Simulator>(config.memory))
 {
+    if (device) {
+        device_ = device;
+    } else {
+        ownedDevice_ = std::make_unique<DeviceMemory>();
+        device_ = ownedDevice_.get();
+    }
     if (config_.clockHz <= 0)
         fatal("accelerator clock must be positive");
     sim::ThreadPolicy threads;
@@ -67,7 +79,7 @@ modules::ColumnBuffer *
 AcceleratorSession::configureMem(const std::string &colname,
                                  const table::Column &column)
 {
-    modules::ColumnBuffer *buffer = device_.upload(colname, column);
+    modules::ColumnBuffer *buffer = device_->upload(colname, column);
     timing_.dmaSeconds += transferSeconds(config_.dma,
                                           buffer->totalBytes());
     return buffer;
@@ -80,18 +92,36 @@ AcceleratorSession::configureMem(const std::string &colname,
                                  uint32_t elem_size_bytes)
 {
     modules::ColumnBuffer *buffer =
-        device_.upload(colname, std::move(elements),
-                       std::move(row_lengths), elem_size_bytes);
+        device_->upload(colname, std::move(elements),
+                        std::move(row_lengths), elem_size_bytes);
     timing_.dmaSeconds += transferSeconds(config_.dma,
                                           buffer->totalBytes());
     return buffer;
+}
+
+DeviceMemory::CachedColumn
+AcceleratorSession::configureMemCached(const std::string &key,
+                                       std::vector<int64_t> elements,
+                                       std::vector<uint32_t> row_lengths,
+                                       uint32_t elem_size_bytes)
+{
+    DeviceMemory::CachedColumn cached = device_->acquireCached(
+        key, std::move(elements), std::move(row_lengths),
+        elem_size_bytes);
+    // A resident column never crosses the interconnect again: only the
+    // miss (the actual upload) is charged as communication time.
+    if (!cached.hit) {
+        timing_.dmaSeconds += transferSeconds(
+            config_.dma, cached.buffer->totalBytes());
+    }
+    return cached;
 }
 
 modules::ColumnBuffer *
 AcceleratorSession::configureOutput(const std::string &colname,
                                     uint32_t elem_size_bytes)
 {
-    return device_.allocate(colname, elem_size_bytes);
+    return device_->allocate(colname, elem_size_bytes);
 }
 
 void
@@ -133,7 +163,7 @@ AcceleratorSession::flush(const std::string &colname)
     // A still-running worker owns device memory; join before reading it
     // (also credits the accelerator time ahead of the DMA accounting).
     wait();
-    modules::ColumnBuffer *buffer = device_.find(colname);
+    modules::ColumnBuffer *buffer = device_->find(colname);
     if (!buffer)
         fatal("flush of unknown device buffer '%s'", colname.c_str());
     timing_.dmaSeconds += transferSeconds(config_.dma,

@@ -108,6 +108,18 @@ class AcceleratorSession
 {
   public:
     explicit AcceleratorSession(const RuntimeConfig &config);
+
+    /**
+     * Session over a shared (board-persistent) device memory, e.g. a
+     * service board serving many jobs: uploads land in `device`, which
+     * must outlive the session and is NOT torn down with it — callers
+     * own buffer lifetime (release / cache eviction). `device`'s
+     * internal locking makes concurrent sessions on one board safe;
+     * name collisions between concurrent jobs are the caller's to
+     * avoid (scope buffer names per job).
+     */
+    AcceleratorSession(const RuntimeConfig &config, DeviceMemory *device);
+
     ~AcceleratorSession();
 
     AcceleratorSession(const AcceleratorSession &) = delete;
@@ -115,7 +127,7 @@ class AcceleratorSession
 
     const RuntimeConfig &config() const { return config_; }
     sim::Simulator &sim() { return *sim_; }
-    DeviceMemory &deviceMemory() { return device_; }
+    DeviceMemory &deviceMemory() { return *device_; }
 
     /** configure_mem for an input column: DMA-in accounted. */
     modules::ColumnBuffer *configureMem(const std::string &colname,
@@ -126,6 +138,19 @@ class AcceleratorSession
                                         std::vector<int64_t> elements,
                                         std::vector<uint32_t> row_lengths,
                                         uint32_t elem_size_bytes);
+
+    /**
+     * configure_mem through the device's keyed column cache: a
+     * resident `key` skips the upload and the DMA-in entirely (only a
+     * miss is charged to the DMA ledger). The entry stays pinned until
+     * DeviceMemory::unpin(key); results are bit-identical on hit and
+     * miss by the keying contract (a key names one column image).
+     */
+    DeviceMemory::CachedColumn
+    configureMemCached(const std::string &key,
+                       std::vector<int64_t> elements,
+                       std::vector<uint32_t> row_lengths,
+                       uint32_t elem_size_bytes);
 
     /** Allocate an output buffer (no DMA until flushed). */
     modules::ColumnBuffer *configureOutput(const std::string &colname,
@@ -177,7 +202,10 @@ class AcceleratorSession
 
   private:
     RuntimeConfig config_;
-    DeviceMemory device_;
+    /** Session-owned device memory (null when running on a board's). */
+    std::unique_ptr<DeviceMemory> ownedDevice_;
+    /** The device memory in use: ownedDevice_ or the shared board's. */
+    DeviceMemory *device_ = nullptr;
     std::unique_ptr<sim::Simulator> sim_;
     TimingBreakdown timing_;
     std::thread worker_;

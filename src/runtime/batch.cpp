@@ -71,8 +71,10 @@ BatchRunner::run(size_t num_shards, const ShardBuild &build,
         // the other lanes keep executing while we build the next shard.
         retire(lane);
         lane.shard = shard;
-        lane.session =
-            std::make_unique<AcceleratorSession>(shard_config);
+        lane.session = config_.sharedDevice
+            ? std::make_unique<AcceleratorSession>(shard_config,
+                                                   config_.sharedDevice)
+            : std::make_unique<AcceleratorSession>(shard_config);
         if (shared_trace) {
             lane.trace = std::make_unique<TraceSink>();
             lane.session->attachTrace(

@@ -43,6 +43,16 @@ struct BatchConfig {
      * running session; see file comment).
      */
     RuntimeConfig runtime;
+    /**
+     * When set, every shard's session runs over this shared (persistent)
+     * device memory instead of a private one — uploads survive the
+     * batch, so cached columns (DeviceMemory::acquireCached) can be
+     * reused across shards and batches. The memory must outlive the
+     * run. Lanes execute concurrently, so ShardBuild must scope buffer
+     * names per shard (e.g. "s<k>.") and ShardCollect should release
+     * what the shard uploaded, or the batch leaks device space.
+     */
+    DeviceMemory *sharedDevice = nullptr;
 };
 
 /** Merged results of one BatchRunner::run(). */

@@ -1,29 +1,179 @@
 #include "runtime/device.h"
 
+#include <limits>
+
 #include "base/logging.h"
 
 namespace genesis::runtime {
 
-uint64_t
-DeviceMemory::reserve(uint64_t bytes)
+DeviceMemory::DeviceMemory(uint64_t capacity_bytes)
+    : capacity_(capacity_bytes), cacheCapacity_(capacity_bytes)
 {
-    uint64_t addr = nextAddr_;
-    uint64_t padded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
-    nextAddr_ += padded == 0 ? kAlignment : padded;
-    return addr;
+    if (capacity_ < kAlignment)
+        fatal("device capacity %llu below the %llu-byte alignment",
+              static_cast<unsigned long long>(capacity_),
+              static_cast<unsigned long long>(kAlignment));
+}
+
+uint64_t
+DeviceMemory::paddedSize(uint64_t bytes) const
+{
+    // Even a zero-byte reservation occupies one granule so every buffer
+    // gets a distinct device address.
+    if (bytes == 0)
+        return kAlignment;
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+bool
+DeviceMemory::tryReserve(uint64_t bytes, Block *out)
+{
+    const uint64_t padded = paddedSize(bytes);
+    // First fit from released space.
+    for (auto it = freeBlocks_.begin(); it != freeBlocks_.end(); ++it) {
+        if (it->second < padded)
+            continue;
+        out->addr = it->first;
+        out->bytes = padded;
+        const uint64_t rest = it->second - padded;
+        freeBlocks_.erase(it);
+        if (rest > 0)
+            freeBlocks_.emplace(out->addr + padded, rest);
+        usedBytes_ += padded;
+        return true;
+    }
+    if (padded > capacity_ - bumpAddr_)
+        return false;
+    out->addr = bumpAddr_;
+    out->bytes = padded;
+    bumpAddr_ += padded;
+    usedBytes_ += padded;
+    return true;
+}
+
+DeviceMemory::Block
+DeviceMemory::reserveChecked(uint64_t bytes, const char *what)
+{
+    // Reject sizes whose padding arithmetic would wrap before they are
+    // compared against the capacity (bytes near UINT64_MAX must not
+    // alias a small reservation).
+    if (bytes > std::numeric_limits<uint64_t>::max() - (kAlignment - 1))
+        fatal("device reservation of %llu bytes for '%s' overflows the "
+              "address space",
+              static_cast<unsigned long long>(bytes), what);
+    if (paddedSize(bytes) > capacity_)
+        fatal("device reservation of %llu bytes for '%s' exceeds the "
+              "%llu-byte card capacity",
+              static_cast<unsigned long long>(bytes), what,
+              static_cast<unsigned long long>(capacity_));
+    Block block;
+    if (!tryReserve(bytes, &block))
+        fatal("device memory exhausted: %llu bytes for '%s' do not fit "
+              "(%llu of %llu bytes in use)",
+              static_cast<unsigned long long>(bytes), what,
+              static_cast<unsigned long long>(usedBytes_),
+              static_cast<unsigned long long>(capacity_));
+    return block;
+}
+
+void
+DeviceMemory::freeBlock(Block block)
+{
+    GENESIS_ASSERT(usedBytes_ >= block.bytes, "free of unreserved bytes");
+    usedBytes_ -= block.bytes;
+    auto [it, inserted] = freeBlocks_.emplace(block.addr, block.bytes);
+    GENESIS_ASSERT(inserted, "double free at device address %llu",
+                   static_cast<unsigned long long>(block.addr));
+    // Coalesce with the successor, then the predecessor.
+    auto next = std::next(it);
+    if (next != freeBlocks_.end() &&
+        it->first + it->second == next->first) {
+        it->second += next->second;
+        freeBlocks_.erase(next);
+    }
+    if (it != freeBlocks_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            freeBlocks_.erase(it);
+            it = prev;
+        }
+    }
+    // Give trailing space back to the bump region so it can satisfy
+    // reservations larger than any interior hole.
+    if (it->first + it->second == bumpAddr_) {
+        bumpAddr_ = it->first;
+        freeBlocks_.erase(it);
+    }
+}
+
+modules::ColumnBuffer *
+DeviceMemory::storeLocked(const std::string &name,
+                          std::vector<int64_t> elements,
+                          std::vector<uint32_t> row_lengths,
+                          uint32_t elem_size_bytes, bool is_output,
+                          uint64_t reserve_bytes)
+{
+    modules::ColumnBuffer *buffer = nullptr;
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        // Re-upload replaces in place: pointers held by modules stay
+        // valid, the old reservation is reclaimed before the new one is
+        // carved so the space is reusable for the new image.
+        if (cache_.count(name))
+            fatal("device buffer '%s' is a cached column; release it "
+                  "through the cache, not by re-upload",
+                  name.c_str());
+        buffer = buffers_[it->second].get();
+        freeBlock(reservations_.at(name));
+        reservations_.erase(name);
+    } else {
+        buffers_.push_back(std::make_unique<modules::ColumnBuffer>());
+        buffer = buffers_.back().get();
+        index_.emplace(name, buffers_.size() - 1);
+    }
+    buffer->name = name;
+    buffer->elements = std::move(elements);
+    buffer->rowLengths = std::move(row_lengths);
+    buffer->elemSizeBytes = elem_size_bytes;
+    buffer->isOutput = is_output;
+    const uint64_t bytes =
+        is_output ? reserve_bytes : buffer->totalBytes();
+    Block block = reserveChecked(bytes, name.c_str());
+    buffer->baseAddr = block.addr;
+    reservations_.emplace(name, block);
+    return buffer;
 }
 
 modules::ColumnBuffer *
 DeviceMemory::allocate(const std::string &name, uint32_t elem_size_bytes,
                        uint64_t reserve_bytes)
 {
-    auto buffer = std::make_unique<modules::ColumnBuffer>();
-    buffer->name = name;
-    buffer->elemSizeBytes = elem_size_bytes;
-    buffer->baseAddr = reserve(reserve_bytes);
-    buffer->isOutput = true;
-    buffers_.push_back(std::move(buffer));
-    return buffers_.back().get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return storeLocked(name, {}, {}, elem_size_bytes, true,
+                       reserve_bytes);
+}
+
+std::vector<int64_t>
+DeviceMemory::decodeRaw(const std::vector<uint8_t> &raw, size_t elem_size)
+{
+    std::vector<int64_t> elements;
+    elements.reserve(raw.size() / elem_size);
+    for (size_t off = 0; off + elem_size <= raw.size();
+         off += elem_size) {
+        uint64_t v = 0;
+        for (size_t b = 0; b < elem_size; ++b)
+            v |= static_cast<uint64_t>(raw[off + b]) << (8 * b);
+        // The device element type is int64: sign-extend from the host
+        // element width so e.g. int32 -1 decodes as -1, not 2^32 - 1
+        // (the same contract as decodeHost on the paper-literal path).
+        if (elem_size < 8) {
+            const uint64_t sign_bit = 1ull << (8 * elem_size - 1);
+            v = (v ^ sign_bit) - sign_bit;
+        }
+        elements.push_back(static_cast<int64_t>(v));
+    }
+    return elements;
 }
 
 modules::ColumnBuffer *
@@ -36,15 +186,7 @@ DeviceMemory::upload(const std::string &name, const table::Column &column)
     // Decode the serialized bytes back into elements; the raw image is
     // what travels over DMA, the decoded form is what readers stream.
     size_t esize = table::elementSize(column.type());
-    std::vector<int64_t> elements;
-    elements.reserve(raw.size() / esize);
-    for (size_t off = 0; off + esize <= raw.size(); off += esize) {
-        uint64_t v = 0;
-        for (size_t b = 0; b < esize; ++b)
-            v |= static_cast<uint64_t>(raw[off + b]) << (8 * b);
-        elements.push_back(static_cast<int64_t>(v));
-    }
-    return upload(name, std::move(elements), std::move(row_lengths),
+    return upload(name, decodeRaw(raw, esize), std::move(row_lengths),
                   static_cast<uint32_t>(esize));
 }
 
@@ -54,24 +196,182 @@ DeviceMemory::upload(const std::string &name,
                      std::vector<uint32_t> row_lengths,
                      uint32_t elem_size_bytes)
 {
-    auto buffer = std::make_unique<modules::ColumnBuffer>();
-    buffer->name = name;
-    buffer->elements = std::move(elements);
-    buffer->rowLengths = std::move(row_lengths);
-    buffer->elemSizeBytes = elem_size_bytes;
-    buffer->baseAddr = reserve(buffer->totalBytes());
-    buffers_.push_back(std::move(buffer));
-    return buffers_.back().get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return storeLocked(name, std::move(elements), std::move(row_lengths),
+                       elem_size_bytes, false, 0);
 }
 
 modules::ColumnBuffer *
 DeviceMemory::find(const std::string &name)
 {
-    for (auto &buffer : buffers_) {
-        if (buffer->name == name)
-            return buffer.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : buffers_[it->second].get();
+}
+
+bool
+DeviceMemory::release(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(name);
+    if (it == index_.end())
+        return false;
+    if (cache_.count(name))
+        fatal("release of cached column '%s' (evict via the cache)",
+              name.c_str());
+    freeBlock(reservations_.at(name));
+    reservations_.erase(name);
+    // Swap-and-pop, fixing the moved buffer's index entry.
+    const size_t idx = it->second;
+    index_.erase(it);
+    if (idx + 1 != buffers_.size()) {
+        buffers_[idx] = std::move(buffers_.back());
+        index_[buffers_[idx]->name] = idx;
     }
-    return nullptr;
+    buffers_.pop_back();
+    return true;
+}
+
+bool
+DeviceMemory::evictOneLocked()
+{
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+        if (it->second.pins > 0)
+            continue;
+        if (victim == cache_.end() ||
+            it->second.lastUse < victim->second.lastUse)
+            victim = it;
+    }
+    if (victim == cache_.end())
+        return false;
+    const std::string name = victim->first;
+    GENESIS_ASSERT(cachedBytes_ >= reservations_.at(name).bytes,
+                   "cached-bytes accounting underflow");
+    cachedBytes_ -= reservations_.at(name).bytes;
+    cache_.erase(victim);
+    ++cacheStats_.evictions;
+    // Now an ordinary buffer; reclaim it like any other release.
+    freeBlock(reservations_.at(name));
+    reservations_.erase(name);
+    auto it = index_.find(name);
+    const size_t idx = it->second;
+    index_.erase(it);
+    if (idx + 1 != buffers_.size()) {
+        buffers_[idx] = std::move(buffers_.back());
+        index_[buffers_[idx]->name] = idx;
+    }
+    buffers_.pop_back();
+    return true;
+}
+
+DeviceMemory::CachedColumn
+DeviceMemory::acquireCached(const std::string &key,
+                            std::vector<int64_t> elements,
+                            std::vector<uint32_t> row_lengths,
+                            uint32_t elem_size_bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CachedColumn result;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        it->second.lastUse = ++lruTick_;
+        ++it->second.pins;
+        ++cacheStats_.hits;
+        result.buffer = it->second.buffer;
+        result.hit = true;
+        return result;
+    }
+    if (index_.count(key))
+        fatal("cache key '%s' collides with an uncached device buffer",
+              key.c_str());
+
+    ++cacheStats_.misses;
+    const uint64_t bytes = paddedSize(
+        static_cast<uint64_t>(elements.size()) * elem_size_bytes);
+    // Make room under the cache capacity, then under the card capacity.
+    while (cachedBytes_ + bytes > cacheCapacity_ && evictOneLocked()) {
+    }
+    if (cachedBytes_ + bytes > cacheCapacity_)
+        fatal("column cache exhausted: '%s' needs %llu bytes but every "
+              "resident column is pinned (cache capacity %llu)",
+              key.c_str(), static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(cacheCapacity_));
+    Block block;
+    bool reserved = false;
+    while (!(reserved = tryReserve(
+                 static_cast<uint64_t>(elements.size()) *
+                     elem_size_bytes,
+                 &block)) &&
+           evictOneLocked()) {
+    }
+    if (!reserved)
+        fatal("device memory exhausted caching column '%s' (%llu of "
+              "%llu bytes in use)",
+              key.c_str(), static_cast<unsigned long long>(usedBytes_),
+              static_cast<unsigned long long>(capacity_));
+
+    buffers_.push_back(std::make_unique<modules::ColumnBuffer>());
+    modules::ColumnBuffer *buffer = buffers_.back().get();
+    index_.emplace(key, buffers_.size() - 1);
+    buffer->name = key;
+    buffer->elements = std::move(elements);
+    buffer->rowLengths = std::move(row_lengths);
+    buffer->elemSizeBytes = elem_size_bytes;
+    buffer->baseAddr = block.addr;
+    reservations_.emplace(key, block);
+
+    CacheEntry entry;
+    entry.buffer = buffer;
+    entry.lastUse = ++lruTick_;
+    entry.pins = 1;
+    cache_.emplace(key, entry);
+    cachedBytes_ += block.bytes;
+    result.buffer = buffer;
+    result.hit = false;
+    return result;
+}
+
+void
+DeviceMemory::unpin(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+        fatal("unpin of unknown cached column '%s'", key.c_str());
+    GENESIS_ASSERT(it->second.pins > 0, "unpin of unpinned column '%s'",
+                   key.c_str());
+    --it->second.pins;
+}
+
+void
+DeviceMemory::setCacheCapacity(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cacheCapacity_ = bytes;
+    while (cachedBytes_ > cacheCapacity_ && evictOneLocked()) {
+    }
+}
+
+DeviceMemory::CacheStats
+DeviceMemory::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cacheStats_;
+}
+
+uint64_t
+DeviceMemory::cachedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cachedBytes_;
+}
+
+uint64_t
+DeviceMemory::allocatedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return usedBytes_;
 }
 
 } // namespace genesis::runtime

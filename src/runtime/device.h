@@ -2,15 +2,38 @@
  * @file
  * Device (FPGA-attached DRAM) memory management for the host runtime.
  *
- * Allocates ColumnBuffers at increasing device addresses (which drives
- * channel interleaving in the timing model) and decodes host columns
- * into their device images.
+ * DeviceMemory is a managed allocator over one board's DRAM: buffers
+ * are placed at aligned device addresses (which drive channel
+ * interleaving in the timing model), released space is coalesced into a
+ * free list and reused, and every reservation is validated against the
+ * configured card capacity (64 GB on the paper's VU9P) so a runaway
+ * workload fails loudly instead of bumping past the card.
+ *
+ * On top of the allocator sits a keyed column cache for long-lived
+ * boards serving many jobs (src/service): acquireCached() returns the
+ * resident image of a column when the key is present — skipping the
+ * decode + DMA-in of configure_mem entirely — and uploads it on a miss.
+ * Cached columns are pinned while a job uses them and evicted in LRU
+ * order when the cached bytes exceed the configured cache capacity.
+ *
+ * Thread-safety: all host-side operations (upload/allocate/find/
+ * release/acquireCached/unpin and the stats accessors) are internally
+ * serialized, so one DeviceMemory may be shared by concurrent sessions
+ * on the same board. Buffer *contents* follow the session contract:
+ * input elements are written before the consuming simulation starts and
+ * are read-only afterwards; output elements are owned by exactly one
+ * running simulation. buffers() iteration is not locked and must not
+ * race with mutating calls.
  */
 
 #ifndef GENESIS_RUNTIME_DEVICE_H
 #define GENESIS_RUNTIME_DEVICE_H
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "modules/stream_buffer.h"
@@ -18,25 +41,38 @@
 
 namespace genesis::runtime {
 
-/** Device memory allocator / column store. */
+/** Device memory allocator / column store / column cache. */
 class DeviceMemory
 {
   public:
     /** Allocation alignment (rows of the DRAM interleave). */
     static constexpr uint64_t kAlignment = 4096;
 
-    DeviceMemory() = default;
+    /** Card DRAM capacity of the paper's VU9P board (64 GB). */
+    static constexpr uint64_t kDefaultCapacity = 64ull << 30;
 
-    /** Allocate an empty buffer (for accelerator outputs). */
+    explicit DeviceMemory(uint64_t capacity_bytes = kDefaultCapacity);
+
+    /**
+     * Allocate an empty buffer (for accelerator outputs). Re-using an
+     * existing name replaces that buffer in place: the old reservation
+     * is released and the ColumnBuffer object (and pointers to it)
+     * stays valid with fresh contents and a fresh reservation.
+     */
     modules::ColumnBuffer *allocate(const std::string &name,
                                     uint32_t elem_size_bytes,
                                     uint64_t reserve_bytes = 1 << 20);
 
-    /** Decode and store a host column (configure_mem's copy step). */
+    /**
+     * Decode and store a host column (configure_mem's copy step).
+     * Sub-8-byte elements are sign-extended into the int64 device
+     * element type, matching decodeHost() on the paper-literal path.
+     * Duplicate names replace in place (see allocate()).
+     */
     modules::ColumnBuffer *upload(const std::string &name,
                                   const table::Column &column);
 
-    /** Store a pre-decoded element stream. */
+    /** Store a pre-decoded element stream (duplicate names replace). */
     modules::ColumnBuffer *upload(const std::string &name,
                                   std::vector<int64_t> elements,
                                   std::vector<uint32_t> row_lengths,
@@ -45,8 +81,58 @@ class DeviceMemory
     /** @return buffer by name, or nullptr. */
     modules::ColumnBuffer *find(const std::string &name);
 
-    /** Total bytes currently allocated. */
-    uint64_t allocatedBytes() const { return nextAddr_; }
+    /**
+     * Release a buffer: return its reservation to the free list and
+     * drop the name. Cached or pinned buffers cannot be released this
+     * way (use the cache API). @return false when the name is unknown.
+     */
+    bool release(const std::string &name);
+
+    // --- Keyed column cache (src/service boards) -----------------------
+
+    /** Result of a cache lookup/insert. */
+    struct CachedColumn {
+        modules::ColumnBuffer *buffer = nullptr;
+        /** True when the column was already resident (no DMA needed). */
+        bool hit = false;
+    };
+
+    /**
+     * Return the resident column image for `key`, uploading `elements`
+     * on a miss (the passed data is discarded on a hit — the resident
+     * image is bit-identical by keying contract). The entry is pinned
+     * until a matching unpin(); pinned entries are never evicted. On a
+     * miss the cache evicts least-recently-used unpinned entries until
+     * the new column fits under the cache capacity, and fails loudly
+     * when it cannot.
+     */
+    CachedColumn acquireCached(const std::string &key,
+                               std::vector<int64_t> elements,
+                               std::vector<uint32_t> row_lengths,
+                               uint32_t elem_size_bytes);
+
+    /** Drop one pin from a cached entry (fatal if the key is unknown). */
+    void unpin(const std::string &key);
+
+    /** Cap on resident cached-column bytes (default: the capacity). */
+    void setCacheCapacity(uint64_t bytes);
+
+    /** Cache hit/miss/eviction counters. */
+    struct CacheStats {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+    };
+    CacheStats cacheStats() const;
+
+    /** Total bytes resident in cached columns. */
+    uint64_t cachedBytes() const;
+
+    /** Configured device capacity in bytes. */
+    uint64_t capacityBytes() const { return capacity_; }
+
+    /** Total bytes currently reserved by live buffers (padded). */
+    uint64_t allocatedBytes() const;
 
     const std::vector<std::unique_ptr<modules::ColumnBuffer>> &
     buffers() const
@@ -55,10 +141,63 @@ class DeviceMemory
     }
 
   private:
-    uint64_t reserve(uint64_t bytes);
+    /** One reservation: [addr, addr + bytes), kAlignment-padded. */
+    struct Block {
+        uint64_t addr = 0;
+        uint64_t bytes = 0;
+    };
 
+    /** One resident cached column. */
+    struct CacheEntry {
+        modules::ColumnBuffer *buffer = nullptr;
+        uint64_t lastUse = 0;
+        int pins = 0;
+    };
+
+    /** Round a byte count up to the allocation granule (never 0). */
+    uint64_t paddedSize(uint64_t bytes) const;
+
+    /** First-fit from the free list, else bump. Caller holds mutex_. */
+    bool tryReserve(uint64_t bytes, Block *out);
+
+    /** tryReserve that fails loudly on exhaustion/overflow. */
+    Block reserveChecked(uint64_t bytes, const char *what);
+
+    /** Return a block to the free list, coalescing neighbours. */
+    void freeBlock(Block block);
+
+    /** Insert-or-replace a buffer under `name`. Caller holds mutex_. */
+    modules::ColumnBuffer *storeLocked(const std::string &name,
+                                       std::vector<int64_t> elements,
+                                       std::vector<uint32_t> row_lengths,
+                                       uint32_t elem_size_bytes,
+                                       bool is_output,
+                                       uint64_t reserve_bytes);
+
+    /** Evict the LRU unpinned cache entry; false when none. */
+    bool evictOneLocked();
+
+    /** Decode a serialized column image into sign-extended elements. */
+    static std::vector<int64_t> decodeRaw(const std::vector<uint8_t> &raw,
+                                          size_t elem_size);
+
+    mutable std::mutex mutex_;
     std::vector<std::unique_ptr<modules::ColumnBuffer>> buffers_;
-    uint64_t nextAddr_ = 0;
+    /** name -> index into buffers_ (kept in sync on swap-and-pop). */
+    std::unordered_map<std::string, size_t> index_;
+    /** name -> its reservation, for release/replace. */
+    std::unordered_map<std::string, Block> reservations_;
+    /** Free blocks keyed by address (coalescing needs address order). */
+    std::map<uint64_t, uint64_t> freeBlocks_;
+    uint64_t bumpAddr_ = 0;
+    uint64_t usedBytes_ = 0;
+    uint64_t capacity_;
+
+    std::unordered_map<std::string, CacheEntry> cache_;
+    uint64_t cacheCapacity_;
+    uint64_t cachedBytes_ = 0;
+    uint64_t lruTick_ = 0;
+    CacheStats cacheStats_;
 };
 
 } // namespace genesis::runtime

@@ -16,6 +16,17 @@ DmaConfig::pcie4()
     return DmaConfig{"pcie4", 32.0e9, 20e-6};
 }
 
+DmaConfig
+DmaConfig::fromName(const std::string &name)
+{
+    if (name == "pcie3")
+        return pcie3();
+    if (name == "pcie4")
+        return pcie4();
+    fatal("unknown DMA preset '%s' (expected pcie3 or pcie4)",
+          name.c_str());
+}
+
 double
 transferSeconds(const DmaConfig &config, uint64_t bytes)
 {

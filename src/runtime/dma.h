@@ -29,6 +29,8 @@ struct DmaConfig {
     static DmaConfig pcie3();
     /** The paper's projected PCIe 4.0 interconnect (32 GB/s). */
     static DmaConfig pcie4();
+    /** Preset lookup by name ("pcie3" / "pcie4"); fatal on unknown. */
+    static DmaConfig fromName(const std::string &name);
 };
 
 /** @return seconds to move `bytes` over the interconnect (one transfer). */

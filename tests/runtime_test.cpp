@@ -78,6 +78,189 @@ TEST(DeviceMemory, FindByName)
     EXPECT_EQ(mem.find("y"), nullptr);
 }
 
+TEST(DeviceMemory, DuplicateUploadReplacesInPlace)
+{
+    DeviceMemory mem;
+    auto *first = mem.upload("x", {1, 2, 3}, {1, 1, 1}, 8);
+    const uint64_t used_after_first = mem.allocatedBytes();
+    auto *second = mem.upload("x", {9}, {1}, 8);
+    // Replace in place: module pointers to the buffer stay valid and
+    // find() sees the fresh image, not a stale first upload.
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(mem.find("x"), first);
+    EXPECT_EQ(first->elements, (std::vector<int64_t>{9}));
+    EXPECT_EQ(mem.buffers().size(), 1u);
+    EXPECT_LE(mem.allocatedBytes(), used_after_first);
+}
+
+TEST(DeviceMemory, DuplicateAllocateReplacesInPlace)
+{
+    DeviceMemory mem;
+    auto *first = mem.allocate("out", 4);
+    first->appendRow({42});
+    auto *second = mem.allocate("out", 8);
+    EXPECT_EQ(second, first);
+    EXPECT_TRUE(first->elements.empty());
+    EXPECT_EQ(first->elemSizeBytes, 8u);
+    EXPECT_EQ(mem.buffers().size(), 1u);
+}
+
+TEST(DeviceMemory, NegativeValuesRoundTripAtEveryElemSize)
+{
+    struct Case {
+        table::DataType type;
+        int64_t value;
+    };
+    const Case cases[] = {
+        {table::DataType::UInt8, -1},
+        {table::DataType::UInt16, -300},
+        {table::DataType::UInt32, -70000},
+        {table::DataType::Int64, -5000000000LL},
+    };
+    for (const auto &c : cases) {
+        DeviceMemory mem;
+        table::Column col("V", c.type);
+        col.appendScalar(c.value);
+        col.appendScalar(17);
+        auto *buf = mem.upload("V", col);
+        ASSERT_EQ(buf->elements.size(), 2u);
+        // The device element type is int64: sub-8-byte elements must
+        // sign-extend, not zero-extend into huge positives.
+        EXPECT_EQ(buf->elements[0], c.value)
+            << table::dataTypeName(c.type);
+        EXPECT_EQ(buf->elements[1], 17) << table::dataTypeName(c.type);
+    }
+}
+
+TEST(DeviceMemory, ZeroByteReservationsGetDistinctAddresses)
+{
+    DeviceMemory mem;
+    auto *a = mem.allocate("a", 4, 0);
+    auto *b = mem.allocate("b", 4, 0);
+    EXPECT_NE(a->baseAddr, b->baseAddr);
+    EXPECT_EQ(mem.allocatedBytes(), 2 * DeviceMemory::kAlignment);
+    auto *c = mem.upload("c", {}, {}, 8); // zero-element column
+    EXPECT_NE(c->baseAddr, a->baseAddr);
+    EXPECT_NE(c->baseAddr, b->baseAddr);
+}
+
+TEST(DeviceMemory, ReserveOverflowFailsLoudly)
+{
+    DeviceMemory mem;
+    EXPECT_THROW(
+        mem.allocate("huge", 8, std::numeric_limits<uint64_t>::max()),
+        FatalError);
+}
+
+TEST(DeviceMemory, CapacityIsEnforced)
+{
+    DeviceMemory mem(1 << 20); // 1 MB card
+    EXPECT_THROW(mem.allocate("big", 8, 2 << 20), FatalError);
+    mem.allocate("fits", 8, 1 << 20); // exactly the card
+    EXPECT_THROW(mem.allocate("more", 8, 1), FatalError);
+}
+
+TEST(DeviceMemory, ReleasedSpaceIsReused)
+{
+    DeviceMemory mem(16 * DeviceMemory::kAlignment);
+    auto *a = mem.allocate("a", 8, DeviceMemory::kAlignment);
+    const uint64_t addr = a->baseAddr;
+    mem.allocate("b", 8, DeviceMemory::kAlignment);
+    ASSERT_TRUE(mem.release("a"));
+    EXPECT_EQ(mem.find("a"), nullptr);
+    auto *c = mem.allocate("c", 8, DeviceMemory::kAlignment);
+    EXPECT_EQ(c->baseAddr, addr); // first fit reuses the freed hole
+    EXPECT_EQ(c->baseAddr % DeviceMemory::kAlignment, 0u);
+    EXPECT_FALSE(mem.release("never-existed"));
+}
+
+TEST(DeviceMemory, FreedNeighboursCoalesceForLargerAllocations)
+{
+    DeviceMemory mem(4 * DeviceMemory::kAlignment);
+    mem.allocate("a", 8, DeviceMemory::kAlignment);
+    mem.allocate("b", 8, DeviceMemory::kAlignment);
+    mem.allocate("c", 8, DeviceMemory::kAlignment);
+    mem.allocate("d", 8, DeviceMemory::kAlignment); // card is now full
+    EXPECT_THROW(mem.allocate("e", 8, 1), FatalError);
+    mem.release("a");
+    mem.release("b");
+    // The two freed granules coalesce into one hole big enough for a
+    // double-size buffer.
+    auto *ab = mem.allocate("ab", 8, 2 * DeviceMemory::kAlignment);
+    EXPECT_EQ(ab->baseAddr, 0u);
+}
+
+TEST(DeviceMemory, CacheHitSkipsUploadAndIsBitIdentical)
+{
+    DeviceMemory mem;
+    const std::vector<int64_t> data{1, -2, 3};
+    const std::vector<uint32_t> rows{1, 1, 1};
+    auto cold = mem.acquireCached("t.QUAL", data, rows, 4);
+    ASSERT_FALSE(cold.hit);
+    mem.unpin("t.QUAL");
+    // Resident key: the passed data is ignored, the cached image wins.
+    auto warm = mem.acquireCached("t.QUAL", {}, {}, 4);
+    EXPECT_TRUE(warm.hit);
+    EXPECT_EQ(warm.buffer, cold.buffer);
+    EXPECT_EQ(warm.buffer->elements, data);
+    EXPECT_EQ(warm.buffer->rowLengths, rows);
+    mem.unpin("t.QUAL");
+    auto stats = mem.cacheStats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(DeviceMemory, CacheEvictsLeastRecentlyUsed)
+{
+    DeviceMemory mem;
+    mem.setCacheCapacity(2 * DeviceMemory::kAlignment);
+    auto insert = [&](const char *key) {
+        mem.acquireCached(key, {1}, {1}, 8);
+        mem.unpin(key);
+    };
+    insert("k1");
+    insert("k2");
+    mem.acquireCached("k1", {}, {}, 8); // touch k1: k2 is now the LRU
+    mem.unpin("k1");
+    insert("k3");
+    EXPECT_EQ(mem.cacheStats().evictions, 1u);
+    EXPECT_TRUE(mem.acquireCached("k1", {1}, {1}, 8).hit);
+    mem.unpin("k1");
+    EXPECT_FALSE(mem.acquireCached("k2", {1}, {1}, 8).hit); // evicted
+    mem.unpin("k2");
+}
+
+TEST(DeviceMemory, PinnedColumnsAreNeverEvicted)
+{
+    DeviceMemory mem;
+    mem.setCacheCapacity(DeviceMemory::kAlignment); // one-entry cache
+    auto a = mem.acquireCached("a", {1}, {1}, 8);   // stays pinned
+    ASSERT_FALSE(a.hit);
+    EXPECT_THROW(mem.acquireCached("b", {2}, {1}, 8), FatalError);
+    mem.unpin("a");
+    auto b = mem.acquireCached("b", {2}, {1}, 8); // now a is evictable
+    EXPECT_FALSE(b.hit);
+    EXPECT_EQ(mem.cacheStats().evictions, 1u);
+    mem.unpin("b");
+}
+
+TEST(DeviceMemory, CachedColumnsRejectDirectReleaseAndReupload)
+{
+    DeviceMemory mem;
+    mem.acquireCached("k", {1}, {1}, 8);
+    EXPECT_THROW(mem.release("k"), FatalError);
+    EXPECT_THROW(mem.upload("k", {2}, {1}, 8), FatalError);
+    mem.unpin("k");
+}
+
+TEST(DeviceMemory, CacheKeyCannotShadowUncachedBuffer)
+{
+    DeviceMemory mem;
+    mem.upload("x", {1}, {1}, 8);
+    EXPECT_THROW(mem.acquireCached("x", {1}, {1}, 8), FatalError);
+}
+
 TEST(Session, TimingSplitsHostDmaAccel)
 {
     RuntimeConfig cfg;
@@ -174,6 +357,42 @@ TEST(Session, AccelTimeCreditedExactlyOnceAcrossJoinPaths)
     session.wait();
     session.wait();
     EXPECT_DOUBLE_EQ(session.timing().accelSeconds, credited);
+}
+
+TEST(Session, SharedDeviceMemorySurvivesSession)
+{
+    DeviceMemory board;
+    {
+        AcceleratorSession session(RuntimeConfig{}, &board);
+        session.configureMem("col", {7}, {1}, 8);
+    }
+    // Board-persistent memory is not torn down with the session.
+    ASSERT_NE(board.find("col"), nullptr);
+    EXPECT_EQ(board.find("col")->elements[0], 7);
+    EXPECT_TRUE(board.release("col"));
+}
+
+TEST(Session, ConfigureMemCachedChargesDmaOnlyOnMiss)
+{
+    DeviceMemory board;
+    RuntimeConfig cfg;
+
+    AcceleratorSession cold_session(cfg, &board);
+    auto cold = cold_session.configureMemCached("tbl.POS", {1, 2, 3},
+                                                {1, 1, 1}, 4);
+    EXPECT_FALSE(cold.hit);
+    EXPECT_GT(cold_session.timing().dmaSeconds, 0.0);
+    board.unpin("tbl.POS");
+
+    AcceleratorSession warm_session(cfg, &board);
+    auto warm = warm_session.configureMemCached("tbl.POS", {1, 2, 3},
+                                                {1, 1, 1}, 4);
+    EXPECT_TRUE(warm.hit);
+    // The whole point of the cache: a resident column costs no DMA-in.
+    EXPECT_DOUBLE_EQ(warm_session.timing().dmaSeconds, 0.0);
+    EXPECT_EQ(warm.buffer, cold.buffer);
+    EXPECT_EQ(warm.buffer->elements, cold.buffer->elements);
+    board.unpin("tbl.POS");
 }
 
 TEST(Timing, BreakdownPercentagesAndAccumulate)
@@ -542,6 +761,66 @@ TEST(Batch, ShardsAcrossLanesMergeResultsAndTiming)
     EXPECT_GT(stats.timing.accelSeconds, 0.0);
     EXPECT_GT(stats.timing.dmaSeconds, 0.0);
     EXPECT_GE(stats.wallSeconds, 0.0);
+}
+
+TEST(Batch, SharedDeviceMemoryReusesCachedColumns)
+{
+    constexpr size_t kShards = 6;
+    DeviceMemory board;
+    BatchConfig cfg;
+    cfg.numLanes = 2;
+    cfg.sharedDevice = &board;
+    BatchRunner runner(cfg);
+
+    int64_t results[kShards] = {};
+    BatchStats stats = runner.run(
+        kShards,
+        [](size_t shard, AcceleratorSession &session) {
+            // Shared board: per-shard output names, one cached input
+            // shared by every shard.
+            auto in = session.configureMemCached("tbl.VALS", {5, 6, 7},
+                                                 {1, 1, 1}, 4);
+            std::string out_name =
+                "s" + std::to_string(shard) + ".OUT";
+            auto *out = session.configureOutput(out_name, 4);
+            auto *q = session.sim().makeQueue("q");
+            auto *sum_q = session.sim().makeQueue("sum");
+            session.sim().make<modules::MemoryReader>(
+                "rd", in.buffer, session.sim().memory().makePort(0), q,
+                modules::MemoryReaderConfig{});
+            modules::ReducerConfig red;
+            red.op = modules::ReduceOp::Sum;
+            session.sim().make<modules::Reducer>("sum", q, sum_q, red);
+            modules::MemoryWriterConfig wr;
+            session.sim().make<modules::MemoryWriter>(
+                "wr", out, session.sim().memory().makePort(0), sum_q,
+                wr);
+        },
+        [&](size_t shard, AcceleratorSession &session) {
+            std::string out_name =
+                "s" + std::to_string(shard) + ".OUT";
+            const auto *flushed = session.flush(out_name);
+            ASSERT_EQ(flushed->elements.size(), 1u);
+            results[shard] = flushed->elements[0];
+            session.deviceMemory().unpin("tbl.VALS");
+            session.deviceMemory().release(out_name);
+        });
+
+    for (size_t s = 0; s < kShards; ++s)
+        EXPECT_EQ(results[s], 18);
+    EXPECT_EQ(stats.shards, kShards);
+    // One miss uploaded the column; every other shard hit it.
+    auto cache = board.cacheStats();
+    EXPECT_EQ(cache.misses, 1u);
+    EXPECT_EQ(cache.hits, kShards - 1);
+}
+
+TEST(Dma, PresetLookupByName)
+{
+    EXPECT_DOUBLE_EQ(DmaConfig::fromName("pcie4").bytesPerSecond,
+                     DmaConfig::pcie4().bytesPerSecond);
+    EXPECT_EQ(DmaConfig::fromName("pcie3").name, "pcie3");
+    EXPECT_THROW(DmaConfig::fromName("carrier-pigeon"), FatalError);
 }
 
 TEST(Batch, ShardTracesMergeIntoSharedSink)
