@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/env.h"
 #include "core/bqsr_accel.h"
 #include "core/markdup_accel.h"
 #include "core/metadata_accel.h"
@@ -39,11 +40,7 @@ struct BenchWorkload {
 inline int64_t
 envPairs(int64_t default_pairs = 20'000)
 {
-    const char *env = std::getenv("GENESIS_BENCH_PAIRS");
-    if (!env)
-        return default_pairs;
-    long long v = std::atoll(env);
-    return v > 0 ? v : default_pairs;
+    return envInt64("GENESIS_BENCH_PAIRS", default_pairs, 1);
 }
 
 inline BenchWorkload

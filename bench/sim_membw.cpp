@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "base/env.h"
 #include "sim/memory.h"
 
 using namespace genesis;
@@ -197,12 +198,8 @@ main(int argc, char **argv)
         }
     }
 
-    uint64_t total_bytes = 1ull << 20;
-    if (const char *env = std::getenv("GENESIS_MEMBW_BYTES")) {
-        long long v = std::atoll(env);
-        if (v > 0)
-            total_bytes = static_cast<uint64_t>(v);
-    }
+    uint64_t total_bytes = static_cast<uint64_t>(
+        envInt64("GENESIS_MEMBW_BYTES", 1ll << 20, 1));
 
     const int kPorts = 4;
     std::vector<std::string> lines;

@@ -158,11 +158,7 @@ percentile(std::vector<double> sorted, double p)
 long long
 envJobs()
 {
-    const char *env = std::getenv("GENESIS_SERVICE_JOBS");
-    if (!env)
-        return 96;
-    long long v = std::atoll(env);
-    return v > 0 ? v : 96;
+    return envInt64("GENESIS_SERVICE_JOBS", 96, 1);
 }
 
 const char *kTenants[] = {"tenantA", "tenantB", "tenantC", "tenantD"};

@@ -2,8 +2,8 @@
 """Perf-regression guard for the simulator benches.
 
 Runs bench/sim_throughput, bench/sim_multipipe, bench/sim_membw,
-bench/sim_service and bench/sql_join, collects wall-clock metrics, and
-compares them against a committed
+bench/sim_service, bench/sim_dse and bench/sql_join, collects
+wall-clock metrics, and compares them against a committed
 baseline (bench/perf_baseline.json). Any metric that regresses by more
 than the tolerance (default 15%) fails the run, so host-side slowdowns
 in the simulator core are caught in CI rather than discovered months
@@ -112,6 +112,16 @@ def collect_once(bench_dir):
             if rec.get("phase") == "calibration":
                 metrics["sim_service.mean_service_seconds"] = \
                     rec["mean_service_seconds"]
+
+    # DSE sweep: a shrunken grid (small synthetic workload) timed end to
+    # end; guards the whole sweep path (96 simulations farmed across
+    # cores plus the model joins). --check also gates frontier sanity
+    # on every guard run.
+    dse_env = dict(BENCH_ENV)
+    dse_env["GENESIS_DSE_PAIRS"] = "60"
+    wall, _ = run_timed(
+        [os.path.join(bench_dir, "sim_dse"), "--check"], dse_env)
+    metrics["sim_dse.wall_seconds"] = wall
 
     # SQL join suite: per-mode totals plus the optimizer/vectorizer
     # speedups. The bench itself verifies result parity across modes

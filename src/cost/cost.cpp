@@ -56,6 +56,24 @@ runCost(double seconds, const InstanceSpec &instance)
     return seconds / 3600.0 * instance.dollarsPerHour;
 }
 
+double
+boardDollarsPerHour(int dram_channels, bool pcie4, bool near_bank)
+{
+    if (dram_channels < 1)
+        fatal("board needs at least one DRAM channel");
+    // Anchor: the paper's F1 board (4 channels, PCIe 3) at the
+    // f1.2xlarge price. Each channel beyond the baseline four adds
+    // board cost; PCIe 4.0 and near-bank stacks are premium parts.
+    double dollars = InstanceSpec::f1_2xlarge().dollarsPerHour;
+    if (dram_channels > 4)
+        dollars += 0.08 * static_cast<double>(dram_channels - 4);
+    if (pcie4)
+        dollars += 0.15;
+    if (near_bank)
+        dollars += 0.40;
+    return dollars;
+}
+
 CostComparison
 compareCost(const std::string &stage, double speedup,
             const InstanceSpec &baseline, const InstanceSpec &genesis)

@@ -40,6 +40,18 @@ struct InstanceSpec {
 /** @return dollars to run for the given duration on the instance. */
 double runCost(double seconds, const InstanceSpec &instance);
 
+/**
+ * Hourly price model for hypothetical F1-class board variants swept by
+ * the design-space exploration harness (src/dse). Anchored at the
+ * f1.2xlarge price for the paper's board (4 DRAM channels, PCIe 3);
+ * extra DRAM channels, a PCIe 4.0 interconnect and near-bank (PIM-style)
+ * memory stacks each carry a premium, so the cost axis of a sweep is a
+ * genuine trade-off instead of a fixed price divided by throughput.
+ * Premiums are first-order model assumptions (DESIGN.md §10), not AWS
+ * list prices.
+ */
+double boardDollarsPerHour(int dram_channels, bool pcie4, bool near_bank);
+
 /** One Table III row computed from a measured speedup. */
 struct CostComparison {
     std::string stage;

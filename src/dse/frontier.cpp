@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Pareto-frontier computation, byte-stable JSON serialization, the
+ * human-readable summary, and the CI sanity gate.
+ */
+
+#include "dse/dse.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "base/logging.h"
+
+namespace genesis::dse {
+
+namespace {
+
+/** Byte-stable double rendering (pure function of the value). */
+std::string
+jnum(double v)
+{
+    return strfmt("%.10g", v);
+}
+
+std::string
+jstr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+pointJson(const PointResult &p)
+{
+    std::string out = "{";
+    out += strfmt("\"index\": %zu, ", p.point.index);
+    out += strfmt("\"accel\": %s, ",
+                  jstr(accelName(p.point.accel)).c_str());
+    out += strfmt("\"pipelines\": %d, ", p.point.numPipelines);
+    out += strfmt("\"psize\": %lld, ",
+                  static_cast<long long>(p.point.psize));
+    out += strfmt("\"mem\": %s, ", jstr(p.point.memPreset).c_str());
+    out += strfmt("\"dma\": %s, ", jstr(p.point.dmaPreset).c_str());
+    out += strfmt("\"clock_mhz\": %s, ", jnum(p.point.clockMHz).c_str());
+    out += strfmt("\"seed\": %" PRIu64 ", ", p.point.seed);
+    out += strfmt("\"ok\": %s, ", p.ok ? "true" : "false");
+    out += strfmt("\"error\": %s, ", jstr(p.error).c_str());
+    out += strfmt("\"total_bases\": %lld, ",
+                  static_cast<long long>(p.totalBases));
+    out += strfmt("\"cycles\": %" PRIu64 ", ", p.cycles);
+    out += strfmt("\"accel_seconds\": %s, ",
+                  jnum(p.accelSeconds).c_str());
+    out += strfmt("\"dma_seconds\": %s, ", jnum(p.dmaSeconds).c_str());
+    out += strfmt("\"bases_per_second\": %s, ",
+                  jnum(p.basesPerSecond).c_str());
+    out += strfmt("\"dollars_per_hour\": %s, ",
+                  jnum(p.dollarsPerHour).c_str());
+    out += strfmt("\"dollars_per_genome\": %s, ",
+                  jnum(p.dollarsPerGenome).c_str());
+    out += strfmt("\"luts\": %" PRIu64 ", ", p.luts);
+    out += strfmt("\"registers\": %" PRIu64 ", ", p.registers);
+    out += strfmt("\"bram_mib\": %s, ", jnum(p.bramMiB).c_str());
+    out += strfmt("\"lut_pct\": %s, ", jnum(p.lutPct).c_str());
+    out += strfmt("\"reg_pct\": %s, ", jnum(p.regPct).c_str());
+    out += strfmt("\"bram_pct\": %s, ", jnum(p.bramPct).c_str());
+    out += strfmt("\"max_util_pct\": %s, ",
+                  jnum(p.maxUtilPct).c_str());
+    out += strfmt("\"fits\": %s}", p.fits ? "true" : "false");
+    return out;
+}
+
+} // namespace
+
+bool
+dominates(const PointResult &a, const PointResult &b)
+{
+    bool no_worse = a.basesPerSecond >= b.basesPerSecond &&
+        a.dollarsPerGenome <= b.dollarsPerGenome &&
+        a.maxUtilPct <= b.maxUtilPct;
+    bool better = a.basesPerSecond > b.basesPerSecond ||
+        a.dollarsPerGenome < b.dollarsPerGenome ||
+        a.maxUtilPct < b.maxUtilPct;
+    return no_worse && better;
+}
+
+std::vector<size_t>
+paretoFrontier(const std::vector<PointResult> &points,
+               const std::vector<size_t> &candidates)
+{
+    std::vector<size_t> frontier;
+    for (size_t i : candidates) {
+        bool dominated = false;
+        for (size_t j : candidates) {
+            if (i != j && dominates(points[j], points[i])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    std::sort(frontier.begin(), frontier.end());
+    return frontier;
+}
+
+std::string
+toJson(const SweepResult &result)
+{
+    std::string out = "{\"bench\": \"sim_dse\", ";
+    out += strfmt("\"seed\": %" PRIu64 ", ", result.spec.seed);
+    out += strfmt("\"num_pairs\": %lld, ",
+                  static_cast<long long>(result.spec.numPairs));
+    out += strfmt("\"per_point_workloads\": %s, ",
+                  result.spec.perPointWorkloads ? "true" : "false");
+    out += strfmt("\"num_points\": %zu, ", result.points.size());
+    out += "\"points\": [";
+    for (size_t i = 0; i < result.points.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\n  " + pointJson(result.points[i]);
+    }
+    out += "],\n \"frontiers\": {";
+    bool first_accel = true;
+    for (const auto &[name, indices] : result.frontiers) {
+        if (!first_accel)
+            out += ", ";
+        first_accel = false;
+        out += jstr(name) + ": [";
+        for (size_t i = 0; i < indices.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += strfmt("%zu", indices[i]);
+        }
+        out += "]";
+    }
+    out += "}}\n";
+    return out;
+}
+
+std::string
+summary(const SweepResult &result)
+{
+    size_t failed = 0;
+    size_t misfit = 0;
+    for (const auto &p : result.points) {
+        if (!p.ok)
+            ++failed;
+        else if (!p.fits)
+            ++misfit;
+    }
+    std::string out = strfmt(
+        "sim_dse sweep: %zu points (%zu accels x %zu pipelines x %zu "
+        "psizes x %zu mem x %zu dma x %zu clocks), %zu failed, %zu "
+        "over-capacity\n",
+        result.points.size(), result.spec.accels.size(),
+        result.spec.pipelines.size(), result.spec.psizes.size(),
+        result.spec.memPresets.size(), result.spec.dmaPresets.size(),
+        result.spec.clocksMHz.size(), failed, misfit);
+    for (const auto &p : result.points) {
+        if (!p.ok) {
+            out += strfmt("  point %zu (%s): %s\n", p.point.index,
+                          accelName(p.point.accel), p.error.c_str());
+        }
+    }
+    for (const auto &[name, indices] : result.frontiers) {
+        size_t eligible = 0;
+        for (const auto &p : result.points) {
+            if (accelName(p.point.accel) == name && p.ok && p.fits)
+                ++eligible;
+        }
+        out += strfmt("frontier[%s]: %zu of %zu feasible points\n",
+                      name.c_str(), indices.size(), eligible);
+        out += "  idx  pipes      psize  mem          dma    MHz   "
+               "Mbp/s  $/genome  util%\n";
+        for (size_t i : indices) {
+            const PointResult &p = result.points[i];
+            out += strfmt(
+                "  %3zu  %5d  %9lld  %-11s  %-5s  %5.0f  %6.1f  "
+                "%8.2f  %5.1f\n",
+                p.point.index, p.point.numPipelines,
+                static_cast<long long>(p.point.psize),
+                p.point.memPreset.c_str(), p.point.dmaPreset.c_str(),
+                p.point.clockMHz, p.basesPerSecond / 1e6,
+                p.dollarsPerGenome, p.maxUtilPct);
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+checkFrontier(const SweepResult &result)
+{
+    std::vector<std::string> problems;
+    for (const auto &[name, frontier] : result.frontiers) {
+        std::vector<size_t> eligible;
+        for (size_t i = 0; i < result.points.size(); ++i) {
+            const PointResult &p = result.points[i];
+            if (accelName(p.point.accel) == name && p.ok && p.fits)
+                eligible.push_back(i);
+        }
+        if (eligible.empty()) {
+            problems.push_back(strfmt(
+                "frontier[%s]: no feasible points to build a frontier "
+                "from", name.c_str()));
+            continue;
+        }
+        if (frontier.empty()) {
+            problems.push_back(strfmt(
+                "frontier[%s]: empty despite %zu feasible points",
+                name.c_str(), eligible.size()));
+            continue;
+        }
+        for (size_t i : frontier) {
+            if (i >= result.points.size()) {
+                problems.push_back(strfmt(
+                    "frontier[%s]: index %zu out of range",
+                    name.c_str(), i));
+                continue;
+            }
+            const PointResult &p = result.points[i];
+            if (!p.ok || !p.fits) {
+                problems.push_back(strfmt(
+                    "frontier[%s]: point %zu is not feasible",
+                    name.c_str(), i));
+            }
+            // Monotone front: no eligible point may dominate a
+            // frontier point (a front that "dips" has exactly such a
+            // dominating point).
+            for (size_t j : eligible) {
+                if (j != i &&
+                    dominates(result.points[j], result.points[i])) {
+                    problems.push_back(strfmt(
+                        "frontier[%s]: point %zu is dominated by "
+                        "point %zu", name.c_str(), i, j));
+                }
+            }
+        }
+        // Coverage: every feasible non-frontier point must be dominated
+        // by some frontier point (otherwise it belongs on the front).
+        for (size_t j : eligible) {
+            if (std::find(frontier.begin(), frontier.end(), j) !=
+                frontier.end()) {
+                continue;
+            }
+            bool covered = false;
+            for (size_t i : frontier) {
+                if (dominates(result.points[i], result.points[j])) {
+                    covered = true;
+                    break;
+                }
+            }
+            if (!covered) {
+                problems.push_back(strfmt(
+                    "frontier[%s]: feasible point %zu is neither on "
+                    "the front nor dominated", name.c_str(), j));
+            }
+        }
+    }
+    return problems;
+}
+
+} // namespace genesis::dse

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Sweep specification: memory presets, axis validation, and the
+ * deterministic grid enumeration.
+ */
+
+#include "dse/dse.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace genesis::dse {
+
+const char *
+accelName(Accel accel)
+{
+    switch (accel) {
+      case Accel::MarkDup: return "markdup";
+      case Accel::Metadata: return "metadata";
+      case Accel::Bqsr: return "bqsr";
+    }
+    panic("unknown accel enum value %d", static_cast<int>(accel));
+}
+
+const std::vector<MemPreset> &
+builtinMemPresets()
+{
+    static const std::vector<MemPreset> presets = [] {
+        std::vector<MemPreset> p;
+
+        // The paper's F1 card: 4 DDR4 channels, 16 B/cycle each.
+        MemPreset ddr4;
+        ddr4.name = "f1-ddr4";
+        p.push_back(ddr4);
+
+        // Same DDR4 timing, doubled channel count (a wider board).
+        MemPreset ddr8 = ddr4;
+        ddr8.name = "f1-ddr4-8ch";
+        ddr8.memory.numChannels = 8;
+        p.push_back(ddr8);
+
+        // HBM-style stack: many channels, wider bus, slightly better
+        // access latency, smaller rows.
+        MemPreset hbm;
+        hbm.name = "hbm";
+        hbm.memory.numChannels = 8;
+        hbm.memory.banksPerChannel = 16;
+        hbm.memory.bytesPerCyclePerChannel = 32;
+        hbm.memory.latencyCycles = 28;
+        hbm.memory.rowBytes = 1024;
+        p.push_back(hbm);
+
+        // Near-bank / PIM-style organization (Ben-Hur et al.): compute
+        // sits beside the banks, so per-access latency collapses and
+        // channel-level parallelism is abundant; most column traffic is
+        // resident in the stacks, so only a quarter of the modeled DMA
+        // time crosses PCIe.
+        MemPreset pim;
+        pim.name = "pim";
+        pim.memory.numChannels = 16;
+        pim.memory.banksPerChannel = 16;
+        pim.memory.bytesPerCyclePerChannel = 32;
+        pim.memory.latencyCycles = 8;
+        pim.memory.rowHitLatencyCycles = 4;
+        pim.memory.accessGranularity = 32;
+        pim.memory.rowBytes = 1024;
+        pim.memory.maxBurstBytes = 128;
+        pim.memory.portQueueDepth = 16;
+        pim.nearBank = true;
+        pim.dmaTrafficFraction = 0.25;
+        p.push_back(pim);
+        return p;
+    }();
+    return presets;
+}
+
+size_t
+SweepSpec::numPoints() const
+{
+    return accels.size() * pipelines.size() * psizes.size() *
+        memPresets.size() * dmaPresets.size() * clocksMHz.size();
+}
+
+std::vector<std::string>
+SweepSpec::validate() const
+{
+    std::vector<std::string> errors;
+    auto requireAxis = [&errors](bool empty, const char *field) {
+        if (empty)
+            errors.push_back(std::string(field) + ": axis is empty");
+    };
+    requireAxis(accels.empty(), "accels");
+    requireAxis(pipelines.empty(), "pipelines");
+    requireAxis(psizes.empty(), "psizes");
+    requireAxis(memPresets.empty(), "memPresets");
+    requireAxis(dmaPresets.empty(), "dmaPresets");
+    requireAxis(clocksMHz.empty(), "clocksMHz");
+
+    for (size_t i = 0; i < pipelines.size(); ++i) {
+        if (pipelines[i] < 1) {
+            errors.push_back(strfmt("pipelines[%zu]: must be >= 1 "
+                                    "(got %d)", i, pipelines[i]));
+        }
+    }
+    for (size_t i = 0; i < psizes.size(); ++i) {
+        if (psizes[i] < 1) {
+            errors.push_back(strfmt(
+                "psizes[%zu]: SPM partition must hold at least one base "
+                "pair (got %lld)", i,
+                static_cast<long long>(psizes[i])));
+        }
+    }
+    for (size_t i = 0; i < clocksMHz.size(); ++i) {
+        if (!(clocksMHz[i] > 0) || !std::isfinite(clocksMHz[i])) {
+            errors.push_back(strfmt("clocksMHz[%zu]: must be a positive "
+                                    "finite frequency (got %g)", i,
+                                    clocksMHz[i]));
+        }
+    }
+    if (numPairs < 1) {
+        errors.push_back(strfmt("numPairs: must be >= 1 (got %lld)",
+                                static_cast<long long>(numPairs)));
+    }
+    return errors;
+}
+
+std::vector<SweepPoint>
+enumeratePoints(const SweepSpec &spec)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(spec.numPoints());
+    size_t index = 0;
+    for (Accel accel : spec.accels) {
+        for (int pipes : spec.pipelines) {
+            for (int64_t psize : spec.psizes) {
+                for (const std::string &mem : spec.memPresets) {
+                    for (const std::string &dma : spec.dmaPresets) {
+                        for (double clock : spec.clocksMHz) {
+                            SweepPoint pt;
+                            pt.index = index;
+                            pt.accel = accel;
+                            pt.numPipelines = pipes;
+                            pt.psize = psize;
+                            pt.memPreset = mem;
+                            pt.dmaPreset = dma;
+                            pt.clockMHz = clock;
+                            // splitmix64-style per-point seed: stable
+                            // under any farming order.
+                            pt.seed = spec.seed ^
+                                (0x9E3779B97F4A7C15ull *
+                                 static_cast<uint64_t>(index + 1));
+                            points.push_back(std::move(pt));
+                            ++index;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace genesis::dse

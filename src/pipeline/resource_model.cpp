@@ -87,15 +87,22 @@ estimateResources(const HardwareCensus &census)
 std::string
 ResourceUsage::str(const std::string &title) const
 {
+    // Small configurations (DSE sweep points routinely sit well below
+    // 1 K LUTs) must not integer-divide to "0K": render the counts with
+    // one fractional digit from the double instead.
     std::ostringstream os;
-    os.precision(2);
+    os.precision(1);
     os << std::fixed;
     os << title << "\n"
-       << "  CLB Lookup Tables  " << luts / 1000 << "K / "
-       << kAvailableLuts / 1000 << "K  (" << lutUtilization() << "%)\n"
-       << "  CLB Registers      " << registers / 1000 << "K / "
-       << kAvailableRegisters / 1000 << "K  (" << registerUtilization()
-       << "%)\n"
+       << "  CLB Lookup Tables  " << luts / 1000.0 << "K / "
+       << kAvailableLuts / 1000 << "K  (";
+    os.precision(2);
+    os << lutUtilization() << "%)\n";
+    os.precision(1);
+    os << "  CLB Registers      " << registers / 1000.0 << "K / "
+       << kAvailableRegisters / 1000 << "K  (";
+    os.precision(2);
+    os << registerUtilization() << "%)\n"
        << "  BRAMs              " << bramMiB << " MB / "
        << kAvailableBramMiB << " MB  (" << bramUtilization() << "%)\n";
     return os.str();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <shared_mutex>
 #include <sstream>
@@ -40,6 +41,41 @@ TimingBreakdown::str() const
     return os.str();
 }
 
+// --- RuntimeConfig --------------------------------------------------------
+
+std::vector<std::string>
+validate(const RuntimeConfig &config)
+{
+    std::vector<std::string> errors;
+    if (!(config.clockHz > 0) || !std::isfinite(config.clockHz)) {
+        errors.push_back(strfmt("clockHz: accelerator clock must be a "
+                                "positive finite frequency (got %g)",
+                                config.clockHz));
+    }
+    if (!(config.dma.bytesPerSecond > 0) ||
+        !std::isfinite(config.dma.bytesPerSecond)) {
+        errors.push_back(strfmt("dma.bytesPerSecond: interconnect "
+                                "bandwidth must be positive (got %g)",
+                                config.dma.bytesPerSecond));
+    }
+    if (config.dma.perTransferLatency < 0) {
+        errors.push_back(strfmt("dma.perTransferLatency: must be "
+                                "non-negative (got %g)",
+                                config.dma.perTransferLatency));
+    }
+    if (config.simThreads < 0) {
+        errors.push_back(strfmt("simThreads: must be >= 0 (got %d)",
+                                config.simThreads));
+    }
+    if (config.concurrentSessions < 1) {
+        errors.push_back(strfmt("concurrentSessions: must be >= 1 "
+                                "(got %d)", config.concurrentSessions));
+    }
+    for (const auto &e : sim::validate(config.memory))
+        errors.push_back("memory." + e);
+    return errors;
+}
+
 // --- AcceleratorSession ---------------------------------------------------
 
 AcceleratorSession::AcceleratorSession(const RuntimeConfig &config)
@@ -49,17 +85,25 @@ AcceleratorSession::AcceleratorSession(const RuntimeConfig &config)
 
 AcceleratorSession::AcceleratorSession(const RuntimeConfig &config,
                                        DeviceMemory *device)
-    : config_(config),
-      sim_(std::make_unique<sim::Simulator>(config.memory))
+    : config_(config)
 {
+    // Validate before constructing the simulator so every invalid field
+    // is reported by name in one shot (the MemorySystem constructor
+    // would otherwise fatal on the first memory problem alone).
+    std::vector<std::string> errors = validate(config_);
+    if (!errors.empty()) {
+        std::string joined;
+        for (const auto &e : errors)
+            joined += (joined.empty() ? "" : "; ") + e;
+        fatal("invalid RuntimeConfig: %s", joined.c_str());
+    }
+    sim_ = std::make_unique<sim::Simulator>(config.memory);
     if (device) {
         device_ = device;
     } else {
         ownedDevice_ = std::make_unique<DeviceMemory>();
         device_ = ownedDevice_.get();
     }
-    if (config_.clockHz <= 0)
-        fatal("accelerator clock must be positive");
     sim::ThreadPolicy threads;
     threads.requested = config_.simThreads;
     threads.concurrentSessions = config_.concurrentSessions;

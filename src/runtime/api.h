@@ -38,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "runtime/device.h"
 #include "runtime/dma.h"
@@ -85,6 +86,17 @@ struct RuntimeConfig {
      */
     int concurrentSessions = 1;
 };
+
+/**
+ * Up-front validation of one runtime configuration. Returns one
+ * "<field>: <problem>" line per invalid field (empty = valid); nested
+ * memory-model problems are prefixed "memory.". AcceleratorSession's
+ * constructor fatals with these messages, so a bad configuration fails
+ * cleanly at session creation (naming the knob) instead of deep inside
+ * the models or — for clockHz <= 0, which used to produce infinite or
+ * negative simulated seconds — silently mis-simulating.
+ */
+std::vector<std::string> validate(const RuntimeConfig &config);
 
 /** Host / communication / accelerator runtime split (Figure 13(b)). */
 struct TimingBreakdown {

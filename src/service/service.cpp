@@ -4,21 +4,19 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "base/env.h"
 #include "base/logging.h"
 
 namespace genesis::service {
 
 namespace {
 
-/** Read a positive integer env override, else `fallback`. */
+/** Read a positive integer env override, else `fallback`. Malformed or
+ *  non-positive values warn and fall back (base/env.h strict parse). */
 long long
 envLong(const char *name, long long fallback)
 {
-    const char *env = std::getenv(name);
-    if (!env || !*env)
-        return fallback;
-    long long v = std::atoll(env);
-    return v > 0 ? v : fallback;
+    return envInt64(name, fallback, 1);
 }
 
 double

@@ -125,27 +125,62 @@ MemoryPort::takeCompletedReadBytes()
     return bytes;
 }
 
+std::vector<std::string>
+validate(const MemoryConfig &config)
+{
+    std::vector<std::string> errors;
+    if (config.numChannels < 1) {
+        errors.push_back(strfmt("numChannels: need at least one channel "
+                                "(got %d)", config.numChannels));
+    }
+    if (config.bytesPerCyclePerChannel == 0) {
+        errors.push_back("bytesPerCyclePerChannel: channel bandwidth "
+                         "must be non-zero");
+    }
+    if (config.accessGranularity == 0 ||
+        (config.accessGranularity & (config.accessGranularity - 1))) {
+        errors.push_back(strfmt("accessGranularity: %u is not a non-zero "
+                                "power of two", config.accessGranularity));
+    }
+    if (config.banksPerChannel < 1) {
+        errors.push_back(strfmt("banksPerChannel: need at least one bank "
+                                "per channel (got %d)",
+                                config.banksPerChannel));
+    }
+    // Row/burst constraints are relative to the granularity; only check
+    // them when the granularity itself is sane to avoid noise.
+    if (config.accessGranularity != 0 &&
+        !(config.accessGranularity & (config.accessGranularity - 1))) {
+        if (config.rowBytes < config.accessGranularity ||
+            config.rowBytes % config.accessGranularity) {
+            errors.push_back(strfmt(
+                "rowBytes: row size %u must be a non-zero multiple of "
+                "the %u B granularity", config.rowBytes,
+                config.accessGranularity));
+        }
+        if (config.maxBurstBytes < config.accessGranularity) {
+            errors.push_back(strfmt(
+                "maxBurstBytes: max burst %u below the %u B access "
+                "granularity", config.maxBurstBytes,
+                config.accessGranularity));
+        }
+    }
+    if (config.portQueueDepth == 0) {
+        errors.push_back("portQueueDepth: a zero-depth port queue can "
+                         "never issue (provable deadlock)");
+    }
+    return errors;
+}
+
 MemorySystem::MemorySystem(const MemoryConfig &config) : config_(config)
 {
-    if (config_.numChannels < 1)
-        fatal("memory system needs at least one channel");
-    if (config_.bytesPerCyclePerChannel == 0)
-        fatal("channel bandwidth must be non-zero");
-    if (config_.accessGranularity == 0 ||
-        (config_.accessGranularity & (config_.accessGranularity - 1))) {
-        fatal("access granularity %u is not a non-zero power of two",
-              config_.accessGranularity);
+    std::vector<std::string> errors = validate(config_);
+    if (!errors.empty()) {
+        std::string joined;
+        for (const auto &e : errors)
+            joined += (joined.empty() ? "" : "; ") + e;
+        fatal("invalid MemoryConfig: %s", joined.c_str());
     }
-    if (config_.banksPerChannel < 1)
-        fatal("memory system needs at least one bank per channel");
-    if (config_.rowBytes < config_.accessGranularity ||
-        config_.rowBytes % config_.accessGranularity) {
-        fatal("row size %u must be a multiple of the %u B granularity",
-              config_.rowBytes, config_.accessGranularity);
-    }
-    if (config_.maxBurstBytes < config_.accessGranularity)
-        fatal("max burst %u below access granularity",
-              config_.maxBurstBytes);
     if (config_.rowHitLatencyCycles == 0)
         config_.rowHitLatencyCycles = config_.latencyCycles / 2;
 

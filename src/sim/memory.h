@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "base/stats.h"
@@ -64,6 +65,16 @@ struct MemoryConfig {
      *  several sub-requests and briefly overshoot it. */
     size_t portQueueDepth = 8;
 };
+
+/**
+ * Up-front validation of one memory configuration. Returns one
+ * "<field>: <problem>" line per invalid field (empty = valid), so a
+ * caller sweeping arbitrary configurations (the DSE harness) can report
+ * a clean per-point error naming the offending knob instead of dying
+ * deep inside the model. MemorySystem's constructor fatals with these
+ * same messages.
+ */
+std::vector<std::string> validate(const MemoryConfig &config);
 
 class MemorySystem;
 

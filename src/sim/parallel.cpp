@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
+#include "base/env.h"
 #include "base/logging.h"
 
 namespace genesis::sim {
@@ -30,14 +32,12 @@ resolveWorkerCount(const ThreadPolicy &policy, int populated_shards,
         return 1;
 
     int requested = std::max(policy.requested, 0);
-    if (const char *env = std::getenv("GENESIS_SIM_THREADS")) {
-        char *end = nullptr;
-        long value = std::strtol(env, &end, 10);
-        if (end == env || *end != '\0' || value < 0)
-            fatal("GENESIS_SIM_THREADS='%s' is not a non-negative "
-                  "integer", env);
-        requested = static_cast<int>(value);
-    }
+    // Strict full-string parse: malformed or negative values warn and
+    // fall back to the configured request instead of silently (or
+    // fatally) misconfiguring the worker count.
+    requested = static_cast<int>(envInt64(
+        "GENESIS_SIM_THREADS", requested, 0,
+        std::numeric_limits<int>::max()));
 
     unsigned hw = hardware_threads ? hardware_threads
                                    : std::thread::hardware_concurrency();

@@ -5,16 +5,121 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "base/env.h"
 #include "base/logging.h"
 #include "base/rng.h"
 #include "base/stats.h"
 
 namespace genesis {
 namespace {
+
+/** Sets an environment variable for one scope, unsetting on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+TEST(Env, UnsetReturnsFallbackSilently)
+{
+    ::unsetenv("GENESIS_TEST_KNOB");
+    EXPECT_FALSE(parseEnvInt("GENESIS_TEST_KNOB").present);
+    EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 42), 42);
+}
+
+TEST(Env, EmptyStringIsTreatedAsUnset)
+{
+    ScopedEnv env("GENESIS_TEST_KNOB", "");
+    EXPECT_FALSE(parseEnvInt("GENESIS_TEST_KNOB").present);
+    EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 7), 7);
+}
+
+TEST(Env, ValidIntegersParse)
+{
+    {
+        ScopedEnv env("GENESIS_TEST_KNOB", "4");
+        EnvInt parsed = parseEnvInt("GENESIS_TEST_KNOB");
+        EXPECT_TRUE(parsed.present);
+        EXPECT_TRUE(parsed.valid);
+        EXPECT_EQ(parsed.value, 4);
+        EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 1), 4);
+    }
+    {
+        ScopedEnv env("GENESIS_TEST_KNOB", "-5");
+        EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 1), -5);
+    }
+    {
+        ScopedEnv env("GENESIS_TEST_KNOB", "+12");
+        EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 1), 12);
+    }
+}
+
+TEST(Env, TrailingGarbageFallsBack)
+{
+    // The historical std::atoll path silently read "4x" as 4 — a typo'd
+    // GENESIS_SERVICE_BOARDS=4x misconfigured the fleet without a word.
+    setQuiet(true);
+    ScopedEnv env("GENESIS_TEST_KNOB", "4x");
+    EnvInt parsed = parseEnvInt("GENESIS_TEST_KNOB");
+    EXPECT_TRUE(parsed.present);
+    EXPECT_FALSE(parsed.valid);
+    EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 9), 9);
+    setQuiet(false);
+}
+
+TEST(Env, NonNumericFallsBack)
+{
+    setQuiet(true);
+    ScopedEnv env("GENESIS_TEST_KNOB", "abc");
+    EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 9), 9);
+    setQuiet(false);
+}
+
+TEST(Env, LeadingWhitespaceFallsBack)
+{
+    setQuiet(true);
+    ScopedEnv env("GENESIS_TEST_KNOB", " 4");
+    EXPECT_FALSE(parseEnvInt("GENESIS_TEST_KNOB").valid);
+    EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 9), 9);
+    setQuiet(false);
+}
+
+TEST(Env, OverflowFallsBack)
+{
+    setQuiet(true);
+    ScopedEnv env("GENESIS_TEST_KNOB", "99999999999999999999999");
+    EXPECT_FALSE(parseEnvInt("GENESIS_TEST_KNOB").valid);
+    EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 9), 9);
+    setQuiet(false);
+}
+
+TEST(Env, OutOfRangeValueFallsBack)
+{
+    setQuiet(true);
+    {
+        // A parseable value below the knob's minimum is rejected, not
+        // clamped: 0 boards is as wrong as "abc" boards.
+        ScopedEnv env("GENESIS_TEST_KNOB", "0");
+        EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 3, 1), 3);
+    }
+    {
+        ScopedEnv env("GENESIS_TEST_KNOB", "500");
+        EXPECT_EQ(envInt64("GENESIS_TEST_KNOB", 3, 1, 100), 3);
+    }
+    setQuiet(false);
+}
 
 TEST(Logging, StrfmtFormats)
 {

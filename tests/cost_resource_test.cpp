@@ -125,5 +125,36 @@ TEST(Resources, ReportRenders)
     EXPECT_NE(text.find("BRAMs"), std::string::npos);
 }
 
+TEST(Resources, SmallConfigReportDoesNotRoundToZero)
+{
+    // A sweep-sized configuration (a few hundred LUTs) used to
+    // integer-divide to "0K / 895K"; the report must render the
+    // fractional kilo-count instead.
+    pipeline::ResourceUsage usage;
+    usage.luts = 400;
+    usage.registers = 650;
+    usage.bramMiB = 0.01;
+    std::string text = usage.str("tiny");
+    EXPECT_EQ(text.find("0K /"), std::string::npos) << text;
+    EXPECT_NE(text.find("0.4K"), std::string::npos) << text;
+    EXPECT_NE(text.find("0.7K"), std::string::npos) << text; // 650 rounds
+}
+
+TEST(Cost, BoardDollarsPerHourPricesTheKnobs)
+{
+    // Baseline: the paper's F1 board (4 channels, PCIe 3).
+    EXPECT_DOUBLE_EQ(cost::boardDollarsPerHour(4, false, false), 1.65);
+    // Fewer channels than the baseline still price at the anchor.
+    EXPECT_DOUBLE_EQ(cost::boardDollarsPerHour(1, false, false), 1.65);
+    // Each channel beyond four adds board cost.
+    EXPECT_DOUBLE_EQ(cost::boardDollarsPerHour(8, false, false),
+                     1.65 + 4 * 0.08);
+    // PCIe 4 and near-bank stacks are premium parts.
+    EXPECT_DOUBLE_EQ(cost::boardDollarsPerHour(4, true, false), 1.80);
+    EXPECT_DOUBLE_EQ(cost::boardDollarsPerHour(16, true, true),
+                     1.65 + 12 * 0.08 + 0.15 + 0.40);
+    EXPECT_THROW(cost::boardDollarsPerHour(0, false, false), FatalError);
+}
+
 } // namespace
 } // namespace genesis

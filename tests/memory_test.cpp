@@ -641,5 +641,71 @@ TEST(MemModelConfig, RowHitLatencyDefaultsToHalfMiss)
     EXPECT_EQ(mem2.config().rowHitLatencyCycles, 7u);
 }
 
+TEST(MemoryValidate, DefaultConfigIsValid)
+{
+    EXPECT_TRUE(validate(MemoryConfig()).empty());
+}
+
+TEST(MemoryValidate, EveryBadFieldIsNamed)
+{
+    MemoryConfig cfg;
+    cfg.numChannels = 0;
+    cfg.banksPerChannel = 0;
+    cfg.bytesPerCyclePerChannel = 0;
+    cfg.accessGranularity = 48; // not a power of two
+    cfg.portQueueDepth = 0;
+    std::vector<std::string> errors = validate(cfg);
+    auto contains = [&errors](const char *field) {
+        for (const auto &e : errors) {
+            if (e.rfind(field, 0) == 0)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(contains("numChannels:"));
+    EXPECT_TRUE(contains("banksPerChannel:"));
+    EXPECT_TRUE(contains("bytesPerCyclePerChannel:"));
+    EXPECT_TRUE(contains("accessGranularity:"));
+    EXPECT_TRUE(contains("portQueueDepth:"));
+}
+
+TEST(MemoryValidate, RowAndBurstCheckedAgainstGranularity)
+{
+    MemoryConfig cfg;
+    cfg.accessGranularity = 64;
+    cfg.rowBytes = 96; // not a multiple of 64
+    std::vector<std::string> errors = validate(cfg);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].rfind("rowBytes:", 0), 0u) << errors[0];
+
+    cfg.rowBytes = 1024;
+    cfg.maxBurstBytes = 32; // below the granularity
+    errors = validate(cfg);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].rfind("maxBurstBytes:", 0), 0u) << errors[0];
+
+    // With a broken granularity, the relative checks stay quiet rather
+    // than emitting nonsense comparisons against it.
+    cfg.accessGranularity = 0;
+    errors = validate(cfg);
+    for (const auto &e : errors) {
+        EXPECT_EQ(e.find("rowBytes"), std::string::npos) << e;
+        EXPECT_EQ(e.find("maxBurstBytes"), std::string::npos) << e;
+    }
+}
+
+TEST(MemoryValidate, ConstructorFatalsWithTheFieldName)
+{
+    MemoryConfig cfg;
+    cfg.numChannels = 0;
+    try {
+        MemorySystem mem(cfg);
+        FAIL() << "constructor accepted zero channels";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("numChannels"),
+                  std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace genesis::sim

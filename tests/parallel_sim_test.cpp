@@ -219,6 +219,30 @@ TEST(ThreadPolicy, EnvironmentOverrides)
     }
 }
 
+TEST(ThreadPolicy, MalformedEnvironmentFallsBackToRequest)
+{
+    // Malformed GENESIS_SIM_THREADS used to be fatal; it now warns and
+    // falls back to the configured request, and trailing garbage ("6x")
+    // is no longer silently read as 6.
+    setQuiet(true);
+    ThreadPolicy p;
+    p.requested = 2;
+    {
+        ScopedEnv threads("GENESIS_SIM_THREADS", "6x");
+        EXPECT_EQ(resolveWorkerCount(p, 8, 1), 2);
+    }
+    {
+        ScopedEnv threads("GENESIS_SIM_THREADS", "banana");
+        EXPECT_EQ(resolveWorkerCount(p, 8, 1), 2);
+    }
+    {
+        // Negative counts are out of the knob's range: fall back too.
+        ScopedEnv threads("GENESIS_SIM_THREADS", "-3");
+        EXPECT_EQ(resolveWorkerCount(p, 8, 1), 2);
+    }
+    setQuiet(false);
+}
+
 TEST(ThreadPolicy, SessionOversubscriptionClamp)
 {
     // End-to-end: a session configured as one of four concurrent

@@ -847,5 +847,75 @@ TEST(Batch, ShardTracesMergeIntoSharedSink)
     EXPECT_FALSE(sink.spans().empty());
 }
 
+TEST(RuntimeValidate, DefaultConfigIsValid)
+{
+    EXPECT_TRUE(validate(RuntimeConfig()).empty());
+}
+
+TEST(RuntimeValidate, BadFieldsAreNamed)
+{
+    RuntimeConfig cfg;
+    cfg.clockHz = 0.0;
+    cfg.simThreads = -1;
+    cfg.concurrentSessions = 0;
+    cfg.dma.bytesPerSecond = -1.0;
+    cfg.dma.perTransferLatency = -1e-6;
+    std::vector<std::string> errors = validate(cfg);
+    auto contains = [&errors](const char *field) {
+        for (const auto &e : errors) {
+            if (e.rfind(field, 0) == 0)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(contains("clockHz:"));
+    EXPECT_TRUE(contains("simThreads:"));
+    EXPECT_TRUE(contains("concurrentSessions:"));
+    EXPECT_TRUE(contains("dma.bytesPerSecond:"));
+    EXPECT_TRUE(contains("dma.perTransferLatency:"));
+}
+
+TEST(RuntimeValidate, MemoryErrorsArePrefixed)
+{
+    RuntimeConfig cfg;
+    cfg.memory.numChannels = 0;
+    std::vector<std::string> errors = validate(cfg);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].rfind("memory.numChannels:", 0), 0u)
+        << errors[0];
+}
+
+TEST(RuntimeValidate, SessionConstructorRejectsBadConfigs)
+{
+    // clockHz <= 0 used to silently produce infinite / negative
+    // simulated seconds; it must now fail at construction, naming the
+    // knob.
+    RuntimeConfig cfg;
+    cfg.clockHz = -250e6;
+    try {
+        AcceleratorSession session(cfg);
+        FAIL() << "session accepted a negative clock";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("clockHz"),
+                  std::string::npos);
+    }
+
+    // A memory-model error surfaces through the same gate, with the
+    // runtime validation running before the MemorySystem constructor so
+    // every bad field is reported, not just the first memory one.
+    RuntimeConfig bad_mem;
+    bad_mem.memory.accessGranularity = 3;
+    bad_mem.clockHz = 0.0;
+    try {
+        AcceleratorSession session(bad_mem);
+        FAIL() << "session accepted a broken memory config";
+    } catch (const FatalError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("memory.accessGranularity"),
+                  std::string::npos);
+        EXPECT_NE(what.find("clockHz"), std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace genesis::runtime

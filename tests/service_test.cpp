@@ -389,5 +389,25 @@ TEST(ServiceConfigEnv, OverridesApply)
     EXPECT_TRUE(cfg.enableCache);
 }
 
+TEST(ServiceConfigEnv, MalformedValuesFallBackLoudlyNotSilently)
+{
+    // GENESIS_SERVICE_BOARDS=4x used to parse as 4 via atoll; it now
+    // warns and keeps the default. Zero boards is likewise rejected
+    // (the knob's minimum is 1), not honored into an unusable fleet.
+    setQuiet(true);
+    ServiceConfig defaults;
+    setenv("GENESIS_SERVICE_BOARDS", "4x", 1);
+    setenv("GENESIS_SERVICE_SLOTS", "abc", 1);
+    setenv("GENESIS_SERVICE_QUEUE_CAP", "0", 1);
+    ServiceConfig cfg = ServiceConfig::fromEnv();
+    unsetenv("GENESIS_SERVICE_BOARDS");
+    unsetenv("GENESIS_SERVICE_SLOTS");
+    unsetenv("GENESIS_SERVICE_QUEUE_CAP");
+    setQuiet(false);
+    EXPECT_EQ(cfg.numBoards, defaults.numBoards);
+    EXPECT_EQ(cfg.slotsPerBoard, defaults.slotsPerBoard);
+    EXPECT_EQ(cfg.queueCapacity, defaults.queueCapacity);
+}
+
 } // namespace
 } // namespace genesis::service
