@@ -15,6 +15,27 @@
  *  - "gather":              small unaligned reads at LCG-scattered
  *                           addresses, the markdup/BQSR gather shape
  *
+ * Each pattern runs under two drivers and asserts they agree bit-exactly:
+ *
+ *  - "percycle":  issue-fill, tick, drain — one tick per simulated cycle
+ *                 (the reference driver).
+ *  - "eventjump": the same loop, but after each tick the driver asks
+ *                 nextEventCycle() for the next cycle the memory system
+ *                 can change state and skips the proven-quiet span with
+ *                 tickQuiet(). Issue opportunities only open on
+ *                 retirements — which are events — so the two drivers
+ *                 issue at identical cycles and finish with identical
+ *                 cycle counts, stats and per-channel byte totals; the
+ *                 jump driver just spends no host time on no-op ticks.
+ *
+ * The main per-pattern JSON line reports both wall clocks and their
+ * ratio ("evjump_speedup"); `--require-speedup X` exits non-zero when
+ * the streaming pattern's ratio lands below X (the CI floor). A second
+ * set of lines sweeps the channel-parallel memory tick
+ * (setMemThreads 1/2/4) under the event-jump driver, asserting
+ * bit-identity and reporting per-point wall clocks that
+ * scripts/check_perf.py records as sim_membw.memthreads{N}.
+ *
  * Each pattern issues the same byte volume through the same number of
  * ports, so bytes/cycle is directly comparable across rows. Output is
  * one JSON object per line; pass `--out <path>` to also write the lines
@@ -23,14 +44,17 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "base/env.h"
+#include "base/logging.h"
 #include "sim/memory.h"
 
 using namespace genesis;
@@ -112,13 +136,35 @@ class Stream
     uint64_t lcg_;
 };
 
-/** Run one pattern to completion and emit its JSON line. */
-std::string
-runPattern(const char *name, Stream::Kind kind, uint64_t total_bytes,
-           int num_ports)
+/** Everything one driver run produces, for cross-mode comparison. */
+struct RunResult {
+    uint64_t issued = 0;
+    uint64_t cycles = 0;
+    std::map<std::string, uint64_t> stats;
+    std::vector<uint64_t> channelBytes;
+    double wallSeconds = 0.0;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Drive one pattern to completion.
+ * @param event_jump skip proven-quiet spans with tickQuiet()
+ * @param mem_threads channel-parallel tick budget (1 = sequential)
+ */
+RunResult
+runOnce(Stream::Kind kind, uint64_t total_bytes, int num_ports,
+        bool event_jump, int mem_threads)
 {
     sim::MemoryConfig cfg;
     sim::MemorySystem mem(cfg);
+    mem.setMemThreads(mem_threads);
     std::vector<sim::MemoryPort *> ports;
     std::vector<Stream> streams;
     for (int p = 0; p < num_ports; ++p) {
@@ -128,7 +174,8 @@ runPattern(const char *name, Stream::Kind kind, uint64_t total_bytes,
                                  num_ports), cfg);
     }
 
-    uint64_t issued = 0;
+    auto start = std::chrono::steady_clock::now();
+    RunResult res;
     bool all_exhausted = false;
     while (!all_exhausted || !mem.idle()) {
         all_exhausted = true;
@@ -138,7 +185,7 @@ runPattern(const char *name, Stream::Kind kind, uint64_t total_bytes,
                 Request r = streams[static_cast<size_t>(p)].next();
                 ports[static_cast<size_t>(p)]->issue(r.addr, r.bytes,
                                                      false);
-                issued += r.bytes;
+                res.issued += r.bytes;
             }
             if (!streams[static_cast<size_t>(p)].exhausted())
                 all_exhausted = false;
@@ -146,18 +193,67 @@ runPattern(const char *name, Stream::Kind kind, uint64_t total_bytes,
         mem.tick();
         for (auto *port : ports)
             port->takeCompletedReadBytes();
+        if (!event_jump)
+            continue;
+        // Issue credit only opens on a retirement, which is an event, so
+        // every tick strictly before nextEventCycle() would re-run this
+        // loop body with nothing to do. Skip the span; tickQuiet credits
+        // the skipped ticks' stats bit-exactly.
+        uint64_t next = mem.nextEventCycle();
+        if (next != sim::MemorySystem::kNoEvent &&
+            next > mem.cycle() + 1) {
+            mem.tickQuiet(next - mem.cycle() - 1);
+        }
     }
     mem.assertStatInvariant();
+    res.wallSeconds = secondsSince(start);
 
-    uint64_t cycles = mem.cycle();
+    res.cycles = mem.cycle();
+    res.stats = mem.stats().counters();
+    for (int ch = 0; ch < cfg.numChannels; ++ch)
+        res.channelBytes.push_back(mem.channelBytes(ch));
+    return res;
+}
+
+/** Die loudly if two driver runs of one pattern diverged anywhere. */
+void
+assertIdentical(const char *name, const char *what, const RunResult &a,
+                const RunResult &b)
+{
+    if (a.issued != b.issued || a.cycles != b.cycles ||
+        a.stats != b.stats || a.channelBytes != b.channelBytes) {
+        fatal("sim_membw %s: %s diverged from the per-cycle reference "
+              "(cycles %" PRIu64 " vs %" PRIu64 ")",
+              name, what, b.cycles, a.cycles);
+    }
+}
+
+/** Run one pattern under both drivers and emit its JSON line. */
+std::string
+runPattern(const char *name, Stream::Kind kind, uint64_t total_bytes,
+           int num_ports, double *streaming_speedup)
+{
+    RunResult ref =
+        runOnce(kind, total_bytes, num_ports, /*event_jump=*/false, 1);
+    RunResult jump =
+        runOnce(kind, total_bytes, num_ports, /*event_jump=*/true, 1);
+    assertIdentical(name, "event-jump driver", ref, jump);
+
     uint64_t ch_min = ~0ull, ch_max = 0;
-    for (int ch = 0; ch < cfg.numChannels; ++ch) {
-        uint64_t b = mem.channelBytes(ch);
+    for (uint64_t b : ref.channelBytes) {
         ch_min = std::min(ch_min, b);
         ch_max = std::max(ch_max, b);
     }
-    const auto &stats = mem.stats();
-    char line[640];
+    double speedup = jump.wallSeconds > 0.0
+        ? ref.wallSeconds / jump.wallSeconds : 0.0;
+    if (streaming_speedup && std::strcmp(name, "streaming") == 0)
+        *streaming_speedup = speedup;
+
+    auto stat = [&ref](const char *key) {
+        auto it = ref.stats.find(key);
+        return it == ref.stats.end() ? uint64_t(0) : it->second;
+    };
+    char line[832];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\": \"sim_membw\", \"pattern\": \"%s\", "
@@ -170,16 +266,44 @@ runPattern(const char *name, Stream::Kind kind, uint64_t total_bytes,
         "\"channel_busy_cycles\": %" PRIu64 ", "
         "\"channel_idle_cycles\": %" PRIu64 ", "
         "\"channel_bytes_min\": %" PRIu64 ", "
-        "\"channel_bytes_max\": %" PRIu64 "}",
-        name, issued, cycles,
-        cycles ? static_cast<double>(issued) /
-                static_cast<double>(cycles) : 0.0,
-        stats.get("sub_requests"), stats.get("coalesced_sub_requests"),
-        stats.get("row_hits"), stats.get("row_misses"),
-        stats.get("bank_conflict_cycles"),
-        stats.get("channel_busy_cycles"),
-        stats.get("channel_idle_cycles"), ch_min, ch_max);
+        "\"channel_bytes_max\": %" PRIu64 ", "
+        "\"channel_imbalance\": %.4f, "
+        "\"percycle_wall_seconds\": %.4f, "
+        "\"evjump_wall_seconds\": %.4f, "
+        "\"evjump_speedup\": %.2f}",
+        name, ref.issued, ref.cycles,
+        ref.cycles ? static_cast<double>(ref.issued) /
+                static_cast<double>(ref.cycles) : 0.0,
+        stat("sub_requests"), stat("coalesced_sub_requests"),
+        stat("row_hits"), stat("row_misses"),
+        stat("bank_conflict_cycles"), stat("channel_busy_cycles"),
+        stat("channel_idle_cycles"), ch_min, ch_max,
+        ch_min ? static_cast<double>(ch_max) /
+                static_cast<double>(ch_min) : 0.0,
+        ref.wallSeconds, jump.wallSeconds, speedup);
     return std::string(line);
+}
+
+/** Sweep the channel-parallel tick on the streaming pattern. */
+void
+runMemThreadSweep(uint64_t total_bytes, int num_ports,
+                  std::vector<std::string> *lines)
+{
+    RunResult ref = runOnce(Stream::Kind::Streaming, total_bytes,
+                            num_ports, /*event_jump=*/true, 1);
+    for (int n : {1, 2, 4}) {
+        RunResult r = runOnce(Stream::Kind::Streaming, total_bytes,
+                              num_ports, /*event_jump=*/true, n);
+        assertIdentical("streaming", "mem-thread sweep", ref, r);
+        char line[256];
+        std::snprintf(
+            line, sizeof(line),
+            "{\"bench\": \"sim_membw\", \"pattern\": \"streaming\", "
+            "\"mem_threads\": %d, \"wall_seconds\": %.4f, "
+            "\"identical\": true}",
+            n, r.wallSeconds);
+        lines->push_back(line);
+    }
 }
 
 } // namespace
@@ -188,12 +312,17 @@ int
 main(int argc, char **argv)
 {
     const char *out_path = nullptr;
+    double require_speedup = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--require-speedup") == 0 &&
+                   i + 1 < argc) {
+            require_speedup = std::atof(argv[++i]);
         } else {
-            std::fprintf(stderr, "usage: %s [--out results.json]\n",
-                         argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--out results.json] "
+                         "[--require-speedup X]\n", argv[0]);
             return 2;
         }
     }
@@ -202,16 +331,19 @@ main(int argc, char **argv)
         envInt64("GENESIS_MEMBW_BYTES", 1ll << 20, 1));
 
     const int kPorts = 4;
+    double streaming_speedup = 0.0;
     std::vector<std::string> lines;
     lines.push_back(runPattern("streaming", Stream::Kind::Streaming,
-                               total_bytes, kPorts));
+                               total_bytes, kPorts,
+                               &streaming_speedup));
     lines.push_back(runPattern("streaming_unaligned",
                                Stream::Kind::StreamingUnaligned,
-                               total_bytes, kPorts));
+                               total_bytes, kPorts, nullptr));
     lines.push_back(runPattern("strided", Stream::Kind::Strided,
-                               total_bytes, kPorts));
+                               total_bytes, kPorts, nullptr));
     lines.push_back(runPattern("gather", Stream::Kind::Gather,
-                               total_bytes, kPorts));
+                               total_bytes, kPorts, nullptr));
+    runMemThreadSweep(total_bytes, kPorts, &lines);
 
     for (const auto &line : lines)
         std::printf("%s\n", line.c_str());
@@ -224,6 +356,13 @@ main(int argc, char **argv)
         for (const auto &line : lines)
             std::fprintf(f, "%s\n", line.c_str());
         std::fclose(f);
+    }
+    if (require_speedup > 0.0 && streaming_speedup < require_speedup) {
+        std::fprintf(stderr,
+                     "sim_membw: streaming event-jump speedup %.2fx "
+                     "below required %.2fx\n",
+                     streaming_speedup, require_speedup);
+        return 1;
     }
     return 0;
 }

@@ -94,8 +94,29 @@ def collect_once(bench_dir):
                 continue
             metrics[key] = rec["wall_seconds"]
 
-    wall, _ = run_timed([os.path.join(bench_dir, "sim_membw")], BENCH_ENV)
+    # Memory bandwidth sweep: the whole-bench wall clock plus the
+    # per-driver and mem-thread records the bench emits. The bench
+    # fatals on any per-cycle vs event-jump or mem-thread divergence,
+    # so a regression here is purely host-side perf.
+    wall, out = run_timed([os.path.join(bench_dir, "sim_membw")],
+                          BENCH_ENV)
     metrics["sim_membw.wall_seconds"] = wall
+    for line in out.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        if rec.get("bench") != "sim_membw":
+            continue
+        if "mem_threads" in rec:
+            # Channel-parallel tick sweep (streaming, event-jump
+            # driver): sim_membw.memthreads{N} tracks where the scan
+            # fan-out trade sits on this runner class.
+            key = f"sim_membw.memthreads{rec['mem_threads']}.wall_seconds"
+            metrics[key] = rec["wall_seconds"]
+        elif "pattern" in rec:
+            metrics[f"sim_membw.{rec['pattern']}.evjump_wall_seconds"] = \
+                rec["evjump_wall_seconds"]
 
     # Multi-tenant service bench: the wall clock guards the whole
     # queue/scheduler/cache path; the calibration record guards one

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Render bench/sim_dse design-space results as SVG frontier charts.
+
+Reads the JSON document sim_dse prints (or writes via --out): a
+``points`` list of design points and a ``frontiers`` map from
+accelerator name to the indices of its Pareto-optimal points. For each
+accelerator this script draws simulated throughput (bases/second)
+against cost ($/genome): every feasible point as a grey dot, the Pareto
+frontier as connected highlighted markers, infeasible points (does not
+fit the VU9P, or the run failed) as hollow crosses.
+
+Pure standard library on purpose — CI containers have no matplotlib —
+so the SVG is emitted directly.
+
+Usage:
+    plot_frontier.py results.json [--out-dir DIR] [--check]
+
+``--out-dir`` (default ``.``) receives one ``frontier_<accel>.svg`` per
+accelerator. ``--check`` is the CI smoke mode: render every chart
+in-memory, validate it is well-formed XML and contains the expected
+number of frontier markers, and write nothing.
+"""
+
+import argparse
+import json
+import sys
+import xml.etree.ElementTree as ET
+
+WIDTH, HEIGHT = 640, 440
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 40, 50
+PLOT_W = WIDTH - MARGIN_L - MARGIN_R
+PLOT_H = HEIGHT - MARGIN_T - MARGIN_B
+
+
+def nice_ticks(lo, hi, max_ticks=6):
+    """Round tick positions covering [lo, hi] (1/2/5 progression)."""
+    if hi <= lo:
+        hi = lo + (abs(lo) if lo else 1.0)
+    span = hi - lo
+    step = 10 ** len(str(int(span))) if span >= 1 else 1.0
+    # Shrink a decade at a time until the count lands in range.
+    while span / step < max_ticks / 2:
+        for div in (2.0, 2.5, 2.0):
+            if span / step >= max_ticks / 2:
+                break
+            step /= div
+    ticks = []
+    t = int(lo / step) * step
+    while t <= hi + step * 1e-9:
+        if t >= lo - step * 1e-9:
+            ticks.append(t)
+        t += step
+    return ticks
+
+
+def fmt_num(v):
+    """Short human axis label: 412M, 0.12, 1.5k."""
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(v) >= scale:
+            s = f"{v / scale:.3g}"
+            return s + suffix
+    return f"{v:.3g}"
+
+
+def esc(s):
+    return (str(s).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def render_chart(accel, points, frontier_idx):
+    """Return the SVG text of one accelerator's frontier chart."""
+    feasible = [p for p in points if p.get("ok") and p.get("fits")]
+    infeasible = [p for p in points
+                  if not (p.get("ok") and p.get("fits"))]
+    frontier = [points[i] for i in frontier_idx]
+    xs = [p["dollars_per_genome"] for p in feasible] or [0.0, 1.0]
+    ys = [p["bases_per_second"] for p in feasible] or [0.0, 1.0]
+    pad_x = (max(xs) - min(xs)) * 0.06 or max(xs) * 0.06 or 0.5
+    pad_y = (max(ys) - min(ys)) * 0.06 or max(ys) * 0.06 or 0.5
+    x_lo, x_hi = min(xs) - pad_x, max(xs) + pad_x
+    y_lo, y_hi = min(ys) - pad_y, max(ys) + pad_y
+
+    def sx(v):
+        return MARGIN_L + (v - x_lo) / (x_hi - x_lo) * PLOT_W
+
+    def sy(v):
+        return MARGIN_T + PLOT_H - (v - y_lo) / (y_hi - y_lo) * PLOT_H
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{WIDTH / 2}" y="24" text-anchor="middle" '
+        f'font-size="15">{esc(accel)}: throughput vs $/genome '
+        f'({len(feasible)} designs, {len(frontier)} on frontier)</text>',
+    ]
+    # Axes, ticks, grid.
+    for t in nice_ticks(x_lo, x_hi):
+        x = sx(t)
+        parts.append(f'<line x1="{x:.1f}" y1="{MARGIN_T}" x2="{x:.1f}" '
+                     f'y2="{MARGIN_T + PLOT_H}" stroke="#eeeeee"/>')
+        parts.append(f'<text x="{x:.1f}" y="{MARGIN_T + PLOT_H + 16}" '
+                     f'text-anchor="middle">{fmt_num(t)}</text>')
+    for t in nice_ticks(y_lo, y_hi):
+        y = sy(t)
+        parts.append(f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+                     f'x2="{MARGIN_L + PLOT_W}" y2="{y:.1f}" '
+                     f'stroke="#eeeeee"/>')
+        parts.append(f'<text x="{MARGIN_L - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{fmt_num(t)}</text>')
+    parts.append(f'<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{PLOT_W}" '
+                 f'height="{PLOT_H}" fill="none" stroke="#444444"/>')
+    parts.append(f'<text x="{MARGIN_L + PLOT_W / 2}" '
+                 f'y="{HEIGHT - 12}" text-anchor="middle">'
+                 f'cost ($/genome)</text>')
+    parts.append(f'<text x="16" y="{MARGIN_T + PLOT_H / 2}" '
+                 f'text-anchor="middle" transform="rotate(-90 16 '
+                 f'{MARGIN_T + PLOT_H / 2})">throughput '
+                 f'(bases/second)</text>')
+
+    for p in infeasible:
+        if "dollars_per_genome" not in p or "bases_per_second" not in p:
+            continue
+        x, y = sx(p["dollars_per_genome"]), sy(p["bases_per_second"])
+        parts.append(f'<path d="M{x - 3:.1f} {y - 3:.1f} L{x + 3:.1f} '
+                     f'{y + 3:.1f} M{x - 3:.1f} {y + 3:.1f} '
+                     f'L{x + 3:.1f} {y - 3:.1f}" stroke="#cc6666" '
+                     f'fill="none" class="infeasible"/>')
+    frontier_set = set(frontier_idx)
+    for p in feasible:
+        if p.get("index") in frontier_set:
+            continue
+        x, y = sx(p["dollars_per_genome"]), sy(p["bases_per_second"])
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+                     f'fill="#b0b0b0" class="dominated"/>')
+    # Frontier polyline in cost order, then its markers on top.
+    ordered = sorted(frontier, key=lambda p: p["dollars_per_genome"])
+    if len(ordered) > 1:
+        pts = " ".join(f'{sx(p["dollars_per_genome"]):.1f},'
+                       f'{sy(p["bases_per_second"]):.1f}'
+                       for p in ordered)
+        parts.append(f'<polyline points="{pts}" fill="none" '
+                     f'stroke="#1f77b4" stroke-width="1.5"/>')
+    for p in ordered:
+        x, y = sx(p["dollars_per_genome"]), sy(p["bases_per_second"])
+        label = (f'{p.get("mem", "?")}/{p.get("dma", "?")} '
+                 f'x{p.get("pipelines", "?")} '
+                 f'@{p.get("clock_mhz", "?")}MHz')
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4.5" '
+                     f'fill="#1f77b4" class="frontier">'
+                     f'<title>{esc(label)}</title></circle>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Render sim_dse frontier JSON as SVG charts.")
+    ap.add_argument("results", help="sim_dse JSON document (- = stdin)")
+    ap.add_argument("--out-dir", default=".",
+                    help="directory for frontier_<accel>.svg files")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the charts in-memory, write nothing")
+    args = ap.parse_args(argv)
+
+    if args.results == "-":
+        doc = json.load(sys.stdin)
+    else:
+        with open(args.results) as f:
+            doc = json.load(f)
+    points = doc.get("points", [])
+    frontiers = doc.get("frontiers", {})
+    if not points or not frontiers:
+        print("plot_frontier: no points/frontiers in input",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    for accel in sorted(frontiers):
+        idx = frontiers[accel]
+        svg = render_chart(accel, points, idx)
+        if args.check:
+            try:
+                root = ET.fromstring(svg)
+            except ET.ParseError as e:
+                print(f"plot_frontier: {accel}: malformed SVG: {e}",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            ns = "{http://www.w3.org/2000/svg}"
+            markers = [el for el in root.iter(f"{ns}circle")
+                       if el.get("class") == "frontier"]
+            if len(markers) != len(idx):
+                print(f"plot_frontier: {accel}: {len(markers)} frontier "
+                      f"markers rendered, expected {len(idx)}",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            print(f"plot_frontier: {accel}: OK "
+                  f"({len(idx)} frontier points)")
+        else:
+            path = f"{args.out_dir}/frontier_{accel}.svg"
+            with open(path, "w") as f:
+                f.write(svg)
+            print(f"plot_frontier: wrote {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

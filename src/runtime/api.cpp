@@ -71,6 +71,14 @@ validate(const RuntimeConfig &config)
         errors.push_back(strfmt("concurrentSessions: must be >= 1 "
                                 "(got %d)", config.concurrentSessions));
     }
+    if (config.memThreads < 0) {
+        errors.push_back(strfmt("memThreads: must be >= 0 (got %d)",
+                                config.memThreads));
+    }
+    if (config.simWindow < 0) {
+        errors.push_back(strfmt("simWindow: must be >= 0 (got %d)",
+                                config.simWindow));
+    }
     for (const auto &e : sim::validate(config.memory))
         errors.push_back("memory." + e);
     return errors;
@@ -108,6 +116,8 @@ AcceleratorSession::AcceleratorSession(const RuntimeConfig &config,
     threads.requested = config_.simThreads;
     threads.concurrentSessions = config_.concurrentSessions;
     sim_->setThreadPolicy(threads);
+    sim_->setWindowPolicy(config_.simWindow);
+    sim_->memory().setMemThreads(config_.memThreads);
     if (config_.trace)
         sim_->attachTrace(config_.trace, config_.traceLabel);
 }

@@ -85,6 +85,24 @@ struct RuntimeConfig {
      * are likewise clamped to the per-session share when this exceeds 1.
      */
     int concurrentSessions = 1;
+    /**
+     * Worker threads for the channel-parallel memory tick (0 = the
+     * sequential tick, the default — see sim/parallel.h for why it is
+     * opt-in). Overridden at run time by GENESIS_SIM_MEM_THREADS;
+     * GENESIS_SIM_NO_MEM_THREADS=1 forces the sequential tick; clamped
+     * to the channel count. Simulated cycles, statistics and traces are
+     * bit-identical at any value.
+     */
+    int memThreads = 0;
+    /**
+     * Lookahead-window cap for the parallel simulator (DESIGN.md §4f):
+     * when the memory system is provably quiet for k cycles, lane shards
+     * tick up to min(k, cap) cycles per barrier. 0 = auto (the built-in
+     * default), 1 = single-cycle barriers (windows off). Overridden at
+     * run time by GENESIS_SIM_WINDOW. Simulated cycles, statistics and
+     * traces are bit-identical at any value; sequential runs ignore it.
+     */
+    int simWindow = 0;
 };
 
 /**

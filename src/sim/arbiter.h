@@ -49,6 +49,15 @@ class RoundRobinArbiter
         return -1;
     }
 
+    /**
+     * Requester the next grant() scan starts from. A grant with no
+     * eligible requester leaves this untouched — the property that makes
+     * arbitration replayable: ticks that find nothing schedulable (the
+     * lookahead window's not-yet-visible sub-requests, tickQuiet's
+     * proven-quiet spans) are exact no-ops on arbiter state.
+     */
+    size_t nextIndex() const { return next_; }
+
   private:
     size_t n_ = 0;
     size_t next_ = 0;

@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "sim/parallel.h"
 
 namespace genesis::sim {
+
+namespace {
+
+/** Channel a channel-parallel scan job is restricted to on this thread
+ *  (kNoScanChannel outside a scan phase). See ChannelScanGuard. */
+constexpr int kNoScanChannel = -1;
+thread_local int tlsScanChannel = kNoScanChannel;
+
+} // namespace
+
+MemorySystem::ChannelScanGuard::ChannelScanGuard(int channel)
+    : prev_(tlsScanChannel)
+{
+    tlsScanChannel = channel;
+}
+
+MemorySystem::ChannelScanGuard::~ChannelScanGuard()
+{
+    tlsScanChannel = prev_;
+}
 
 bool
 MemoryPort::canIssue() const
@@ -39,9 +60,20 @@ MemoryPort::enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write)
     // paying a second access. Typical case: the tail slice of one
     // unaligned streaming request and the head slice of the next fall
     // into the same interleave granule.
+    //
+    // The MSHR closes a burst entry once it reaches the head of the
+    // schedule queue in a cycle after its issue: only deque heads are
+    // ever considered by arbitration, so a same-cycle tail or a
+    // non-head tail provably cannot have been granted yet, while an
+    // aged head may be granted at any tick. Deciding on (position, age)
+    // instead of peeking `scheduled` makes the decision a function of
+    // port-local state alone — identical whether arbitration runs every
+    // cycle (sequential) or is replayed at a window barrier (§4f).
     if (!pending_.empty()) {
         SubRequest &tail = pending_.back();
-        if (!tail.scheduled && tail.isWrite == is_write &&
+        bool burst_open = !tail.scheduled &&
+            (pending_.size() >= 2 || tail.issueCycle == *issueClock_);
+        if (burst_open && tail.isWrite == is_write &&
             tail.channel == loc.channel && tail.bank == loc.bank &&
             tail.row == loc.row && tail.addr + tail.bytes == addr &&
             tail.bytes + bytes <= owner_->config().maxBurstBytes) {
@@ -66,6 +98,7 @@ MemoryPort::enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write)
     req.channel = loc.channel;
     req.bank = loc.bank;
     req.row = loc.row;
+    req.issueCycle = *issueClock_;
     if (trace_) {
         req.traceId = trace_->newAsyncId();
         trace_->asyncBegin(traceTrack_, req.traceId, *traceCycle_,
@@ -89,6 +122,18 @@ MemoryPort::enqueueSlice(uint64_t addr, uint32_t bytes, bool is_write)
 void
 MemoryPort::issue(uint64_t addr, uint32_t bytes, bool is_write)
 {
+    if (tlsScanChannel != kNoScanChannel) {
+        panic("memory port %d: issue() during a channel-parallel scan "
+              "phase (the scan is read-only; issues belong to the lane "
+              "phase or the control thread)", id_);
+    }
+    if (tlsCurrentShard != kNoShard && shard_ >= 0 &&
+        tlsCurrentShard != shard_) {
+        panic("cross-shard memory issue on port %d (owner shard %d) from "
+              "shard %d during a parallel phase: lanes may only couple "
+              "through their own memory ports", id_, shard_,
+              tlsCurrentShard);
+    }
     if (!canIssue())
         panic("memory port %d: issue to full queue", id_);
     if (bytes == 0)
@@ -109,7 +154,17 @@ MemoryPort::issue(uint64_t addr, uint32_t bytes, bool is_write)
     }
     if (deferAccounting_) {
         ++deferred_.requests;
-        ++deferred_.progress;
+        // With the port bound to a shard (window mode), issue progress
+        // must land in the shard's own counter immediately: the control
+        // phase reads per-subcycle progress to run its quiet/hang
+        // machine, and the deferred drain only happens at the barrier.
+        // Stat counters stay staged — only the owning worker touches
+        // this port during a parallel phase, and the shard counter is
+        // that worker's private accumulator.
+        if (directProgress_ && progress_)
+            ++*progress_;
+        else
+            ++deferred_.progress;
     } else {
         ++*owner_->requests_;
         if (progress_)
@@ -184,6 +239,7 @@ MemorySystem::MemorySystem(const MemoryConfig &config) : config_(config)
     if (config_.rowHitLatencyCycles == 0)
         config_.rowHitLatencyCycles = config_.latencyCycles / 2;
 
+    memThreads_ = resolveMemWorkerCount(0, config_.numChannels);
     channelBusyUntil_.assign(static_cast<size_t>(config_.numChannels), 0);
     banks_.assign(static_cast<size_t>(config_.numChannels) *
                       static_cast<size_t>(config_.banksPerChannel),
@@ -195,6 +251,16 @@ MemorySystem::MemorySystem(const MemoryConfig &config) : config_(config)
         channelBytes_.push_back(
             stats_.counter("ch" + std::to_string(ch) + "_bytes"));
     }
+}
+
+// Out of line: ~MemorySystem must see the complete SimThreadPool type
+// for the unique_ptr member (the header only forward-declares it).
+MemorySystem::~MemorySystem() = default;
+
+void
+MemorySystem::setMemThreads(int requested)
+{
+    memThreads_ = resolveMemWorkerCount(requested, config_.numChannels);
 }
 
 MemorySystem::DramLoc
@@ -220,6 +286,11 @@ MemorySystem::locate(uint64_t addr) const
 MemorySystem::Bank &
 MemorySystem::bankAt(int channel, int bank)
 {
+    if (tlsScanChannel != kNoScanChannel && channel != tlsScanChannel) {
+        panic("cross-channel touch: bank state of channel %d accessed "
+              "from the channel-parallel scan of channel %d",
+              channel, tlsScanChannel);
+    }
     return banks_[static_cast<size_t>(channel) *
                       static_cast<size_t>(config_.banksPerChannel) +
                   static_cast<size_t>(bank)];
@@ -228,6 +299,11 @@ MemorySystem::bankAt(int channel, int bank)
 const MemorySystem::Bank &
 MemorySystem::bankAt(int channel, int bank) const
 {
+    if (tlsScanChannel != kNoScanChannel && channel != tlsScanChannel) {
+        panic("cross-channel touch: bank state of channel %d accessed "
+              "from the channel-parallel scan of channel %d",
+              channel, tlsScanChannel);
+    }
     return banks_[static_cast<size_t>(channel) *
                       static_cast<size_t>(config_.banksPerChannel) +
                   static_cast<size_t>(bank)];
@@ -239,6 +315,27 @@ MemorySystem::attachProgress(uint64_t *counter)
     progress_ = counter;
     for (auto &port : ports_)
         port->progress_ = counter;
+}
+
+void
+MemorySystem::bindPortScheduling(size_t port, const uint64_t *clock,
+                                 uint64_t *progress)
+{
+    GENESIS_ASSERT(port < ports_.size(), "bind of unknown port");
+    MemoryPort &p = *ports_[port];
+    p.issueClock_ = clock;
+    p.progress_ = progress;
+    p.directProgress_ = true;
+}
+
+void
+MemorySystem::unbindPortScheduling()
+{
+    for (auto &port : ports_) {
+        port->issueClock_ = &cycle_;
+        port->progress_ = progress_;
+        port->directProgress_ = false;
+    }
 }
 
 void
@@ -308,6 +405,7 @@ MemorySystem::makePort(int local_group)
         std::unique_ptr<MemoryPort>(new MemoryPort(id, local_group, this));
     port->queueDepth_ = config_.portQueueDepth;
     port->progress_ = progress_;
+    port->issueClock_ = &cycle_;
     port->deferAccounting_ = deferAccounting_;
     port->retireWaiters_.setName("mem.port" + std::to_string(id) +
                                  " retire");
@@ -364,24 +462,63 @@ MemorySystem::tick()
     // each channel's global arbiter accepts at most one per cycle.
     groupUsedScratch_.assign(localArbiters_.size(), 0);
     auto &group_used = groupUsedScratch_;
+    const size_t num_ports = ports_.size();
 
+    // Phase A (optionally channel-parallel): per-channel eligibility
+    // scan. The scan is read-only and each job writes only its own
+    // channel's scratch row, so jobs are race-free; using pre-grant
+    // state is exact because a grant on channel C mutates only C's bank
+    // and bus state plus the granted head (which targets C alone), none
+    // of which another channel's flags depend on, and channel C's own
+    // flags are consumed before C's grant. Tracing keeps the sequential
+    // tick (single-writer sink); so does a single busy channel.
+    bool par_scan = memThreads_ > 1 && trace_ == nullptr &&
+        config_.numChannels > 1;
+    if (par_scan) {
+        if (!memPool_ ||
+            memPool_->helpers() != memThreads_ - 1) {
+            memPool_ =
+                std::make_unique<SimThreadPool>(memThreads_ - 1);
+        }
+        eligScratch_.assign(
+            static_cast<size_t>(config_.numChannels) * num_ports, 0);
+        conflictScratch_.assign(
+            static_cast<size_t>(config_.numChannels), 0);
+        memPool_->run(
+            static_cast<size_t>(config_.numChannels), [&](size_t ch) {
+                ChannelScanGuard guard(static_cast<int>(ch));
+                scanChannel(static_cast<int>(ch),
+                            eligScratch_.data() + ch * num_ports,
+                            &conflictScratch_[ch]);
+            });
+    }
+
+    // Phase B (serial, fixed channel order): arbitration grants and
+    // their state/stat updates.
     for (int ch = 0; ch < config_.numChannels; ++ch) {
         if (channelBusyUntil_[static_cast<size_t>(ch)] > cycle_)
             continue; // data bus still transferring a prior request
 
-        // A group is eligible when one of its ports has an unscheduled
-        // head sub-request destined for this channel whose bank has
-        // finished its previous access phase.
+        // A group is eligible when one of its ports has a visible (see
+        // SubRequest::issueCycle) unscheduled head sub-request destined
+        // for this channel whose bank has finished its previous access
+        // phase.
         auto port_eligible = [&](size_t group, size_t slot) {
             if (group >= groupPorts_.size() ||
                 slot >= groupPorts_[group].size()) {
                 return false;
             }
-            const MemoryPort &p = *ports_[groupPorts_[group][slot]];
+            size_t port_idx = groupPorts_[group][slot];
+            if (par_scan) {
+                return eligScratch_[static_cast<size_t>(ch) * num_ports +
+                                    port_idx] != 0;
+            }
+            const MemoryPort &p = *ports_[port_idx];
             if (p.pending_.empty())
                 return false;
             const auto &head = p.pending_.front();
-            return !head.scheduled && head.channel == ch &&
+            return !head.scheduled && head.issueCycle < cycle_ &&
+                head.channel == ch &&
                 bankAt(ch, head.bank).busyUntil <= cycle_;
         };
 
@@ -399,16 +536,11 @@ MemorySystem::tick()
             // Free bus with nothing schedulable: if a head was turned
             // away solely because its bank is mid-access, record the
             // bank conflict (at most once per channel per cycle).
-            for (const auto &p : ports_) {
-                if (p->pending_.empty())
-                    continue;
-                const auto &head = p->pending_.front();
-                if (!head.scheduled && head.channel == ch &&
-                    bankAt(ch, head.bank).busyUntil > cycle_) {
-                    ++*bankConflictCycles_;
-                    break;
-                }
-            }
+            bool conflict = par_scan
+                ? conflictScratch_[static_cast<size_t>(ch)] != 0
+                : channelHasBankConflict(ch);
+            if (conflict)
+                ++*bankConflictCycles_;
             continue;
         }
         group_used[static_cast<size_t>(group)] = 1;
@@ -509,29 +641,193 @@ MemorySystem::nextEventCycle() const
     };
     // Head completions: the retire loop stops at each port's head, so a
     // port's next retirement happens at its head's completeCycle. An
-    // unscheduled head waits for its channel bus or bank to free, which
-    // the two expiry scans below cover (a free channel with an eligible
-    // head never survives a tick unscheduled).
+    // unscheduled head is an event at the first tick that could grant
+    // it — it must be visible (issued before the tick's clock) and its
+    // channel bus and bank must have expired. A retirement can expose a
+    // new unscheduled head after the same tick's scheduling phase ran,
+    // so free-resource heads are events at cycle_ + 1, not covered by
+    // the expiry scans below. The bound is conservative (the head may
+    // still lose arbitration at that tick), which only shortens jumps.
     for (const auto &port : ports_) {
         if (port->pending_.empty())
             continue;
         const auto &head = port->pending_.front();
-        if (head.scheduled)
+        if (head.scheduled) {
             consider(std::max(head.completeCycle, cycle_ + 1));
+        } else {
+            uint64_t grantable = std::max(
+                {cycle_ + 1, head.issueCycle + 1,
+                 channelBusyUntil_[static_cast<size_t>(head.channel)],
+                 bankAt(head.channel, head.bank).busyUntil});
+            consider(grantable);
+        }
     }
     // Busy channel buses freeing up: enables scheduling of waiting
     // sub-requests and flips the per-cycle busy/idle stat accrual.
+    // Bank expiries need no scan of their own: a busy bank is only
+    // observable through a blocked front head (grant eligibility and
+    // the conflict-stat accrual both test port fronts exclusively), and
+    // the grantable bound above already takes the head's bank expiry
+    // into account.
     for (uint64_t busy_until : channelBusyUntil_) {
         if (busy_until > cycle_)
             consider(busy_until);
     }
-    // Banks finishing their access phase: enables scheduling of heads
-    // blocked on a bank conflict and stops the conflict-stat accrual.
-    for (const Bank &bank : banks_) {
-        if (bank.busyUntil > cycle_)
-            consider(bank.busyUntil);
+    return next;
+}
+
+uint64_t
+MemorySystem::nextEventCycle(int channel) const
+{
+    uint64_t next = kNoEvent;
+    auto consider = [&next](uint64_t c) {
+        if (c < next)
+            next = c;
+    };
+    for (const auto &port : ports_) {
+        if (port->pending_.empty())
+            continue;
+        const auto &head = port->pending_.front();
+        if (head.channel != channel)
+            continue;
+        if (head.scheduled) {
+            consider(std::max(head.completeCycle, cycle_ + 1));
+        } else {
+            uint64_t grantable = std::max(
+                {cycle_ + 1, head.issueCycle + 1,
+                 channelBusyUntil_[static_cast<size_t>(channel)],
+                 bankAt(channel, head.bank).busyUntil});
+            consider(grantable);
+        }
+    }
+    if (channelBusyUntil_[static_cast<size_t>(channel)] > cycle_)
+        consider(channelBusyUntil_[static_cast<size_t>(channel)]);
+    return next;
+}
+
+uint64_t
+MemorySystem::earliestRetireCycle() const
+{
+    uint64_t next = kNoEvent;
+    for (const auto &port : ports_) {
+        if (port->pending_.empty())
+            continue;
+        const auto &head = port->pending_.front();
+        if (head.scheduled &&
+            std::max(head.completeCycle, cycle_ + 1) < next)
+            next = std::max(head.completeCycle, cycle_ + 1);
     }
     return next;
+}
+
+void
+MemorySystem::tickQuiet(uint64_t cycles)
+{
+    if (cycles == 0)
+        return;
+    if (trace_ != nullptr || deferAccounting_) {
+        // Tracing wants real per-cycle records and deferred mode wants
+        // the drain/retired-port bookkeeping; the plain loop provides
+        // both exactly.
+        for (uint64_t i = 0; i < cycles; ++i)
+            tick();
+        return;
+    }
+    if (pendingSubRequests_ == 0) {
+        // Matches tick()'s empty-system early-out, n times.
+        cycle_ += cycles;
+        *channelIdleCycles_ +=
+            static_cast<uint64_t>(config_.numChannels) * cycles;
+        return;
+    }
+    // The caller proved (via nextEventCycle()) that no event lands in
+    // (cycle_, cycle_ + cycles]: no head completes, no bus frees, no
+    // bank finishes. Every per-tick accrual condition is therefore
+    // constant across the span — a bus is busy for all of it or none of
+    // it, likewise each bank — so evaluating each condition once at the
+    // first skipped tick and crediting it `cycles` times is bit-exact.
+    // Arbitration is also a no-op on arbiter state: the post-tick
+    // invariant says any unscheduled head is blocked on a bus or bank
+    // whose expiry would be an event, and a grant() that finds no
+    // eligible requester leaves the round-robin pointer untouched.
+    GENESIS_ASSERT(nextEventCycle() > cycle_ + cycles,
+                   "tickQuiet span is not event-free");
+    const uint64_t t = cycle_ + 1;
+    uint64_t busy_channels = 0;
+    uint64_t conflict_channels = 0;
+    for (int ch = 0; ch < config_.numChannels; ++ch) {
+        if (channelBusyUntil_[static_cast<size_t>(ch)] > t) {
+            ++busy_channels;
+            continue;
+        }
+        if (unscheduledSubRequests_ > 0 && channelHasBankConflictAt(ch, t))
+            ++conflict_channels;
+    }
+    // nextEventCycle() reports unscheduled heads at their earliest
+    // grantable cycle, so a span it proved quiet can hold no head that
+    // could be scheduled inside it; re-check that directly as a cheap
+    // second line of defence.
+    for (const auto &port : ports_) {
+        if (port->pending_.empty())
+            continue;
+        const auto &head = port->pending_.front();
+        GENESIS_ASSERT(
+            head.scheduled ||
+                channelBusyUntil_[static_cast<size_t>(head.channel)] > t ||
+                bankAt(head.channel, head.bank).busyUntil > t,
+            "tickQuiet span covers a schedulable head (issue without an "
+            "intervening tick?)");
+    }
+    cycle_ += cycles;
+    *channelBusyCycles_ += busy_channels * cycles;
+    *channelIdleCycles_ +=
+        (static_cast<uint64_t>(config_.numChannels) - busy_channels) *
+        cycles;
+    *bankConflictCycles_ += conflict_channels * cycles;
+}
+
+bool
+MemorySystem::channelHasBankConflict(int ch) const
+{
+    return channelHasBankConflictAt(ch, cycle_);
+}
+
+bool
+MemorySystem::channelHasBankConflictAt(int ch, uint64_t at) const
+{
+    for (const auto &p : ports_) {
+        if (p->pending_.empty())
+            continue;
+        const auto &head = p->pending_.front();
+        if (!head.scheduled && head.issueCycle < at &&
+            head.channel == ch && bankAt(ch, head.bank).busyUntil > at) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemorySystem::scanChannel(int ch, char *elig, char *conflict) const
+{
+    // Busy data bus: the serial grant loop skips this channel before
+    // reading any flag, so leave the zeroed row as-is.
+    if (channelBusyUntil_[static_cast<size_t>(ch)] > cycle_)
+        return;
+    for (size_t i = 0; i < ports_.size(); ++i) {
+        const MemoryPort &p = *ports_[i];
+        if (p.pending_.empty())
+            continue;
+        const auto &head = p.pending_.front();
+        if (head.scheduled || head.issueCycle >= cycle_ ||
+            head.channel != ch) {
+            continue;
+        }
+        if (bankAt(ch, head.bank).busyUntil <= cycle_)
+            elig[i] = 1;
+        else
+            *conflict = 1;
+    }
 }
 
 void

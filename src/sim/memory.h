@@ -124,6 +124,16 @@ class MemoryPort
     uint64_t retiredWriteBytes() const { return retiredWriteBytes_; }
 
     /**
+     * Stamp the pipeline-lane shard owning this port (kept from
+     * Simulator::makePort). issue() panics on a cross-shard issue during
+     * a parallel phase — a module of one lane issuing on another lane's
+     * port would race that lane's worker on the port queue. -1 =
+     * unaffiliated (no guard).
+     */
+    void setShard(int shard) { shard_ = shard; }
+    int shard() const { return shard_; }
+
+    /**
      * Sleepers blocked on this port, fired whenever a sub-request
      * retires. Retirement is the port's only externally visible event:
      * it delivers read data (takeCompletedReadBytes), advances the write
@@ -147,6 +157,12 @@ class MemoryPort
         /** Channel-local row index (unique per bank+row pair). */
         uint64_t row = 0;
         uint64_t completeCycle = 0;
+        /** Cycle this slice was issued (the port's issue clock). The
+         *  arbiter only considers a head once issueCycle < the memory
+         *  clock, so sub-requests issued by lane shards mid-window become
+         *  schedulable exactly when a cycle-by-cycle run would have
+         *  issued them (DESIGN.md §4f). */
+        uint64_t issueCycle = 0;
         /** Async-lifetime id when tracing (0 = untraced). */
         uint64_t traceId = 0;
     };
@@ -186,6 +202,17 @@ class MemoryPort
     WaitList retireWaiters_;
     /** Owning MemorySystem's progress counter (issue() bumps it). */
     uint64_t *progress_ = nullptr;
+    /** Clock stamping SubRequest::issueCycle: the owner's cycle counter,
+     *  re-pointed at the owning shard's subcycle counter while the
+     *  parallel scheduler runs lookahead windows (bindPortScheduling). */
+    const uint64_t *issueClock_ = nullptr;
+    /** Owning lane shard (-1 = unaffiliated); see setShard. */
+    int shard_ = -1;
+    /** When true, issue() bumps *progress_ directly even while the owner
+     *  defers accounting: the port is exclusively owned by one lane
+     *  shard and progress_ points at that shard's counter, so the bump
+     *  is race-free and lands in the correct window subcycle. */
+    bool directProgress_ = false;
     /** When true, issue-side global-counter bumps land in deferred_
      *  instead (see DeferredAccounting). */
     bool deferAccounting_ = false;
@@ -200,10 +227,13 @@ class MemoryPort
 };
 
 /** The timing model proper. */
+class SimThreadPool;
+
 class MemorySystem
 {
   public:
     explicit MemorySystem(const MemoryConfig &config = MemoryConfig());
+    ~MemorySystem();
 
     const MemoryConfig &config() const { return config_; }
 
@@ -227,15 +257,37 @@ class MemorySystem
 
     /**
      * @return the earliest future cycle at which this memory system can
-     * change state or change its per-cycle stat accrual: the head
-     * completion of any port, a busy channel's data bus freeing up, or a
-     * bank finishing its access phase (all three both enable scheduling
-     * of waiting sub-requests and move the busy/idle/conflict stat
-     * accrual). Between now and that cycle every tick() is a no-op apart
-     * from uniform per-cycle stat counting, so the simulator may skip
-     * the span. kNoEvent when nothing is pending.
+     * change state or change its per-cycle stat accrual: a scheduled
+     * head completing, an unscheduled head reaching its earliest
+     * grantable cycle (visible, bus and bank expired — conservative:
+     * it may still lose arbitration there), or a busy channel's data
+     * bus freeing up (which flips busy/idle accrual). Bank expiries are
+     * folded into the grantable bound — a busy bank is only observable
+     * through a blocked front head. Between now and the returned cycle
+     * every tick() is a no-op apart from uniform per-cycle stat
+     * counting, so the simulator may skip the span. kNoEvent when
+     * nothing is pending.
      */
     uint64_t nextEventCycle() const;
+
+    /**
+     * Per-channel restriction of nextEventCycle(): the earliest future
+     * cycle at which `channel` can change state or change its stat
+     * accrual (a head destined for it completing or becoming grantable,
+     * its data bus freeing up). The global nextEventCycle() equals the
+     * minimum over all channels.
+     */
+    uint64_t nextEventCycle(int channel) const;
+
+    /**
+     * @return the earliest cycle at which any port can retire its head
+     * sub-request (minimum scheduled-head completion, at least cycle+1),
+     * or kNoEvent when no head is scheduled. Retirement is the only
+     * memory event lane modules can observe mid-cycle (read bytes, write
+     * high-water mark, issue credit), so the parallel scheduler caps its
+     * lookahead window strictly below this cycle (DESIGN.md §4f).
+     */
+    uint64_t earliestRetireCycle() const;
 
     /**
      * Jump the clock forward over a span that nextEventCycle() proved
@@ -244,8 +296,63 @@ class MemorySystem
      */
     void fastForward(uint64_t cycles) { cycle_ += cycles; }
 
+    /**
+     * Advance `cycles` ticks of a span the caller proved event-free via
+     * nextEventCycle() (every tick in it is a state no-op), crediting
+     * the uniform per-cycle stat accrual in bulk instead of ticking.
+     * Unlike fastForward() this accounts the skipped ticks itself, so
+     * standalone drivers (bench/sim_membw's event-jump loop) stay
+     * bit-identical to a tick-by-tick run without simulator help.
+     * Falls back to real ticks under tracing or deferred accounting.
+     */
+    void tickQuiet(uint64_t cycles);
+
     /** Redirect progress reporting to a simulator-owned counter. */
     void attachProgress(uint64_t *counter);
+
+    /**
+     * Set the worker budget for the channel-parallel tick: with more
+     * than one resolved worker (see sim::resolveMemWorkerCount — the
+     * GENESIS_SIM_MEM_THREADS / GENESIS_SIM_NO_MEM_THREADS knobs
+     * override `requested`), tick() farms the per-channel eligibility
+     * scan across a worker pool, one disjoint channel subset per worker,
+     * and serializes the arbitration grants, stat updates and
+     * retirements after the barrier in fixed channel/port order.
+     * Bit-identical to the sequential tick by construction; tracing
+     * forces the sequential tick. The environment is consulted here and
+     * at construction, not per tick.
+     */
+    void setMemThreads(int requested);
+    /** Resolved channel-scan worker count (1 = sequential tick). */
+    int memThreads() const { return memThreads_; }
+
+    /**
+     * Re-point one port's issue clock and progress counter at a lane
+     * shard's counters for the parallel scheduler's lookahead windows:
+     * issues stamp the shard's subcycle and bump the shard's progress
+     * directly (race-free — the port is exclusively that shard's).
+     * unbindPortScheduling() restores the defaults (restoreShards).
+     */
+    void bindPortScheduling(size_t port, const uint64_t *clock,
+                            uint64_t *progress);
+    void unbindPortScheduling();
+
+    /**
+     * RAII marker for the channel-parallel scan phase: while alive on a
+     * thread, that thread may only read state of `channel` — touching
+     * another channel's banks or issuing on any port panics
+     * deterministically (the cross-channel-touch guard of DESIGN.md
+     * §4f). Public so tests can drive the guard directly.
+     */
+    struct ChannelScanGuard {
+        explicit ChannelScanGuard(int channel);
+        ~ChannelScanGuard();
+        ChannelScanGuard(const ChannelScanGuard &) = delete;
+        ChannelScanGuard &operator=(const ChannelScanGuard &) = delete;
+
+      private:
+        int prev_;
+    };
 
     /**
      * Defer issue-side accounting for the lane-sharded parallel
@@ -328,6 +435,24 @@ class MemorySystem
      *  counters (port order; called from tick()'s prologue). */
     void drainDeferredAccounting();
 
+    /**
+     * Phase A of the channel-parallel tick: read-only eligibility scan
+     * for one channel. Fills `elig[p]` (1 = port p's head is visible,
+     * unscheduled, on this channel, and its bank is free) and `conflict`
+     * (1 = some such head is blocked only by a busy bank). Writes
+     * nothing but this channel's scratch row, so scans of distinct
+     * channels are race-free; correctness of using pre-grant state is
+     * argued at the call site in tick().
+     */
+    void scanChannel(int ch, char *elig, char *conflict) const;
+
+    /** Sequential form of the bank-conflict accrual test for one
+     *  channel (must match scanChannel's `conflict` bit exactly). */
+    bool channelHasBankConflict(int ch) const;
+    /** channelHasBankConflict evaluated as-of memory cycle `at`
+     *  (tickQuiet evaluates the span's first skipped tick). */
+    bool channelHasBankConflictAt(int ch, uint64_t at) const;
+
     MemoryConfig config_;
     std::vector<std::unique_ptr<MemoryPort>> ports_;
     /** Port indices per local-arbiter group. */
@@ -342,6 +467,14 @@ class MemorySystem
     std::vector<RoundRobinArbiter> localArbiters_;
     /** Per-tick scratch: groups already granted a channel this cycle. */
     std::vector<char> groupUsedScratch_;
+    /** Channel-parallel scan budget (1 = sequential; see setMemThreads). */
+    int memThreads_ = 1;
+    /** Workers for the channel scan (created on first parallel tick). */
+    std::unique_ptr<SimThreadPool> memPool_;
+    /** Phase-A scratch: per-channel port-eligibility rows
+     *  (numChannels x numPorts) and per-channel conflict bits. */
+    std::vector<char> eligScratch_;
+    std::vector<char> conflictScratch_;
     /** Sub-requests in flight across all ports. Zero lets tick() skip
      *  arbitration, the bank-conflict scan and retirement entirely, so
      *  per-cycle memory cost tracks traffic rather than port count. */

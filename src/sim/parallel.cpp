@@ -61,6 +61,22 @@ resolveWorkerCount(const ThreadPolicy &policy, int populated_shards,
     return std::max(1, std::min(workers, populated_shards));
 }
 
+int
+resolveMemWorkerCount(int requested, int num_channels)
+{
+    if (num_channels < 2)
+        return 1;
+    if (std::getenv("GENESIS_SIM_NO_MEM_THREADS") != nullptr)
+        return 1;
+    requested = std::max(requested, 0);
+    requested = static_cast<int>(envInt64(
+        "GENESIS_SIM_MEM_THREADS", requested, 0,
+        std::numeric_limits<int>::max()));
+    if (requested == 0)
+        return 1; // default: the sequential tick (see header)
+    return std::max(1, std::min(requested, num_channels));
+}
+
 SimThreadPool::SimThreadPool(int helpers)
 {
     GENESIS_ASSERT(helpers >= 0, "negative helper count");

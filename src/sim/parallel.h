@@ -71,6 +71,23 @@ int resolveWorkerCount(const ThreadPolicy &policy, int populated_shards,
                        unsigned hardware_threads = 0);
 
 /**
+ * Resolve the worker count for the channel-parallel memory tick
+ * (DESIGN.md §4f). Separate policy from the lane workers above because
+ * the memory scan is much finer-grained: it only pays off when asked
+ * for, so the default is sequential.
+ *  - GENESIS_SIM_NO_MEM_THREADS=1 forces the sequential tick.
+ *  - GENESIS_SIM_MEM_THREADS=N overrides any configured request.
+ *  - A request of 0 (the default) means sequential: per-tick channel
+ *    scans are ~100 ns at the paper's 4-channel scale, so farming them
+ *    out is opt-in rather than automatic.
+ *  - The result is clamped to the channel count: extra workers could
+ *    never have a disjoint channel subset to scan.
+ * Simulated cycles, statistics and traces are bit-identical at any
+ * value; tracing forces the sequential tick (single-writer sink).
+ */
+int resolveMemWorkerCount(int requested, int num_channels);
+
+/**
  * A persistent pool of helper threads executing one job batch at a time.
  *
  * run(jobs, fn) executes fn(0) .. fn(jobs-1) across the helpers and the

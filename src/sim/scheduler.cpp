@@ -5,9 +5,19 @@
 #include <sstream>
 #include <vector>
 
+#include "base/env.h"
 #include "base/logging.h"
 
 namespace genesis::sim {
+
+namespace {
+
+/** Default lookahead-window cap when parallel (see setWindowPolicy):
+ *  comfortably above the typical row-hit latency clamp so the memory
+ *  bound, not this constant, sizes most windows. */
+constexpr uint64_t kDefaultWindowLimit = 16;
+
+} // namespace
 
 Simulator::Simulator(const MemoryConfig &mem_config) : memory_(mem_config)
 {
@@ -35,6 +45,7 @@ Simulator::makePort(int local_group)
 {
     MemoryPort *port = memory_.makePort(local_group);
     const int shard = currentShard();
+    port->setShard(shard);
     port->retireWaiters().setShard(shard);
     if (portShards_.size() <= static_cast<size_t>(port->id()))
         portShards_.resize(static_cast<size_t>(port->id()) + 1, -1);
@@ -200,12 +211,17 @@ Simulator::splitShards()
                    "shard split mid-cycle");
     shards_.clear();
     shards_.reserve(shardCount_);
-    for (size_t s = 0; s < shardCount_; ++s)
+    for (size_t s = 0; s < shardCount_; ++s) {
         shards_.push_back(std::make_unique<Shard>());
+        shards_.back()->cycle = cycle_;
+    }
     for (auto &m : modules_) {
         Shard &sh = *shards_[static_cast<size_t>(m->shard())];
         m->attachProgress(&sh.progress);
-        m->attachScheduler(&cycle_, &sh.woken, sleepEnabled_);
+        // The shard's clock, not the global one: during a lookahead
+        // window the worker advances it per subcycle so sleep spans and
+        // issue stamps land on the exact sequential cycle.
+        m->attachScheduler(&sh.cycle, &sh.woken, sleepEnabled_);
     }
     // active_ is sorted by schedIndex, so each shard's projection of it
     // is too: per-shard tick order matches the sequential tick order
@@ -218,6 +234,21 @@ Simulator::splitShards()
         q->attachSimulator(&sh.progress, &sh.dirtyQueues);
     }
     memory_.setDeferredAccounting(true);
+    // Lookahead windows need every memory port's issues stamped with its
+    // lane's subcycle clock; a port created behind the Simulator's back
+    // (memory().makePort()) has unknown lane affinity, so its presence
+    // forces single-cycle barriers.
+    windowCapable_ = portShards_.size() == memory_.numPorts();
+    for (int shard : portShards_) {
+        if (shard < 0)
+            windowCapable_ = false;
+    }
+    if (windowCapable_) {
+        for (size_t i = 0; i < portShards_.size(); ++i) {
+            Shard &sh = *shards_[static_cast<size_t>(portShards_[i])];
+            memory_.bindPortScheduling(i, &sh.cycle, &sh.progress);
+        }
+    }
 }
 
 void
@@ -243,6 +274,8 @@ Simulator::restoreShards()
               [](const Module *a, const Module *b) {
                   return a->schedIndex() < b->schedIndex();
               });
+    memory_.unbindPortScheduling();
+    windowCapable_ = false;
     memory_.setDeferredAccounting(false);
     shards_.clear();
 }
@@ -298,13 +331,16 @@ Simulator::rescanRetiredShards()
 }
 
 void
-Simulator::mergeShardWoken(Shard &sh)
+Simulator::mergeShardWoken(Shard &sh, size_t *done_accum)
 {
     if (sh.woken.empty())
         return;
     size_t keep = 0;
     for (Module *m : sh.woken) {
-        maybeLatchDone(m);
+        if (!m->schedDone() && m->done()) {
+            m->setSchedDone(true);
+            ++*done_accum;
+        }
         if (m->schedDone() || m->schedActive())
             continue;
         sh.woken[keep++] = m;
@@ -339,6 +375,9 @@ Simulator::stepParallel()
         tlsCurrentShard = static_cast<int>(s);
         Shard &sh = *shards_[s];
         try {
+            // Sync the shard clock: modules and bound ports read it, and
+            // a preceding fast-forward or window may have left it behind.
+            sh.cycle = cycle_;
             for (Module *m : sh.active)
                 m->tick();
             for (auto *q : sh.dirtyQueues)
@@ -369,8 +408,131 @@ Simulator::stepParallel()
     // shard's woken list; merge them back in schedIndex order.
     rescanRetiredShards();
     for (auto &sh : shards_)
-        mergeShardWoken(*sh);
+        mergeShardWoken(*sh, &doneCount_);
     ++cycle_;
+}
+
+uint64_t
+Simulator::chooseWindow(uint64_t max_cycles, uint64_t deadlock_horizon,
+                        uint64_t quiet_cycles) const
+{
+    uint64_t w = windowLimit_;
+    // Nothing a lane module can observe may change mid-window, and the
+    // only mid-cycle-observable memory event is a retirement (read
+    // bytes, write high-water mark, issue credit — all frozen between
+    // retirements). Already-scheduled heads retire no earlier than
+    // earliestRetireCycle(); a head granted during the window's replay
+    // (memory cycle >= cycle_+1) completes no earlier than
+    // cycle_ + 1 + rowHitLatency + 1. Cap the window so both land on or
+    // after its last cycle's memory tick.
+    uint64_t retire = memory_.earliestRetireCycle();
+    if (retire != MemorySystem::kNoEvent)
+        w = std::min(w, retire - cycle_);
+    w = std::min(w,
+                 2 + static_cast<uint64_t>(
+                         memory_.config().rowHitLatencyCycles));
+    // Panic exactness: the runaway check fires at cycle_ == max_cycles
+    // and the deadlock horizon on the cycle quiet_cycles first exceeds
+    // it, both of which a window may reach only on its last subcycle.
+    w = std::min(w, max_cycles - cycle_);
+    w = std::min(w, deadlock_horizon + 1 - quiet_cycles);
+    return std::max<uint64_t>(w, 1);
+}
+
+uint64_t
+Simulator::stepParallelWindow(uint64_t window)
+{
+    const uint64_t base = cycle_;
+    windowDeltas_.assign(window, 0);
+
+    // Parallel phase: every shard runs all `window` subcycles
+    // back-to-back — ticks, commits, compaction and its own wake merges
+    // — against frozen memory state, recording cumulative progress and
+    // active-list emptiness after each subcycle.
+    pool_->run(shards_.size(), [this, window, base](size_t s) {
+        tlsCurrentShard = static_cast<int>(s);
+        Shard &sh = *shards_[s];
+        try {
+            sh.cycle = base;
+            sh.progressBySub.assign(window, 0);
+            sh.emptyBySub.assign(window, 0);
+            for (uint64_t j = 0; j < window; ++j) {
+                if (j)
+                    ++sh.cycle;
+                for (Module *m : sh.active)
+                    m->tick();
+                for (auto *q : sh.dirtyQueues)
+                    q->commit();
+                sh.dirtyQueues.clear();
+                latchAndCompact(sh, &sh.doneDelta);
+                mergeShardWoken(sh, &sh.doneDelta);
+                sh.progressBySub[j] = sh.progress;
+                sh.emptyBySub[j] = sh.active.empty() ? 1 : 0;
+            }
+        } catch (...) {
+            tlsCurrentShard = kNoShard;
+            throw;
+        }
+        tlsCurrentShard = kNoShard;
+    });
+
+    // Truncate at the first subcycle after which every shard's active
+    // list was empty: the overshoot subcycles were provable no-ops (an
+    // empty shard cannot commit, issue or wake anything), and ending the
+    // window there keeps the provable-deadlock probe and the completion
+    // check on the exact cycle a sequential run would report.
+    uint64_t effective = window;
+    for (uint64_t j = 0; j < window; ++j) {
+        bool all_empty = true;
+        for (const auto &sh : shards_) {
+            if (!sh->emptyBySub[j]) {
+                all_empty = false;
+                break;
+            }
+        }
+        if (all_empty) {
+            effective = j + 1;
+            break;
+        }
+    }
+
+    // Reduce the shard deltas (additive, order-free) and difference the
+    // cumulative progress curves into per-cycle deltas for the quiet
+    // machine. Past the truncation point the curves are flat, so the
+    // shard total equals the cumulative value at the last kept subcycle.
+    for (auto &sh : shards_) {
+        uint64_t prev = 0;
+        for (uint64_t j = 0; j < effective; ++j) {
+            windowDeltas_[j] += sh->progressBySub[j] - prev;
+            prev = sh->progressBySub[j];
+        }
+        progress_ += sh->progress;
+        sh->progress = 0;
+        doneCount_ += sh->doneDelta;
+        sh->doneDelta = 0;
+        // Pin the shard clock to the window's last cycle so retire-wake
+        // stall credits (read on the control thread below) match the
+        // cycle a sequential run would wake the sleeper on.
+        sh->cycle = base + effective - 1;
+    }
+
+    // Control phase: replay the memory ticks the window deferred. Each
+    // tick advances the memory clock one cycle and arbitrates exactly
+    // the sub-requests whose issue stamps have become visible, so
+    // arbitration order, bank/bus state and every stat match a
+    // cycle-by-cycle run; the window size guarantees retirements can
+    // land only on the final tick.
+    for (uint64_t j = 0; j < effective; ++j) {
+        uint64_t before = progress_;
+        memory_.tick();
+        windowDeltas_[j] += progress_ - before;
+    }
+    rescanRetiredShards();
+    for (auto &sh : shards_)
+        mergeShardWoken(*sh, &doneCount_);
+    cycle_ = base + effective;
+    windowDeltas_.resize(effective);
+    return effective;
 }
 
 bool
@@ -397,6 +559,17 @@ Simulator::run(uint64_t max_cycles)
         workers = resolveWorkerCount(threadPolicy_, populatedShards());
     }
     lastRunWorkers_ = workers;
+    windowLimit_ = 1;
+    if (workers > 1) {
+        // Lookahead-window cap (DESIGN.md §4f): configured request, env
+        // override, 0 = auto. Meaningless when sequential — there is no
+        // barrier to amortize — so it is resolved only here.
+        int64_t w = envInt64("GENESIS_SIM_WINDOW",
+                             windowRequest_ > 0 ? windowRequest_ : 0, 0,
+                             4096);
+        windowLimit_ =
+            w == 0 ? kDefaultWindowLimit : static_cast<uint64_t>(w);
+    }
     if (workers <= 1)
         return runLoop(max_cycles, /*parallel=*/false);
 
@@ -428,31 +601,63 @@ Simulator::runLoop(uint64_t max_cycles, bool parallel)
                   static_cast<unsigned long long>(max_cycles),
                   dumpState().c_str());
         }
-        if (parallel)
-            stepParallel();
-        else
+        uint64_t stepped = 1;
+        if (!parallel) {
             step();
+        } else if (windowCapable_ && windowLimit_ > 1) {
+            // Memory-quiet lookahead window (DESIGN.md §4f): cover as
+            // many cycles per barrier as the memory system provably
+            // cannot interrupt, then replay its ticks serially.
+            uint64_t w = chooseWindow(max_cycles, deadlock_horizon,
+                                      quiet_cycles);
+            if (w > 1)
+                stepped = stepParallelWindow(w);
+            else
+                stepParallel();
+        } else {
+            stepParallel();
+        }
         // Provable deadlock: every live module is asleep and the memory
         // system has no pending event, so no wake can ever fire. Report
         // immediately instead of waiting out the quiet horizon. (Under
         // GENESIS_SIM_NO_SLEEP modules never sleep, so a wedged design
-        // falls through to the horizon path below, as before.)
+        // falls through to the horizon path below, as before. A window
+        // truncates at its first all-asleep subcycle, so this still
+        // fires on the exact sequential cycle.)
         if (noModuleActive(parallel) && !allDone() &&
             memory_.nextEventCycle() == MemorySystem::kNoEvent) {
             panic("deadlock: no module can ever wake (all asleep, no "
                   "pending memory event)\n%s",
                   dumpState().c_str());
         }
-        if (progress_ != last_progress) {
-            last_progress = progress_;
-            quiet_cycles = 0;
-            continue;
+        bool progressed_last;
+        if (stepped == 1) {
+            progressed_last = progress_ != last_progress;
+            if (progressed_last)
+                quiet_cycles = 0;
+            else
+                ++quiet_cycles;
+        } else {
+            // Replay the quiet machine per window subcycle so the
+            // horizon counts the exact cycles a one-cycle-at-a-time run
+            // would have counted (chooseWindow caps the window so the
+            // horizon can first be exceeded only on the last subcycle).
+            for (uint64_t j = 0; j < stepped; ++j) {
+                if (windowDeltas_[j])
+                    quiet_cycles = 0;
+                else
+                    ++quiet_cycles;
+            }
+            progressed_last = windowDeltas_[stepped - 1] != 0;
         }
-        if (++quiet_cycles > deadlock_horizon) {
+        last_progress = progress_;
+        if (quiet_cycles > deadlock_horizon) {
             panic("deadlock: no progress for %llu cycles\n%s",
                   static_cast<unsigned long long>(quiet_cycles),
                   dumpState().c_str());
         }
+        if (progressed_last)
+            continue;
         if (!fastForwardEnabled_)
             continue;
 

@@ -138,6 +138,21 @@ class Simulator
     /** Worker threads the last run() actually used (1 = sequential). */
     int lastRunWorkers() const { return lastRunWorkers_; }
 
+    /**
+     * Configure the lookahead-window cap for parallel runs (DESIGN.md
+     * §4f): when the control phase can prove the memory system stays
+     * quiet for k cycles, lane shards tick up to min(k, cap) cycles
+     * between barriers. 0 = auto (the built-in default), 1 = windows off
+     * (every barrier covers one cycle, the pre-window behavior). The
+     * GENESIS_SIM_WINDOW environment variable overrides it at run()
+     * time. Simulated cycles, statistics and traces are bit-identical at
+     * any value; sequential runs ignore it.
+     */
+    void setWindowPolicy(int window) { windowRequest_ = window; }
+
+    /** Resolved window cap of the last run() (1 = windows off). */
+    uint64_t lastRunWindowLimit() const { return windowLimit_; }
+
     /** Take ownership of a module; returns a borrowed pointer. */
     template <typename T>
     T *
@@ -264,6 +279,19 @@ class Simulator
         uint64_t progress = 0;
         /** Modules newly latched done (reduced at the barrier). */
         size_t doneDelta = 0;
+        /** This shard's view of the simulator clock. Modules and memory
+         *  ports of the shard read it (stall spans, issue stamps), so
+         *  during a lookahead window the worker advances it one subcycle
+         *  at a time while the global cycle_ waits at the barrier. */
+        uint64_t cycle = 0;
+        /** Cumulative shard progress after each window subcycle (the
+         *  control phase differences them into per-cycle deltas). */
+        std::vector<uint64_t> progressBySub;
+        /** 1 when the shard's active list was empty after the subcycle
+         *  (the control phase truncates the window at the first subcycle
+         *  where every shard reports empty, keeping the provable-deadlock
+         *  probe on the exact sequential cycle). */
+        std::vector<char> emptyBySub;
     };
 
     /** Latch a freshly-done module (advances the allDone() count). */
@@ -313,8 +341,34 @@ class Simulator
     void rescanRetiredShards();
 
     /** Per-shard second half of updateActiveSet(): merge the shard's
-     *  woken modules back into its active list (schedIndex order). */
-    void mergeShardWoken(Shard &sh);
+     *  woken modules back into its active list (schedIndex order).
+     *  Static like latchAndCompact so window subcycles may run it on the
+     *  shard's worker; newly latched modules count into *done_accum (the
+     *  shard delta on workers, doneCount_ on the control thread). */
+    static void mergeShardWoken(Shard &sh, size_t *done_accum);
+
+    /**
+     * One barrier-amortized parallel step covering up to `window`
+     * consecutive cycles (DESIGN.md §4f). Workers tick their shard's
+     * modules for every subcycle back-to-back — legal because the window
+     * was sized so the memory system cannot retire anything before its
+     * last cycle, so nothing a lane module can observe changes mid-window
+     * — then the control phase replays the deferred memory ticks
+     * cycle-by-cycle and truncates at the first subcycle after which
+     * every shard went empty. @return cycles actually covered (>= 1);
+     * per-cycle progress deltas land in windowDeltas_[0..effective).
+     */
+    uint64_t stepParallelWindow(uint64_t window);
+
+    /**
+     * Largest window the next parallel step may cover while staying
+     * bit-identical and panic-exact: capped by the configured limit, the
+     * earliest possible retirement (pre-scheduled heads via
+     * earliestRetireCycle(), hypothetical new grants via the row-hit
+     * latency), the runaway-cycle cap, and the deadlock horizon.
+     */
+    uint64_t chooseWindow(uint64_t max_cycles, uint64_t deadlock_horizon,
+                          uint64_t quiet_cycles) const;
 
     /** @return true when no shard (or the sequential list) has an
      *  active module (the provable-deadlock probe). */
@@ -375,6 +429,17 @@ class Simulator
     ThreadPolicy threadPolicy_;
     /** Workers the last run() used (see lastRunWorkers). */
     int lastRunWorkers_ = 1;
+    /** Lookahead-window request (see setWindowPolicy; 0 = auto). */
+    int windowRequest_ = 0;
+    /** Resolved per-run window cap (1 = windows off). */
+    uint64_t windowLimit_ = 1;
+    /** True while shards are split AND every memory port has a known
+     *  lane shard, so port issue clocks/progress could be bound to their
+     *  shards (splitShards). A port created behind the Simulator's back
+     *  has unknown affinity and forces single-cycle barriers. */
+    bool windowCapable_ = false;
+    /** Per-cycle progress deltas of the last stepParallelWindow. */
+    std::vector<uint64_t> windowDeltas_;
     /** Per-lane scheduler state while run() is parallel (empty when
      *  sequential; unique_ptr keeps shard addresses stable). */
     std::vector<std::unique_ptr<Shard>> shards_;

@@ -479,4 +479,170 @@ TEST(ParallelSim, SameDesignLegalWhenSequential)
     setQuiet(false);
 }
 
+/** Issues one read on a (possibly foreign) port, then idles. */
+class PortPoker : public Module
+{
+  public:
+    PortPoker(std::string name, MemoryPort *port)
+        : Module(std::move(name)), port_(port)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (!issued_ && port_->canIssue()) {
+            port_->issue(0, 64, false);
+            issued_ = true;
+        }
+    }
+
+    bool done() const override { return issued_; }
+
+  private:
+    MemoryPort *port_;
+    bool issued_ = false;
+};
+
+TEST(ParallelSim, CrossShardMemoryIssuePanicsDeterministically)
+{
+    // A lane-1 module issuing on a lane-0 memory port would race lane
+    // 0's worker during the parallel phase (and corrupt the lookahead
+    // window's per-shard issue clocks): the port-ownership guard in
+    // MemoryPort::issue must panic deterministically. Race-free by
+    // construction — no lane-0 module touches the port.
+    setQuiet(true);
+    Simulator sim;
+    ThreadPolicy policy;
+    policy.requested = 2;
+    sim.setThreadPolicy(policy);
+
+    pipeline::PipelineBuilder lane0(sim, 0);
+    auto *foreign_port = lane0.port();
+    auto *q0 = lane0.queue("data");
+    lane0.add<test::VectorSource>("VectorSource", "src", q0,
+                                  std::vector<Flit>{makeFlit(1)});
+    lane0.add<test::VectorSink>("VectorSink", "sink", q0);
+
+    pipeline::PipelineBuilder lane1(sim, 1);
+    lane1.add<PortPoker>("PortPoker", "poker", foreign_port);
+
+    try {
+        sim.run();
+        FAIL() << "expected a cross-shard memory-issue panic";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("cross-shard memory issue"),
+                  std::string::npos)
+            << e.what();
+    }
+    setQuiet(false);
+}
+
+TEST(ParallelSim, ForeignPortLegalWhenSequential)
+{
+    // The same wiring runs to completion under the sequential
+    // scheduler: no parallel phase, no shard ownership to violate.
+    setQuiet(true);
+    Simulator sim;
+    pipeline::PipelineBuilder lane0(sim, 0);
+    auto *foreign_port = lane0.port();
+    auto *q0 = lane0.queue("data");
+    lane0.add<test::VectorSource>("VectorSource", "src", q0,
+                                  std::vector<Flit>{makeFlit(1)});
+    auto *sink =
+        lane0.add<test::VectorSink>("VectorSink", "sink", q0);
+    pipeline::PipelineBuilder lane1(sim, 1);
+    lane1.add<PortPoker>("PortPoker", "poker", foreign_port);
+    ScopedEnv no_threads("GENESIS_SIM_NO_THREADS", "1");
+    sim.run();
+    EXPECT_EQ(sink->collected().size(), 1u);
+    setQuiet(false);
+}
+
+// --- lookahead windows and the channel-parallel memory tick ------------
+
+/** (num_pairs, seed) grid point for the window/mem-thread battery. */
+class WindowParity
+    : public ::testing::TestWithParam<std::tuple<int64_t, uint64_t>>
+{
+};
+
+TEST_P(WindowParity, WindowSizesAndMemThreadsAreBitIdentical)
+{
+    auto [pairs, seed] = GetParam();
+    auto workload = test::makeSmallWorkload(seed, pairs);
+
+    // The sequential scheduler ignores both knobs: one reference run.
+    RunResult baseline = runQualSum(workload, 1);
+    ASSERT_EQ(baseline.workersUsed, 1);
+
+    // Lookahead windows (DESIGN.md §4f): lane shards tick up to
+    // `window` memory-quiet cycles per barrier. Window 1 degenerates to
+    // single-cycle barriers (the escape hatch); every size must be
+    // bit-identical to sequential.
+    for (const char *window : {"1", "4", "16"}) {
+        ScopedEnv env("GENESIS_SIM_WINDOW", window);
+        for (int threads : {2, 4}) {
+            RunResult r = runQualSum(workload, threads);
+            EXPECT_GT(r.workersUsed, 1)
+                << "window=" << window << " threads=" << threads;
+            EXPECT_EQ(r.cycles, baseline.cycles)
+                << "window=" << window << " threads=" << threads;
+            EXPECT_EQ(r.statsSig, baseline.statsSig)
+                << "window=" << window << " threads=" << threads;
+            EXPECT_EQ(r.sums, baseline.sums)
+                << "window=" << window << " threads=" << threads;
+        }
+    }
+
+    // Channel-parallel memory tick, alone and composed with windows.
+    for (const char *mem_threads : {"2", "4"}) {
+        ScopedEnv env("GENESIS_SIM_MEM_THREADS", mem_threads);
+        RunResult seq = runQualSum(workload, 1);
+        EXPECT_EQ(seq.cycles, baseline.cycles)
+            << "mem_threads=" << mem_threads;
+        EXPECT_EQ(seq.statsSig, baseline.statsSig)
+            << "mem_threads=" << mem_threads;
+        EXPECT_EQ(seq.sums, baseline.sums)
+            << "mem_threads=" << mem_threads;
+
+        ScopedEnv window("GENESIS_SIM_WINDOW", "16");
+        RunResult par = runQualSum(workload, 4);
+        EXPECT_EQ(par.cycles, baseline.cycles)
+            << "mem_threads=" << mem_threads << " window=16";
+        EXPECT_EQ(par.statsSig, baseline.statsSig)
+            << "mem_threads=" << mem_threads << " window=16";
+        EXPECT_EQ(par.sums, baseline.sums)
+            << "mem_threads=" << mem_threads << " window=16";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSeedGrid, WindowParity,
+    ::testing::Combine(::testing::Values<int64_t>(24, 96),
+                       ::testing::Values<uint64_t>(3, 11)),
+    [](const auto &info) {
+        return "pairs" + std::to_string(std::get<0>(info.param)) +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelSim, DeadlockReportIdenticalUnderWindowsAndMemThreads)
+{
+    // The wedged-lane diagnostic must stay byte-identical when the
+    // windowed barrier and the channel-parallel memory tick are active:
+    // the deadlock probe degrades to single-cycle stepping near the
+    // horizon, so the report sees the exact sequential state.
+    std::string seq = deadlockReport(1);
+    {
+        ScopedEnv window("GENESIS_SIM_WINDOW", "16");
+        EXPECT_EQ(deadlockReport(4), seq);
+    }
+    {
+        ScopedEnv window("GENESIS_SIM_WINDOW", "4");
+        ScopedEnv mem_threads("GENESIS_SIM_MEM_THREADS", "4");
+        EXPECT_EQ(deadlockReport(4), seq);
+    }
+    EXPECT_NE(seq.find("deadlock"), std::string::npos);
+}
+
 } // namespace

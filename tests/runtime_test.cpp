@@ -857,6 +857,8 @@ TEST(RuntimeValidate, BadFieldsAreNamed)
     RuntimeConfig cfg;
     cfg.clockHz = 0.0;
     cfg.simThreads = -1;
+    cfg.memThreads = -1;
+    cfg.simWindow = -4;
     cfg.concurrentSessions = 0;
     cfg.dma.bytesPerSecond = -1.0;
     cfg.dma.perTransferLatency = -1e-6;
@@ -870,6 +872,8 @@ TEST(RuntimeValidate, BadFieldsAreNamed)
     };
     EXPECT_TRUE(contains("clockHz:"));
     EXPECT_TRUE(contains("simThreads:"));
+    EXPECT_TRUE(contains("memThreads:"));
+    EXPECT_TRUE(contains("simWindow:"));
     EXPECT_TRUE(contains("concurrentSessions:"));
     EXPECT_TRUE(contains("dma.bytesPerSecond:"));
     EXPECT_TRUE(contains("dma.perTransferLatency:"));
